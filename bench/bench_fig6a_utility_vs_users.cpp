@@ -1,0 +1,27 @@
+// Fig. 6(a): average user utility vs number of users.
+// Paper setup: m_i = 5000 per type, n = 40000..80000, H = 0.8, 1000 trials.
+// Expected shape: both series decrease with n (fiercer competition lowers
+// auction payments); the RIT series sits above the auction-phase series
+// because the payment determination phase adds solicitation rewards.
+#include "figure_sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rit::bench;
+  const BenchOptions opts =
+      parse_options(argc, argv, "fig6a_utility_vs_users", 3);
+  std::vector<std::vector<double>> rows;
+  for (const SweepPoint& p : run_user_sweep(opts)) {
+    rows.push_back({static_cast<double>(p.x),
+                    p.metrics.avg_utility_auction.mean(),
+                    p.metrics.avg_utility_rit.mean(),
+                    p.metrics.avg_utility_rit.ci95_half_width(),
+                    p.metrics.success_rate()});
+  }
+  const std::vector<std::string> header{"users(paper)", "auction_phase",
+                                        "RIT", "RIT_ci95", "success_rate"};
+  emit("Fig. 6(a) — average user utility vs number of users", opts, header,
+       rows);
+  emit_svg("Fig. 6(a): avg user utility vs users", opts, header, rows,
+           {1, 2});
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fig. 7(a): total platform payment vs number of users.
+// Expected shape: roughly flat in n (the job size is fixed; cheaper prices
+// offset the growing solicitation pool); RIT above the auction phase, with
+// the premium bounded by the total auction payment (Sec. 7-C).
+#include "figure_sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rit::bench;
+  const BenchOptions opts =
+      parse_options(argc, argv, "fig7a_payment_vs_users", 3);
+  std::vector<std::vector<double>> rows;
+  for (const SweepPoint& p : run_user_sweep(opts)) {
+    rows.push_back({static_cast<double>(p.x),
+                    p.metrics.total_payment_auction.mean(),
+                    p.metrics.total_payment_rit.mean(),
+                    p.metrics.solicitation_premium.mean(),
+                    p.metrics.success_rate()});
+  }
+  const std::vector<std::string> header{"users(paper)", "auction_phase",
+                                        "RIT", "premium", "success_rate"};
+  emit("Fig. 7(a) — total payment vs number of users", opts, header, rows, 2);
+  emit_svg("Fig. 7(a): total payment vs users", opts, header, rows, {1, 2});
+  return 0;
+}

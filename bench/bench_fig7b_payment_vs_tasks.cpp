@@ -1,0 +1,24 @@
+// Fig. 7(b): total platform payment vs number of tasks per type.
+// Expected shape: increasing in the job size; RIT above the auction phase
+// with premium <= total auction payment.
+#include "figure_sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rit::bench;
+  const BenchOptions opts =
+      parse_options(argc, argv, "fig7b_payment_vs_tasks", 3);
+  std::vector<std::vector<double>> rows;
+  for (const SweepPoint& p : run_task_sweep(opts)) {
+    rows.push_back({static_cast<double>(p.x),
+                    p.metrics.total_payment_auction.mean(),
+                    p.metrics.total_payment_rit.mean(),
+                    p.metrics.solicitation_premium.mean(),
+                    p.metrics.success_rate()});
+  }
+  const std::vector<std::string> header{"m_i(paper)", "auction_phase",
+                                        "RIT", "premium", "success_rate"};
+  emit("Fig. 7(b) — total payment vs tasks per type", opts, header, rows, 2);
+  emit_svg("Fig. 7(b): total payment vs tasks per type", opts, header, rows,
+           {1, 2});
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fig. 8(b): running time vs number of tasks per type.
+// Expected shape: approximately linear in |J| (Theorem 3).
+#include "figure_sweeps.h"
+
+int main(int argc, char** argv) {
+  using namespace rit::bench;
+  const BenchOptions opts =
+      parse_options(argc, argv, "fig8b_runtime_vs_tasks", 3);
+  std::vector<std::vector<double>> rows;
+  for (const SweepPoint& p : run_task_sweep(opts)) {
+    rows.push_back({static_cast<double>(p.x),
+                    p.metrics.runtime_auction_ms.mean(),
+                    p.metrics.runtime_rit_ms.mean(),
+                    p.metrics.runtime_rit_ms.ci95_half_width()});
+  }
+  const std::vector<std::string> header{"m_i(paper)", "auction_phase_ms",
+                                        "RIT_ms", "RIT_ci95"};
+  emit("Fig. 8(b) — running time (ms) vs tasks per type", opts, header,
+       rows);
+  emit_svg("Fig. 8(b): running time vs tasks per type", opts, header, rows,
+           {1, 2});
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: consensus
+// rounding, one CRA round, Extract, the payment phase (fast vs reference),
+// and the substrate generators.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/cra.h"
+#include "core/extract.h"
+#include "core/payment.h"
+#include "core/rit.h"
+#include "graph/generators.h"
+#include "rng/rng.h"
+#include "tree/builders.h"
+
+namespace {
+
+using namespace rit;
+
+std::vector<double> make_asks(std::size_t n, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  std::vector<double> asks(n);
+  for (auto& a : asks) a = rng.uniform_real_left_open(0.0, 10.0);
+  return asks;
+}
+
+void BM_ConsensusRoundDown(benchmark::State& state) {
+  rng::Rng rng(1);
+  std::uint64_t count = 1;
+  for (auto _ : state) {
+    count = 1 + (count * 2862933555777941757ULL + 3037000493ULL) % (1 << 20);
+    benchmark::DoNotOptimize(
+        core::consensus_round_down(count, 0.37));
+  }
+}
+BENCHMARK(BM_ConsensusRoundDown);
+
+void BM_CraRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto asks = make_asks(n, 2);
+  rng::Rng rng(3);
+  core::CraParams params;
+  params.q = static_cast<std::uint32_t>(n / 8 + 1);
+  params.m_i = static_cast<std::uint32_t>(n / 8 + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_cra(asks, params, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CraRound)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Extract(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(4);
+  std::vector<core::Ask> asks;
+  for (std::size_t j = 0; j < n; ++j) {
+    asks.push_back(core::Ask{
+        TaskType{static_cast<std::uint32_t>(rng.uniform_index(10))},
+        static_cast<std::uint32_t>(rng.uniform_int(1, 20)),
+        rng.uniform_real_left_open(0.0, 10.0)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extract(TaskType{3}, asks));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Extract)->Arg(10000)->Arg(100000);
+
+struct PaymentFixtureData {
+  tree::IncentiveTree tree = tree::IncentiveTree::root_only();
+  std::vector<TaskType> types;
+  std::vector<double> payments;
+};
+
+PaymentFixtureData make_payment_data(std::uint32_t n) {
+  rng::Rng rng(5);
+  PaymentFixtureData d;
+  d.tree = tree::random_recursive_tree(n, 0.05, rng);
+  d.types.resize(n);
+  d.payments.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    d.types[i] = TaskType{static_cast<std::uint32_t>(rng.uniform_index(10))};
+    d.payments[i] = rng.bernoulli(0.3) ? rng.uniform01() * 10.0 : 0.0;
+  }
+  return d;
+}
+
+void BM_PaymentPhaseFast(benchmark::State& state) {
+  const auto d = make_payment_data(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::tree_payments(d.tree, d.types, d.payments, 0.5));
+  }
+}
+BENCHMARK(BM_PaymentPhaseFast)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PaymentPhaseReference(benchmark::State& state) {
+  const auto d = make_payment_data(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::tree_payments_reference(d.tree, d.types, d.payments, 0.5));
+  }
+}
+BENCHMARK(BM_PaymentPhaseReference)->Arg(1000)->Arg(10000);
+
+void BM_BarabasiAlbert(benchmark::State& state) {
+  rng::Rng rng(6);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::barabasi_albert(n, 3, rng));
+  }
+}
+BENCHMARK(BM_BarabasiAlbert)->Arg(10000)->Arg(50000);
+
+void BM_SpanningForest(benchmark::State& state) {
+  rng::Rng rng(7);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto g = graph::barabasi_albert(n, 3, rng);
+  tree::SpanningForestOptions opts;
+  opts.seeds = {0, 1, 2, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree::build_spanning_forest(g, opts));
+  }
+}
+BENCHMARK(BM_SpanningForest)->Arg(10000)->Arg(50000);
+
+void BM_FullRit(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  rng::Rng setup(8);
+  std::vector<core::Ask> asks;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    asks.push_back(core::Ask{
+        TaskType{static_cast<std::uint32_t>(setup.uniform_index(10))},
+        static_cast<std::uint32_t>(setup.uniform_int(1, 20)),
+        setup.uniform_real_left_open(0.0, 10.0)});
+  }
+  const auto t = tree::random_recursive_tree(n, 0.05, setup);
+  const core::Job job = core::Job::uniform(10, n / 20);
+  core::RitConfig cfg;
+  cfg.round_budget_policy = core::RoundBudgetPolicy::kRunToCompletion;
+  rng::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_rit(job, asks, t, cfg, rng));
+  }
+}
+BENCHMARK(BM_FullRit)->Arg(5000)->Arg(20000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+#include "bench_support.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "cli/svg_chart.h"
+#include "common/check.h"
+
+namespace rit::bench {
+
+BenchOptions parse_options(int argc, char** argv, const std::string& name,
+                           std::uint64_t default_trials) {
+  cli::Args args(argc, argv);
+  BenchOptions opts;
+  opts.trials = args.get_u64("trials", default_trials);
+  opts.scale = args.get_double("scale", 10.0);
+  opts.points = static_cast<std::uint32_t>(args.get_u64("points", 5));
+  opts.seed = args.get_u64("seed", 42);
+  opts.graph = sim::parse_graph_kind(args.get_string("graph", "ba"));
+  opts.theoretical = args.get_bool("theoretical", false);
+  opts.paper_ratio = args.get_bool("paper-ratio", false);
+  opts.paper_kmax = args.get_bool("paper-kmax", false);
+  const std::string csv =
+      args.get_string("csv", "bench_results/" + name + ".csv");
+  opts.csv_path = csv == "none" ? "" : csv;
+  args.finish();
+  RIT_CHECK_MSG(opts.scale >= 1.0, "--scale must be >= 1");
+  RIT_CHECK_MSG(opts.points >= 2, "--points must be >= 2");
+  RIT_CHECK_MSG(opts.trials >= 1, "--trials must be >= 1");
+  return opts;
+}
+
+void apply_options(const BenchOptions& opts, sim::Scenario& scenario) {
+  scenario.graph = opts.graph;
+  scenario.seed = opts.seed;
+  scenario.mechanism.round_budget_policy =
+      opts.theoretical ? core::RoundBudgetPolicy::kTheoretical
+                       : core::RoundBudgetPolicy::kRunToCompletion;
+}
+
+std::uint32_t scaled(std::uint64_t value, double scale,
+                     std::uint32_t min_value) {
+  const auto v = static_cast<std::uint32_t>(static_cast<double>(value) / scale);
+  return std::max(min_value, v);
+}
+
+std::vector<std::uint32_t> linspace(std::uint32_t lo, std::uint32_t hi,
+                                    std::uint32_t points) {
+  RIT_CHECK(lo <= hi);
+  std::vector<std::uint32_t> out;
+  out.reserve(points);
+  for (std::uint32_t i = 0; i < points; ++i) {
+    const double t = points == 1 ? 0.0
+                                 : static_cast<double>(i) /
+                                       static_cast<double>(points - 1);
+    out.push_back(lo + static_cast<std::uint32_t>(
+                           t * static_cast<double>(hi - lo) + 0.5));
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void emit(const std::string& title, const BenchOptions& opts,
+          const std::vector<std::string>& header,
+          const std::vector<std::vector<double>>& rows, int precision) {
+  std::cout << "=== " << title << " ===\n";
+  std::cout << "(trials=" << opts.trials << " scale=1/" << opts.scale
+            << " graph=" << sim::to_string(opts.graph)
+            << (opts.theoretical ? " budget=theoretical"
+                                 : " budget=run-to-completion")
+            << ")\n";
+  cli::Table table(header);
+  for (const auto& row : rows) table.add_numeric_row(row, precision);
+  table.print(std::cout);
+  if (!opts.csv_path.empty()) {
+    const std::filesystem::path p(opts.csv_path);
+    if (p.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    cli::CsvWriter csv(opts.csv_path, header);
+    for (const auto& row : rows) csv.add_numeric_row(row, 6);
+    std::cout << "csv: " << opts.csv_path << "\n";
+  }
+  std::cout << "\n";
+}
+
+void emit_svg(const std::string& title, const BenchOptions& opts,
+              const std::vector<std::string>& header,
+              const std::vector<std::vector<double>>& rows,
+              const std::vector<std::size_t>& series_columns) {
+  if (opts.csv_path.empty() || rows.empty()) return;
+  std::vector<cli::Series> series;
+  for (std::size_t c : series_columns) {
+    RIT_CHECK_MSG(c > 0 && c < header.size(),
+                  "series column " << c << " out of range");
+    cli::Series s;
+    s.label = header[c];
+    for (const auto& row : rows) s.points.emplace_back(row[0], row[c]);
+    series.push_back(std::move(s));
+  }
+  cli::ChartOptions chart;
+  chart.title = title;
+  chart.x_label = header[0];
+  chart.y_label = series_columns.size() == 1 ? header[series_columns[0]] : "";
+  std::filesystem::path p(opts.csv_path);
+  p.replace_extension(".svg");
+  cli::write_line_chart(p.string(), series, chart);
+  std::cout << "svg: " << p.string() << "\n\n";
+}
+
+}  // namespace rit::bench

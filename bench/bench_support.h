@@ -1,0 +1,70 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench accepts the same flags:
+//   --trials=N    trials per sweep point (default per bench)
+//   --scale=S     divide the paper's population/job sizes by S (default 10;
+//                 --scale=1 reproduces the paper's exact parameters)
+//   --points=P    sweep points between the paper's endpoints (default 5)
+//   --seed=X      base seed
+//   --graph=K     social graph family: ba|er|ws|star|path (default ba)
+//   --csv=PATH    also dump the series as CSV (default bench_results/<name>.csv,
+//                 "none" disables)
+//   --theoretical use the paper's literal round budget instead of
+//                 run-to-completion (see DESIGN.md ambiguity #3)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli/args.h"
+#include "cli/csv.h"
+#include "cli/table.h"
+#include "sim/scenario.h"
+
+namespace rit::bench {
+
+struct BenchOptions {
+  std::uint64_t trials{3};
+  double scale{10.0};
+  std::uint32_t points{5};
+  std::uint64_t seed{42};
+  sim::GraphKind graph{sim::GraphKind::kBarabasiAlbert};
+  std::string csv_path;  // empty = disabled
+  bool theoretical{false};
+  /// fig9 only: keep the paper's exact supply/demand ratio (--paper-ratio).
+  bool paper_ratio{false};
+  /// ablation_rounds only: use the paper's K_max = 20 regime (--paper-kmax).
+  bool paper_kmax{false};
+};
+
+/// Parses the standard flags; `name` picks the default CSV path.
+BenchOptions parse_options(int argc, char** argv, const std::string& name,
+                           std::uint64_t default_trials);
+
+/// Applies the shared knobs (graph kind, seed, budget policy) to a scenario.
+void apply_options(const BenchOptions& opts, sim::Scenario& scenario);
+
+/// `value / scale`, floored, at least `min_value`.
+std::uint32_t scaled(std::uint64_t value, double scale,
+                     std::uint32_t min_value = 1);
+
+/// `points` integers evenly spaced over [lo, hi] (inclusive, deduplicated).
+std::vector<std::uint32_t> linspace(std::uint32_t lo, std::uint32_t hi,
+                                    std::uint32_t points);
+
+/// Prints the table to stdout with a title banner; writes the CSV when
+/// enabled (creating the parent directory).
+void emit(const std::string& title, const BenchOptions& opts,
+          const std::vector<std::string>& header,
+          const std::vector<std::vector<double>>& rows, int precision = 4);
+
+/// Also renders an SVG line chart next to the CSV (same stem, .svg):
+/// column 0 is x; `series_columns` picks the y columns to plot (labels from
+/// the header). No-op when CSV output is disabled.
+void emit_svg(const std::string& title, const BenchOptions& opts,
+              const std::vector<std::string>& header,
+              const std::vector<std::vector<double>>& rows,
+              const std::vector<std::size_t>& series_columns);
+
+}  // namespace rit::bench

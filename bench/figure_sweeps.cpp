@@ -1,0 +1,61 @@
+#include "figure_sweeps.h"
+
+#include <cstdio>
+
+#include "sim/runner.h"
+
+namespace rit::bench {
+
+namespace {
+constexpr std::uint32_t kPaperUsersLo = 40000;
+constexpr std::uint32_t kPaperUsersHi = 80000;
+constexpr std::uint32_t kPaperTasksPerType = 5000;
+
+constexpr std::uint32_t kPaperDemandLo = 1000;
+constexpr std::uint32_t kPaperDemandHi = 3000;
+constexpr std::uint32_t kPaperUsersFixed = 30000;
+
+sim::Scenario base_scenario(const BenchOptions& opts) {
+  sim::Scenario s;
+  s.num_types = 10;  // the paper's m = 10
+  s.k_max = 20;      // k_j ~ U(0, 20]
+  s.cost_max = 10.0; // a_j ~ U(0, 10]
+  s.mechanism.h = 0.8;
+  s.initial_joiners = 10;
+  apply_options(opts, s);
+  return s;
+}
+
+std::vector<SweepPoint> run_sweep(const BenchOptions& opts,
+                                  std::uint32_t paper_lo,
+                                  std::uint32_t paper_hi,
+                                  bool sweep_is_users) {
+  std::vector<SweepPoint> out;
+  for (std::uint32_t x : linspace(paper_lo, paper_hi, opts.points)) {
+    sim::Scenario s = base_scenario(opts);
+    if (sweep_is_users) {
+      s.num_users = scaled(x, opts.scale, 100);
+      s.tasks_per_type = scaled(kPaperTasksPerType, opts.scale, 10);
+    } else {
+      s.num_users = scaled(kPaperUsersFixed, opts.scale, 100);
+      s.tasks_per_type = scaled(x, opts.scale, 10);
+    }
+    std::fprintf(stderr, "  sweep point %s=%u (n=%u, m_i=%u)...\n",
+                 sweep_is_users ? "n" : "m_i", x, s.num_users,
+                 s.tasks_per_type);
+    out.push_back(SweepPoint{x, sim::run_many(s, opts.trials)});
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<SweepPoint> run_user_sweep(const BenchOptions& opts) {
+  return run_sweep(opts, kPaperUsersLo, kPaperUsersHi, /*sweep_is_users=*/true);
+}
+
+std::vector<SweepPoint> run_task_sweep(const BenchOptions& opts) {
+  return run_sweep(opts, kPaperDemandLo, kPaperDemandHi,
+                   /*sweep_is_users=*/false);
+}
+
+}  // namespace rit::bench

@@ -1,0 +1,27 @@
+// The two parameter sweeps shared by Figs. 6-8.
+//
+// Fig. 6(a)/7(a)/8(a): m_i = 5000 per type, n swept over [40000, 80000]
+// (step 1000 in the paper); Fig. 6(b)/7(b)/8(b): n = 30000, m_i swept over
+// [1000, 3000] (step 100). Population/job sizes divide by --scale.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_support.h"
+#include "sim/metrics.h"
+
+namespace rit::bench {
+
+struct SweepPoint {
+  std::uint32_t x;  // the swept parameter at paper scale (pre-division)
+  sim::AggregateMetrics metrics;
+};
+
+/// Sweep the user count (the "(a)" panels).
+std::vector<SweepPoint> run_user_sweep(const BenchOptions& opts);
+
+/// Sweep the per-type demand (the "(b)" panels).
+std::vector<SweepPoint> run_task_sweep(const BenchOptions& opts);
+
+}  // namespace rit::bench

@@ -1,0 +1,48 @@
+#include "attack/bid_strategies.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rit::attack {
+
+std::vector<core::Ask> with_ask_value(std::span<const core::Ask> asks,
+                                      std::uint32_t user, double value) {
+  RIT_CHECK(user < asks.size());
+  RIT_CHECK(value > 0.0);
+  std::vector<core::Ask> out(asks.begin(), asks.end());
+  out[user].value = value;
+  return out;
+}
+
+std::vector<core::Ask> with_quantity(std::span<const core::Ask> asks,
+                                     std::uint32_t user,
+                                     std::uint32_t quantity) {
+  RIT_CHECK(user < asks.size());
+  RIT_CHECK(quantity >= 1);
+  std::vector<core::Ask> out(asks.begin(), asks.end());
+  out[user].quantity = quantity;
+  return out;
+}
+
+std::vector<double> deviation_grid(double cost) {
+  RIT_CHECK(cost > 0.0);
+  static constexpr double kFactors[] = {0.25, 0.5, 0.8, 0.95, 1.05,
+                                        1.25, 1.5, 2.0,  4.0};
+  std::vector<double> out;
+  out.reserve(std::size(kFactors));
+  for (double f : kFactors) out.push_back(cost * f);
+  return out;
+}
+
+double random_deviation(double cost, double max_value, rng::Rng& rng) {
+  RIT_CHECK(cost > 0.0 && max_value > 0.0);
+  if (rng.bernoulli(0.5)) {
+    // Local: +-50% around the cost.
+    const double v = cost * rng.uniform_real(0.5, 1.5);
+    return std::min(std::max(v, 1e-9), max_value);
+  }
+  return rng.uniform_real_left_open(0.0, max_value);
+}
+
+}  // namespace rit::attack

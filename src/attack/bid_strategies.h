@@ -1,0 +1,31 @@
+// Untruthful-bid transforms used by the truthfulness experiments and tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "rng/rng.h"
+
+namespace rit::attack {
+
+/// Copy of `asks` with user j's ask value replaced by `value`.
+std::vector<core::Ask> with_ask_value(std::span<const core::Ask> asks,
+                                      std::uint32_t user, double value);
+
+/// Copy of `asks` with user j's claimed quantity replaced by `quantity`
+/// (underreporting capability; quantity must be >= 1).
+std::vector<core::Ask> with_quantity(std::span<const core::Ask> asks,
+                                     std::uint32_t user,
+                                     std::uint32_t quantity);
+
+/// A deterministic grid of deviation bids around a true cost, used to probe
+/// truthfulness: multiplicative factors applied to `cost`, clipped to be
+/// positive. Factors span aggressive underbidding to strong overbidding.
+std::vector<double> deviation_grid(double cost);
+
+/// A random deviation in (0, max_value]: either a perturbation of `cost` or
+/// a fresh uniform draw, mixing local and global deviations.
+double random_deviation(double cost, double max_value, rng::Rng& rng);
+
+}  // namespace rit::attack

@@ -1,0 +1,116 @@
+#include "attack/strategy_search.h"
+
+#include <algorithm>
+
+#include "attack/bid_strategies.h"
+#include "attack/sybil_apply.h"
+#include "common/check.h"
+#include "stats/online_stats.h"
+
+namespace rit::attack {
+
+const SearchEntry& SearchResult::best() const {
+  RIT_CHECK_MSG(!entries.empty(), "no candidates were evaluated");
+  return entries.front();
+}
+
+double SearchResult::best_gain() const { return best().mean_utility - honest_mean; }
+
+double SearchResult::gain_slack() const {
+  return best().ci95 + honest_ci95;
+}
+
+namespace {
+SybilPlan make_plan(const tree::IncentiveTree& tree,
+                    std::span<const core::Ask> asks, std::uint32_t victim,
+                    const AttackCandidate& candidate, rng::Rng& plan_rng) {
+  switch (candidate.topology) {
+    case Topology::kChain:
+      return chain_plan(tree, asks, victim, candidate.identities,
+                        candidate.ask_value);
+    case Topology::kStar:
+      return star_plan(tree, asks, victim, candidate.identities,
+                       candidate.ask_value);
+    case Topology::kRandom:
+      return random_plan(tree, asks, victim, candidate.identities,
+                         candidate.ask_value, plan_rng);
+  }
+  RIT_CHECK_MSG(false, "unhandled topology");
+  return chain_plan(tree, asks, victim, 2, candidate.ask_value);
+}
+}  // namespace
+
+SearchResult search_best_attack(const core::Job& job,
+                                std::span<const core::Ask> asks,
+                                const tree::IncentiveTree& tree,
+                                std::uint32_t victim, double cost,
+                                const core::RitConfig& config,
+                                const SearchSpace& space) {
+  RIT_CHECK(victim < asks.size());
+  RIT_CHECK(cost > 0.0);
+  RIT_CHECK(space.trials >= 2);
+  RIT_CHECK(!space.identity_counts.empty());
+  RIT_CHECK(!space.ask_factors.empty());
+  RIT_CHECK(!space.topologies.empty());
+
+  SearchResult result;
+  // Honest baseline, one run per paired seed.
+  {
+    stats::OnlineStats honest;
+    for (std::uint64_t t = 0; t < space.trials; ++t) {
+      rng::Rng rng(space.base_seed + t);
+      const core::RitResult r = core::run_rit(job, asks, tree, config, rng);
+      honest.add(r.utility_of(victim, cost));
+    }
+    result.honest_mean = honest.mean();
+    result.honest_ci95 = honest.ci95_half_width();
+  }
+
+  const std::uint32_t capability = asks[victim].quantity;
+  for (const std::uint32_t delta : space.identity_counts) {
+    if (delta > capability) continue;
+    for (const double factor : space.ask_factors) {
+      const double ask_value = cost * factor;
+      // Identity count 1: a pure bid deviation; topology is irrelevant, so
+      // evaluate it once.
+      const std::vector<Topology> topologies =
+          delta == 1 ? std::vector<Topology>{Topology::kChain}
+                     : space.topologies;
+      for (const Topology topology : topologies) {
+        AttackCandidate candidate{delta, topology, ask_value};
+        stats::OnlineStats utility;
+        for (std::uint64_t t = 0; t < space.trials; ++t) {
+          const std::uint64_t seed = space.base_seed + t;
+          if (delta == 1) {
+            const auto deviated = with_ask_value(asks, victim, ask_value);
+            rng::Rng rng(seed);
+            const core::RitResult r =
+                core::run_rit(job, deviated, tree, config, rng);
+            utility.add(r.utility_of(victim, cost));
+          } else {
+            rng::Rng plan_rng(seed ^ (delta * 0x9e3779b9ULL));
+            const SybilPlan plan =
+                make_plan(tree, asks, victim, candidate, plan_rng);
+            const AttackedInstance attacked = apply_sybil(tree, asks, plan);
+            rng::Rng rng(seed);
+            const core::RitResult r = core::run_rit(
+                job, attacked.asks, attacked.tree, config, rng);
+            utility.add(attacked.attacker_utility(r, cost));
+          }
+        }
+        result.entries.push_back(SearchEntry{candidate, utility.mean(),
+                                             utility.ci95_half_width()});
+      }
+    }
+  }
+  RIT_CHECK_MSG(!result.entries.empty(),
+                "search space excluded every candidate (capability "
+                    << capability << ")");
+  std::stable_sort(result.entries.begin(), result.entries.end(),
+                   [](const SearchEntry& a, const SearchEntry& b) {
+                     return a.mean_utility > b.mean_utility;
+                   });
+  return result;
+}
+
+}  // namespace rit::attack

@@ -1,0 +1,72 @@
+// Automated red-teaming: search the sybil/misreport strategy space for the
+// most profitable attack against a given instance and victim.
+//
+// The theorems say no strategy beats honesty (w.p. >= H); this harness
+// operationalizes that claim as a measurement: enumerate a grid of
+// (identity count, topology, common ask value) candidates — identity count
+// 1 degenerates to plain untruthful bidding — estimate each candidate's
+// expected attacker utility with paired mechanism seeds against the honest
+// baseline, and report the best found. A robust mechanism shows
+// best_gain() <= statistical noise; a broken configuration (e.g.
+// PriceMode::kOrderStatistic, or the naive combo) shows a positive gain
+// with a concrete exploit attached. Used by bench_redteam and tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attack/sybil_plan.h"
+#include "core/rit.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::attack {
+
+enum class Topology { kChain, kStar, kRandom };
+
+struct AttackCandidate {
+  std::uint32_t identities{1};  // 1 = no sybils, pure bid deviation
+  Topology topology{Topology::kChain};
+  double ask_value{0.0};
+};
+
+struct SearchSpace {
+  std::vector<std::uint32_t> identity_counts{1, 2, 3, 6};
+  std::vector<Topology> topologies{Topology::kChain, Topology::kStar};
+  /// Ask values as multiples of the victim's true cost.
+  std::vector<double> ask_factors{0.5, 0.8, 1.0, 1.25, 2.0};
+  /// Paired mechanism seeds per candidate.
+  std::uint64_t trials{40};
+  std::uint64_t base_seed{0xbadc0de};
+};
+
+struct SearchEntry {
+  AttackCandidate candidate;
+  double mean_utility{0.0};
+  double ci95{0.0};
+};
+
+struct SearchResult {
+  double honest_mean{0.0};
+  double honest_ci95{0.0};
+  /// Every evaluated candidate, best first.
+  std::vector<SearchEntry> entries;
+
+  const SearchEntry& best() const;
+  /// Best expected utility minus the honest expectation.
+  double best_gain() const;
+  /// Combined 95% slack of the best-vs-honest comparison.
+  double gain_slack() const;
+};
+
+/// Runs the search. `victim` is a participant index; `cost` its true unit
+/// cost (the honest baseline bids it). Candidates whose identity count
+/// exceeds the victim's capability are skipped.
+SearchResult search_best_attack(const core::Job& job,
+                                std::span<const core::Ask> asks,
+                                const tree::IncentiveTree& tree,
+                                std::uint32_t victim, double cost,
+                                const core::RitConfig& config,
+                                const SearchSpace& space = {});
+
+}  // namespace rit::attack

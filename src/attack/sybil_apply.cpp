@@ -1,0 +1,82 @@
+#include "attack/sybil_apply.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rit::attack {
+
+double AttackedInstance::attacker_utility(const core::RitResult& result,
+                                          double unit_cost) const {
+  return attacker_utility(result.payment, result.allocation, unit_cost);
+}
+
+double AttackedInstance::attacker_utility(
+    std::span<const double> payments,
+    std::span<const std::uint32_t> allocations, double unit_cost) const {
+  double u = 0.0;
+  for (std::uint32_t p : identity_participants) {
+    u += core::utility(payments[p], allocations[p], unit_cost);
+  }
+  return u;
+}
+
+AttackedInstance apply_sybil(const tree::IncentiveTree& tree,
+                             std::span<const core::Ask> asks,
+                             const SybilPlan& plan) {
+  validate_plan(tree, asks, plan, asks[plan.victim].quantity);
+  const std::uint32_t n = static_cast<std::uint32_t>(asks.size());
+  const std::uint32_t delta = plan.delta();
+  const std::uint32_t victim_node = tree::node_of_participant(plan.victim);
+  const TaskType type = asks[plan.victim].type;
+
+  // Participant index of identity l (1-based l).
+  auto identity_participant = [&](std::uint32_t l) {
+    return l == 1 ? plan.victim : n + (l - 2);
+  };
+
+  AttackedInstance out{tree::IncentiveTree::root_only(), {}, {}};
+  out.asks.assign(asks.begin(), asks.end());
+  out.asks.resize(n + delta - 1);
+  for (std::uint32_t l = 1; l <= delta; ++l) {
+    const SybilIdentity& id = plan.identities[l - 1];
+    out.asks[identity_participant(l)] =
+        core::Ask{type, id.quantity, id.value};
+  }
+
+  std::vector<std::uint32_t> parents(n + delta, 0);
+  const auto kids = tree.children(victim_node);
+  // Non-victims keep their parent unless it was the victim, in which case
+  // the plan's adopting identity takes over.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i == plan.victim) continue;
+    const std::uint32_t node = tree::node_of_participant(i);
+    const std::uint32_t parent = tree.parent(node);
+    if (parent == victim_node) {
+      const auto c = std::find(kids.begin(), kids.end(), node) - kids.begin();
+      const std::uint32_t adopter = plan.child_assignment[c];
+      parents[node] =
+          tree::node_of_participant(identity_participant(adopter));
+    } else {
+      parents[node] = parent;
+    }
+  }
+  for (std::uint32_t l = 1; l <= delta; ++l) {
+    const SybilIdentity& id = plan.identities[l - 1];
+    const std::uint32_t node =
+        tree::node_of_participant(identity_participant(l));
+    parents[node] =
+        id.parent == kOriginalParent
+            ? tree.parent(victim_node)
+            : tree::node_of_participant(identity_participant(id.parent));
+  }
+  out.tree = tree::IncentiveTree(std::move(parents));
+
+  out.identity_participants.reserve(delta);
+  for (std::uint32_t l = 1; l <= delta; ++l) {
+    out.identity_participants.push_back(identity_participant(l));
+  }
+  return out;
+}
+
+}  // namespace rit::attack

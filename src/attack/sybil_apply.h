@@ -1,0 +1,44 @@
+// Applies a SybilPlan to an instance, producing the post-attack instance.
+//
+// Participant numbering in the attacked instance: every non-victim keeps its
+// original index, identity 1 takes over the victim's slot, and identities
+// 2..delta are appended at the end. This stability is what makes paired
+// before/after comparisons (the sybil-proofness property tests and Fig. 9)
+// straightforward.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attack/sybil_plan.h"
+#include "core/rit.h"
+#include "core/types.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::attack {
+
+struct AttackedInstance {
+  tree::IncentiveTree tree;
+  std::vector<core::Ask> asks;
+  /// Participant indices (in the attacked instance) of the delta identities,
+  /// in creation order: {victim, n, n+1, ...}.
+  std::vector<std::uint32_t> identity_participants;
+
+  /// Total utility the attacker extracts from a result on the attacked
+  /// instance: sum over identities of p - x * unit_cost (Sec. 3-B).
+  double attacker_utility(const core::RitResult& result,
+                          double unit_cost) const;
+  /// Same for any (payment, allocation) pair, e.g. baseline mechanisms.
+  double attacker_utility(std::span<const double> payments,
+                          std::span<const std::uint32_t> allocations,
+                          double unit_cost) const;
+};
+
+/// Rewrites (tree, asks) according to `plan`. The plan is validated against
+/// the victim's truthful quantity first.
+AttackedInstance apply_sybil(const tree::IncentiveTree& tree,
+                             std::span<const core::Ask> asks,
+                             const SybilPlan& plan);
+
+}  // namespace rit::attack

@@ -1,0 +1,128 @@
+#include "attack/sybil_plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rit::attack {
+
+std::uint32_t SybilPlan::total_quantity() const {
+  std::uint32_t total = 0;
+  for (const SybilIdentity& id : identities) total += id.quantity;
+  return total;
+}
+
+void validate_plan(const tree::IncentiveTree& tree,
+                   std::span<const core::Ask> asks, const SybilPlan& plan,
+                   std::uint32_t capability) {
+  RIT_CHECK(asks.size() == tree.num_participants());
+  RIT_CHECK_MSG(plan.victim < asks.size(),
+                "victim " << plan.victim << " out of range");
+  RIT_CHECK_MSG(!plan.identities.empty(), "a plan needs >= 1 identity");
+  for (std::size_t l = 0; l < plan.identities.size(); ++l) {
+    const SybilIdentity& id = plan.identities[l];
+    RIT_CHECK_MSG(id.quantity > 0, "identity " << l + 1 << " has quantity 0");
+    RIT_CHECK_MSG(id.value > 0.0, "identity " << l + 1 << " has value <= 0");
+    RIT_CHECK_MSG(id.parent == kOriginalParent || id.parent <= l,
+                  "identity " << l + 1 << " attaches to identity "
+                              << id.parent
+                              << ", which is not created before it");
+  }
+  RIT_CHECK_MSG(plan.total_quantity() <= capability,
+                "identities claim " << plan.total_quantity()
+                                    << " tasks but the user can do only "
+                                    << capability);
+  const std::uint32_t victim_node = tree::node_of_participant(plan.victim);
+  const auto kids = tree.children(victim_node);
+  RIT_CHECK_MSG(plan.child_assignment.size() == kids.size(),
+                "plan assigns " << plan.child_assignment.size()
+                                << " children, node has " << kids.size());
+  for (std::uint32_t a : plan.child_assignment) {
+    RIT_CHECK_MSG(a >= 1 && a <= plan.delta(),
+                  "child assigned to nonexistent identity " << a);
+  }
+}
+
+namespace {
+/// Splits `total` into `parts` positive integers as evenly as possible.
+/// Requires parts <= total.
+std::vector<std::uint32_t> even_split(std::uint32_t total,
+                                      std::uint32_t parts) {
+  RIT_CHECK_MSG(parts >= 1 && parts <= total,
+                "cannot split " << total << " tasks into " << parts
+                                << " positive parts");
+  std::vector<std::uint32_t> out(parts, total / parts);
+  for (std::uint32_t i = 0; i < total % parts; ++i) ++out[i];
+  return out;
+}
+}  // namespace
+
+SybilPlan chain_plan(const tree::IncentiveTree& tree,
+                     std::span<const core::Ask> asks, std::uint32_t victim,
+                     std::uint32_t delta, double ask_value) {
+  RIT_CHECK(victim < asks.size());
+  SybilPlan plan;
+  plan.victim = victim;
+  const auto quantities = even_split(asks[victim].quantity, delta);
+  for (std::uint32_t l = 0; l < delta; ++l) {
+    plan.identities.push_back({quantities[l], ask_value,
+                               l == 0 ? kOriginalParent : l});
+  }
+  const auto kids = tree.children(tree::node_of_participant(victim));
+  plan.child_assignment.assign(kids.size(), delta);  // deepest identity
+  validate_plan(tree, asks, plan, asks[victim].quantity);
+  return plan;
+}
+
+SybilPlan star_plan(const tree::IncentiveTree& tree,
+                    std::span<const core::Ask> asks, std::uint32_t victim,
+                    std::uint32_t delta, double ask_value) {
+  RIT_CHECK(victim < asks.size());
+  SybilPlan plan;
+  plan.victim = victim;
+  const auto quantities = even_split(asks[victim].quantity, delta);
+  for (std::uint32_t l = 0; l < delta; ++l) {
+    plan.identities.push_back({quantities[l], ask_value, kOriginalParent});
+  }
+  const auto kids = tree.children(tree::node_of_participant(victim));
+  plan.child_assignment.resize(kids.size());
+  for (std::size_t c = 0; c < kids.size(); ++c) {
+    plan.child_assignment[c] = static_cast<std::uint32_t>(c % delta) + 1;
+  }
+  validate_plan(tree, asks, plan, asks[victim].quantity);
+  return plan;
+}
+
+SybilPlan random_plan(const tree::IncentiveTree& tree,
+                      std::span<const core::Ask> asks, std::uint32_t victim,
+                      std::uint32_t delta, double ask_value, rng::Rng& rng) {
+  RIT_CHECK(victim < asks.size());
+  const std::uint32_t total = asks[victim].quantity;
+  RIT_CHECK_MSG(delta >= 1 && delta <= total,
+                "cannot create " << delta << " identities from capability "
+                                 << total);
+  SybilPlan plan;
+  plan.victim = victim;
+  // Random positive split: delta-1 distinct cut points in [1, total).
+  auto cuts = rng.sample_without_replacement(total - 1, delta - 1);
+  std::sort(cuts.begin(), cuts.end());
+  std::uint32_t prev = 0;
+  for (std::uint32_t l = 0; l < delta; ++l) {
+    const std::uint32_t edge =
+        l + 1 == delta ? total : static_cast<std::uint32_t>(cuts[l]) + 1;
+    const std::uint32_t parent =
+        l == 0 ? kOriginalParent
+               : static_cast<std::uint32_t>(rng.uniform_index(l + 1));
+    plan.identities.push_back({edge - prev, ask_value, parent});
+    prev = edge;
+  }
+  const auto kids = tree.children(tree::node_of_participant(victim));
+  plan.child_assignment.resize(kids.size());
+  for (auto& a : plan.child_assignment) {
+    a = static_cast<std::uint32_t>(rng.uniform_index(delta)) + 1;
+  }
+  validate_plan(tree, asks, plan, total);
+  return plan;
+}
+
+}  // namespace rit::attack

@@ -1,0 +1,79 @@
+// Sybil attack plans (Sec. 3-B).
+//
+// A user P_j replaces itself with delta(j) > 1 fake identities. The model's
+// structural rules, enforced by validate_plan():
+//   * every identity attaches either to P_j's original parent or to another
+//     (earlier-created) identity of P_j — never to an unrelated user;
+//   * each original child of P_j is adopted by exactly one identity; the
+//     rest of the tree is untouched;
+//   * identities share P_j's task type, and their claimed quantities sum to
+//     at most P_j's capability K_j (here: its truthful ask quantity).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "rng/rng.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::attack {
+
+/// Parent slot meaning inside a SybilPlan: kOriginalParent, or the 1-based
+/// index of an earlier identity.
+constexpr std::uint32_t kOriginalParent = 0;
+
+struct SybilIdentity {
+  std::uint32_t quantity{0};  // k of this identity's ask, > 0
+  double value{0.0};          // a of this identity's ask, > 0
+  /// kOriginalParent, or l in [1, own index) to attach below identity l.
+  std::uint32_t parent{kOriginalParent};
+};
+
+struct SybilPlan {
+  /// Participant index of the attacking user in the original instance.
+  std::uint32_t victim{0};
+  /// delta(j) identities, creation order. Must have size >= 1 (size 1 is
+  /// the degenerate "attack" that merely renames the user — useful as the
+  /// identity element in tests).
+  std::vector<SybilIdentity> identities;
+  /// For each original child of the victim's node, in IncentiveTree
+  /// children() order: the 1-based identity that adopts it.
+  std::vector<std::uint32_t> child_assignment;
+
+  std::uint32_t delta() const {
+    return static_cast<std::uint32_t>(identities.size());
+  }
+  std::uint32_t total_quantity() const;
+};
+
+/// Throws CheckFailure when the plan violates the Sec. 3-B rules against
+/// the given instance. `capability` is the K_j bound for the quantity-sum
+/// rule (pass the victim's truthful k_j).
+void validate_plan(const tree::IncentiveTree& tree,
+                   std::span<const core::Ask> asks, const SybilPlan& plan,
+                   std::uint32_t capability);
+
+/// A chain: identity 1 under the original parent, identity l+1 under
+/// identity l; all original children adopted by the deepest identity; the
+/// victim's quantity split as evenly as possible; every identity asks
+/// `ask_value`. This is the intro's Bob attack generalized.
+SybilPlan chain_plan(const tree::IncentiveTree& tree,
+                     std::span<const core::Ask> asks, std::uint32_t victim,
+                     std::uint32_t delta, double ask_value);
+
+/// A star: every identity directly under the original parent; children
+/// spread round-robin; even quantity split; common ask value.
+SybilPlan star_plan(const tree::IncentiveTree& tree,
+                    std::span<const core::Ask> asks, std::uint32_t victim,
+                    std::uint32_t delta, double ask_value);
+
+/// The Fig. 9 generator: random positive quantity split, random topology
+/// (each identity under the original parent or a uniformly chosen earlier
+/// identity), random child adoption; every identity asks `ask_value`.
+SybilPlan random_plan(const tree::IncentiveTree& tree,
+                      std::span<const core::Ask> asks, std::uint32_t victim,
+                      std::uint32_t delta, double ask_value, rng::Rng& rng);
+
+}  // namespace rit::attack

@@ -1,0 +1,45 @@
+#include "baselines/contribution_tree.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rit::baselines {
+
+std::vector<double> contribution_tree_rewards(
+    const tree::IncentiveTree& tree, std::span<const double> contributions,
+    const ContributionTreeParams& params) {
+  RIT_CHECK(contributions.size() == tree.num_participants());
+  RIT_CHECK(params.beta > 0.0 && params.beta < 1.0);
+  RIT_CHECK(params.own_weight >= 0.0);
+
+  const std::uint32_t n = tree.num_participants();
+  std::vector<double> reward(n, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    RIT_CHECK_MSG(contributions[i] >= 0.0,
+                  "negative contribution for participant " << i);
+    reward[i] = params.own_weight * contributions[i];
+  }
+  // Push every contribution up the ancestor chain. O(sum of depths) — the
+  // baselines only run on test/demo instances, clarity wins over speed.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (contributions[i] == 0.0) continue;
+    const std::uint32_t node = tree::node_of_participant(i);
+    const double absolute =
+        std::pow(params.beta, static_cast<double>(tree.depth(node)));
+    double relative = 1.0;
+    std::uint32_t distance = 0;
+    for (std::uint32_t anc = tree.parent(node); anc != 0;
+         anc = tree.parent(anc)) {
+      relative *= params.beta;
+      if (++distance > params.max_depth) break;
+      const std::uint32_t j = tree::participant_of_node(anc);
+      const double w =
+          params.weighting == DepthWeighting::kRelative ? relative : absolute;
+      reward[j] += w * contributions[i];
+    }
+  }
+  return reward;
+}
+
+}  // namespace rit::baselines

@@ -1,0 +1,55 @@
+// Contribution-based incentive-tree reward schemes (Sec. 2 / Sec. 4).
+//
+// A contribution-based incentive tree pays each participant a function of
+// its own contribution and of its descendants' contributions [2,6,7,24].
+// The exact reward formula printed in the paper's Sec. 4 examples
+// (p_j = 2*p_j^A + ln(1 - p_j^A / sum_{T_j} p_i^A)) is corrupted in our
+// source text — it diverges on the paper's own Fig. 2 numbers — so per
+// DESIGN.md ambiguity #5 this module implements a parameterized family of
+// the same shape:
+//
+//   reward_j = own_weight * c_j
+//            + sum over strict descendants i of beta^(w(i,j)) * c_i
+//
+// with w(i,j) either the relative distance from j to i (the classic
+// pyramid / MIT-scheme weighting) or i's absolute depth (RIT's weighting,
+// minus RIT's same-type exclusion). The defaults (own_weight = 2,
+// beta = 1/2, relative) reproduce both Sec. 4 failure modes when composed
+// with a truthful auction — see naive_combo.h and the Sec. 4 tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tree/incentive_tree.h"
+
+namespace rit::baselines {
+
+enum class DepthWeighting {
+  /// beta^(distance from collector j down to contributor i).
+  kRelative,
+  /// beta^(absolute depth of contributor i), as in RIT's payment phase.
+  kAbsolute,
+};
+
+struct ContributionTreeParams {
+  /// Multiplier on the participant's own contribution (the printed formula's
+  /// leading 2*p_j^A). own_weight > 1 is what lets an untruthful bid that
+  /// inflates one's own auction payment turn a profit (the Fig. 3 failure).
+  double own_weight = 2.0;
+  /// Geometric decay of descendant contributions.
+  double beta = 0.5;
+  DepthWeighting weighting = DepthWeighting::kRelative;
+  /// Descendants farther than this many hops contribute nothing. 1 gives
+  /// the direct-referral bonus of query-incentive networks [3]; the
+  /// default (no cutoff) is the full pyramid.
+  std::uint32_t max_depth = 0xffffffff;
+};
+
+/// Computes rewards for every participant given per-participant
+/// contributions (>= 0). Participant j sits at tree node j+1.
+std::vector<double> contribution_tree_rewards(
+    const tree::IncentiveTree& tree, std::span<const double> contributions,
+    const ContributionTreeParams& params);
+
+}  // namespace rit::baselines

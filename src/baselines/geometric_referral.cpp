@@ -1,0 +1,21 @@
+#include "baselines/geometric_referral.h"
+
+#include "baselines/contribution_tree.h"
+#include "common/check.h"
+
+namespace rit::baselines {
+
+std::vector<double> geometric_referral_rewards(
+    const tree::IncentiveTree& tree, std::span<const double> contributions,
+    const GeometricReferralParams& params) {
+  RIT_CHECK(params.decay > 0.0 && params.decay < 1.0);
+  // The MIT scheme is the relative-depth contribution tree with the
+  // contributor keeping exactly its own contribution.
+  ContributionTreeParams ct;
+  ct.own_weight = 1.0;
+  ct.beta = params.decay;
+  ct.weighting = DepthWeighting::kRelative;
+  return contribution_tree_rewards(tree, contributions, ct);
+}
+
+}  // namespace rit::baselines

@@ -1,0 +1,32 @@
+// The MIT DARPA Network Challenge referral scheme (Sec. 1, [26]).
+//
+// Each contributor earns its full contribution value; every ancestor earns a
+// geometrically halved share of it: the balloon finder gets $2000, its
+// inviter $1000, the inviter's inviter $500, ... This mechanism won the 2009
+// challenge but is the paper's canonical example of sybil-vulnerability:
+// a finder who splits into a chain of fake identities collects the ancestor
+// shares itself (Bob: $2000 -> $3000) while honest ancestors are diluted
+// (Alice: $1000 -> $500). The intro's exact numbers are pinned by
+// tests/geometric_referral_test.cpp and examples/balloon_challenge.cpp.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tree/incentive_tree.h"
+
+namespace rit::baselines {
+
+struct GeometricReferralParams {
+  /// Each ancestor at distance d from the contributor earns
+  /// decay^d * contribution (decay = 1/2 in the MIT scheme).
+  double decay = 0.5;
+};
+
+/// rewards[j] = contributions[j] + sum over strict descendants i of
+/// decay^(dist(j,i)) * contributions[i].
+std::vector<double> geometric_referral_rewards(
+    const tree::IncentiveTree& tree, std::span<const double> contributions,
+    const GeometricReferralParams& params = {});
+
+}  // namespace rit::baselines

@@ -1,0 +1,68 @@
+#include "baselines/kth_price_auction.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "core/extract.h"
+
+namespace rit::baselines {
+
+KthPriceOutcome kth_lowest_price_auction(std::span<const double> asks,
+                                         std::uint32_t num_items) {
+  KthPriceOutcome out;
+  out.won.assign(asks.size(), false);
+  if (num_items == 0) {
+    out.priced = true;
+    return out;
+  }
+  if (asks.size() < static_cast<std::size_t>(num_items) + 1) {
+    return out;  // (m+1)-st lowest ask does not exist
+  }
+  std::vector<std::uint32_t> order(asks.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return asks[a] < asks[b];
+                   });
+  for (std::uint32_t i = 0; i < num_items; ++i) out.won[order[i]] = true;
+  out.clearing_price = asks[order[num_items]];
+  out.num_winners = num_items;
+  out.priced = true;
+  return out;
+}
+
+MultiUnitOutcome multi_unit_kth_price(const core::Job& job,
+                                      std::span<const core::Ask> asks) {
+  core::validate_asks(job, asks);
+  MultiUnitOutcome out;
+  out.allocation.assign(asks.size(), 0);
+  out.auction_payment.assign(asks.size(), 0.0);
+  out.clearing_price_by_type.assign(job.num_types(), 0.0);
+
+  for (std::uint32_t ti = 0; ti < job.num_types(); ++ti) {
+    const TaskType type{ti};
+    const std::uint32_t m_i = job.demand(type);
+    if (m_i == 0) continue;
+    const core::ExtractedAsks alpha = core::extract(type, asks);
+    const KthPriceOutcome round = kth_lowest_price_auction(alpha.values, m_i);
+    if (!round.priced) {
+      // Fail closed across the whole job, like RIT.
+      std::fill(out.allocation.begin(), out.allocation.end(), 0u);
+      std::fill(out.auction_payment.begin(), out.auction_payment.end(), 0.0);
+      std::fill(out.clearing_price_by_type.begin(),
+                out.clearing_price_by_type.end(), 0.0);
+      return out;
+    }
+    out.clearing_price_by_type[ti] = round.clearing_price;
+    for (std::size_t w = 0; w < alpha.size(); ++w) {
+      if (!round.won[w]) continue;
+      out.allocation[alpha.owner[w]] += 1;
+      out.auction_payment[alpha.owner[w]] += round.clearing_price;
+    }
+  }
+  out.success = true;
+  return out;
+}
+
+}  // namespace rit::baselines

@@ -1,0 +1,47 @@
+// The k-th lowest price (procurement) auction of Sec. 4-A [31].
+//
+// Winners are the m lowest unit asks; each is paid the (m+1)-st lowest ask.
+// Truthful and individually rational for independent bidders, but a
+// deterministic single-price rule — so a coalition (e.g. one user's sybil
+// identities) can manipulate the clearing price, which is exactly the
+// weakness Sec. 4 demonstrates and CRA's consensus rounding repairs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rit::baselines {
+
+struct KthPriceOutcome {
+  std::vector<bool> won;
+  /// The (m+1)-st lowest ask value; 0 when there were no winners.
+  double clearing_price{0.0};
+  std::uint32_t num_winners{0};
+  /// False when fewer than m+1 asks were submitted (the price would be
+  /// undefined); no tasks are allocated in that case.
+  bool priced{false};
+};
+
+/// Single-type auction over unit asks: allocate `num_items` tasks.
+/// Ties between equal ask values are broken toward the lower index.
+KthPriceOutcome kth_lowest_price_auction(std::span<const double> asks,
+                                         std::uint32_t num_items);
+
+struct MultiUnitOutcome {
+  bool success{false};
+  std::vector<std::uint32_t> allocation;       // per participant
+  std::vector<double> auction_payment;         // per participant
+  std::vector<double> clearing_price_by_type;  // per task type
+};
+
+/// Runs one k-th price auction per task type of `job` over the users' asks
+/// (Extract expands multi-unit asks). Fails closed (all-zero) if any type
+/// cannot be priced or filled, mirroring RIT's failure semantics so the two
+/// mechanisms are comparable on the same instances.
+MultiUnitOutcome multi_unit_kth_price(const core::Job& job,
+                                      std::span<const core::Ask> asks);
+
+}  // namespace rit::baselines

@@ -1,0 +1,65 @@
+#include "baselines/lottery_tree.h"
+
+#include "common/check.h"
+
+namespace rit::baselines {
+
+std::vector<double> lottery_tickets(const tree::IncentiveTree& tree,
+                                    std::span<const double> contributions,
+                                    const LotteryTreeParams& params) {
+  RIT_CHECK(contributions.size() == tree.num_participants());
+  RIT_CHECK(params.beta >= 0.0 && params.beta < 1.0);
+  RIT_CHECK(params.prize >= 0.0);
+  const std::uint32_t n = tree.num_participants();
+  // Subtree contribution sums via reverse preorder.
+  std::vector<double> subtree(tree.num_nodes(), 0.0);
+  const auto pre = tree.preorder();
+  for (std::size_t i = pre.size(); i > 0; --i) {
+    const std::uint32_t node = pre[i - 1];
+    if (node == 0) continue;
+    const std::uint32_t j = tree::participant_of_node(node);
+    RIT_CHECK_MSG(contributions[j] >= 0.0,
+                  "negative contribution for participant " << j);
+    subtree[node] += contributions[j];
+    subtree[tree.parent(node)] += subtree[node];
+  }
+  std::vector<double> tickets(n, 0.0);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    const std::uint32_t node = tree::node_of_participant(j);
+    const double below = subtree[node] - contributions[j];
+    tickets[j] = contributions[j] + params.beta * below;
+  }
+  return tickets;
+}
+
+std::vector<double> lottery_expected_rewards(
+    const tree::IncentiveTree& tree, std::span<const double> contributions,
+    const LotteryTreeParams& params) {
+  std::vector<double> tickets = lottery_tickets(tree, contributions, params);
+  double total = 0.0;
+  for (double t : tickets) total += t;
+  if (total <= 0.0) {
+    std::fill(tickets.begin(), tickets.end(), 0.0);
+    return tickets;
+  }
+  for (double& t : tickets) t = params.prize * t / total;
+  return tickets;
+}
+
+std::uint32_t lottery_draw(const tree::IncentiveTree& tree,
+                           std::span<const double> contributions,
+                           const LotteryTreeParams& params, rng::Rng& rng) {
+  const std::vector<double> tickets =
+      lottery_tickets(tree, contributions, params);
+  double total = 0.0;
+  for (double t : tickets) total += t;
+  if (total <= 0.0) return kNoWinner;
+  double point = rng.uniform01() * total;
+  for (std::uint32_t j = 0; j < tickets.size(); ++j) {
+    point -= tickets[j];
+    if (point <= 0.0) return j;
+  }
+  return static_cast<std::uint32_t>(tickets.size()) - 1;  // fp edge
+}
+
+}  // namespace rit::baselines

@@ -1,0 +1,56 @@
+// Lottery-based incentive trees (the [6] family of the related work).
+//
+// Douceur & Moscibroda's LotTree line rewards solicitation with *raffle
+// tickets* instead of cash: each participant earns tickets from its own
+// contribution plus a discounted share of its subtree's, and the platform
+// draws one winner ticket-proportionally. Expected reward = prize *
+// tickets / total. This module implements a *naive* parameterized member
+// of that family — a baseline for comparison, NOT a reconstruction of the
+// exact Pachira weighting. Deliberately so: this naive weighting is
+// provably sybil-VULNERABLE (an identity chain holds undiscounted
+// own-tickets while still collecting the discounted share of identities
+// below it — lottery_tree_test pins the exact counterexample), which is
+// precisely why Douceur & Moscibroda's real construction is intricate and
+// why the source paper's Sec. 4 warns against casual compositions.
+//
+// Analytically useful because everything is closed-form: expected rewards,
+// the solicitation incentive, and the effect of a sybil split can all be
+// computed exactly (tests do).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/rng.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::baselines {
+
+struct LotteryTreeParams {
+  /// Prize paid to the drawn winner.
+  double prize = 1000.0;
+  /// tickets_j = contribution_j + beta * (subtree contribution below j).
+  /// beta in [0, 1); beta = 0 is a plain contribution raffle.
+  double beta = 0.5;
+};
+
+/// Tickets per participant. Requires non-negative contributions.
+std::vector<double> lottery_tickets(const tree::IncentiveTree& tree,
+                                    std::span<const double> contributions,
+                                    const LotteryTreeParams& params);
+
+/// Expected reward per participant: prize * tickets / sum(tickets).
+/// All-zero when nobody holds tickets.
+std::vector<double> lottery_expected_rewards(
+    const tree::IncentiveTree& tree, std::span<const double> contributions,
+    const LotteryTreeParams& params);
+
+/// Draws the winning participant ticket-proportionally; returns the
+/// participant index, or kNoWinner when total tickets are zero.
+inline constexpr std::uint32_t kNoWinner = 0xffffffff;
+std::uint32_t lottery_draw(const tree::IncentiveTree& tree,
+                           std::span<const double> contributions,
+                           const LotteryTreeParams& params, rng::Rng& rng);
+
+}  // namespace rit::baselines

@@ -1,0 +1,25 @@
+#include "baselines/naive_combo.h"
+
+#include "common/check.h"
+
+namespace rit::baselines {
+
+NaiveComboResult run_naive_combo(const core::Job& job,
+                                 std::span<const core::Ask> asks,
+                                 const tree::IncentiveTree& tree,
+                                 const ContributionTreeParams& params) {
+  RIT_CHECK(tree.num_participants() == asks.size());
+  NaiveComboResult out;
+  MultiUnitOutcome auction = multi_unit_kth_price(job, asks);
+  out.success = auction.success;
+  out.allocation = std::move(auction.allocation);
+  out.auction_payment = std::move(auction.auction_payment);
+  if (!out.success) {
+    out.payment.assign(asks.size(), 0.0);
+    return out;
+  }
+  out.payment = contribution_tree_rewards(tree, out.auction_payment, params);
+  return out;
+}
+
+}  // namespace rit::baselines

@@ -1,0 +1,40 @@
+// The naive "truthful auction + incentive tree" composition of Sec. 4.
+//
+// This is the strawman RIT exists to replace: run a truthful k-th lowest
+// price auction to obtain contributions (auction payments), then feed them
+// into a contribution-based incentive tree. Sec. 4 shows the composition is
+// neither sybil-proof (the auction lets identities manipulate the clearing
+// price and the tree pays identities for each other — Fig. 2) nor truthful
+// (the tree amplifies one's own auction payment, so overbidding to win can
+// pay — Fig. 3). The Sec. 4 counterexample tests exercise both failures on
+// this implementation and verify RIT resists them on the same instances.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "baselines/contribution_tree.h"
+#include "baselines/kth_price_auction.h"
+#include "core/types.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::baselines {
+
+struct NaiveComboResult {
+  bool success{false};
+  std::vector<std::uint32_t> allocation;
+  std::vector<double> auction_payment;
+  std::vector<double> payment;
+
+  double utility_of(std::uint32_t participant, double unit_cost) const {
+    return core::utility(payment[participant], allocation[participant],
+                         unit_cost);
+  }
+};
+
+NaiveComboResult run_naive_combo(const core::Job& job,
+                                 std::span<const core::Ask> asks,
+                                 const tree::IncentiveTree& tree,
+                                 const ContributionTreeParams& params = {});
+
+}  // namespace rit::baselines

@@ -1,0 +1,75 @@
+#include "cli/args.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace rit::cli {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    RIT_CHECK_MSG(arg.rfind("--", 0) == 0,
+                  "expected --key=value argument, got: " << arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::uint64_t Args::get_u64(const std::string& key, std::uint64_t def) {
+  recognized_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !it->second.empty(),
+                "flag --" << key << " wants an integer, got '" << it->second
+                          << "'");
+  return v;
+}
+
+double Args::get_double(const std::string& key, double def) {
+  recognized_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !it->second.empty(),
+                "flag --" << key << " wants a number, got '" << it->second
+                          << "'");
+  return v;
+}
+
+bool Args::get_bool(const std::string& key, bool def) {
+  recognized_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (it->second == "true" || it->second == "1" || it->second == "yes") {
+    return true;
+  }
+  if (it->second == "false" || it->second == "0" || it->second == "no") {
+    return false;
+  }
+  RIT_CHECK_MSG(false, "flag --" << key << " wants a boolean, got '"
+                                 << it->second << "'");
+  return def;  // unreachable
+}
+
+std::string Args::get_string(const std::string& key, const std::string& def) {
+  recognized_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+void Args::finish() const {
+  for (const auto& [key, value] : values_) {
+    RIT_CHECK_MSG(recognized_.count(key) > 0, "unknown flag --" << key);
+  }
+}
+
+}  // namespace rit::cli

@@ -1,0 +1,47 @@
+#include "cli/csv.h"
+
+#include "common/check.h"
+#include "common/format_util.h"
+
+namespace rit::cli {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  RIT_CHECK_MSG(out_.good(), "cannot open CSV file for writing: " << path);
+  RIT_CHECK(!header.empty());
+  add_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  RIT_CHECK_MSG(cells.size() == columns_,
+                "CSV row has " << cells.size() << " cells, header has "
+                               << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& cells,
+                                int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double c : cells) row.push_back(format_double(c, precision));
+  add_row(row);
+}
+
+}  // namespace rit::cli

@@ -1,0 +1,29 @@
+// CSV writer: every bench also dumps its series as CSV so the figures can
+// be re-plotted with any external tool.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rit::cli {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_numeric_row(const std::vector<double>& cells, int precision = 6);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace rit::cli

@@ -1,0 +1,210 @@
+#include "cli/svg_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/format_util.h"
+
+namespace rit::cli {
+
+namespace {
+constexpr const char* kPalette[] = {"#1f78b4", "#e31a1c", "#33a02c",
+                                    "#ff7f00", "#6a3d9a", "#b15928",
+                                    "#a6cee3", "#fb9a99"};
+constexpr int kMarginLeft = 64;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 36;
+constexpr int kMarginBottom = 48;
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+std::string tick_label(double v) {
+  // Compact labels: large magnitudes in k/M, small with trailing zeros cut.
+  const double a = std::abs(v);
+  if (a >= 1e6) return format_double(v / 1e6, 1) + "M";
+  if (a >= 1e4) return format_double(v / 1e3, 0) + "k";
+  std::string s = format_double(v, a < 1.0 && a > 0.0 ? 3 : 2);
+  while (!s.empty() && s.find('.') != std::string::npos &&
+         (s.back() == '0' || s.back() == '.')) {
+    const bool dot = s.back() == '.';
+    s.pop_back();
+    if (dot) break;
+  }
+  return s.empty() ? "0" : s;
+}
+}  // namespace
+
+double nice_tick_step(double lo, double hi, int target_ticks) {
+  RIT_CHECK(hi >= lo);
+  RIT_CHECK(target_ticks >= 2);
+  const double span = std::max(hi - lo, 1e-12);
+  const double raw = span / target_ticks;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  double step = 10.0;
+  if (norm <= 1.0) {
+    step = 1.0;
+  } else if (norm <= 2.0) {
+    step = 2.0;
+  } else if (norm <= 5.0) {
+    step = 5.0;
+  }
+  return step * mag;
+}
+
+std::string render_line_chart(const std::vector<Series>& series,
+                              const ChartOptions& options) {
+  RIT_CHECK_MSG(!series.empty(), "a chart needs at least one series");
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -std::numeric_limits<double>::infinity();
+  double y_lo = std::numeric_limits<double>::infinity();
+  double y_hi = -std::numeric_limits<double>::infinity();
+  std::size_t total_points = 0;
+  for (const Series& s : series) {
+    for (const auto& [x, y] : s.points) {
+      RIT_CHECK_MSG(std::isfinite(x) && std::isfinite(y),
+                    "chart points must be finite");
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      y_lo = std::min(y_lo, y);
+      y_hi = std::max(y_hi, y);
+      ++total_points;
+    }
+  }
+  RIT_CHECK_MSG(total_points > 0, "a chart needs at least one point");
+  if (options.include_zero_y) y_lo = std::min(y_lo, 0.0);
+  if (x_hi == x_lo) x_hi = x_lo + 1.0;
+  if (y_hi == y_lo) y_hi = y_lo + 1.0;
+  // Pad y a little so lines do not hug the frame.
+  const double y_pad = 0.05 * (y_hi - y_lo);
+  y_hi += y_pad;
+  if (!options.include_zero_y || y_lo < 0.0) y_lo -= y_pad;
+
+  const double plot_w =
+      static_cast<double>(options.width - kMarginLeft - kMarginRight);
+  const double plot_h =
+      static_cast<double>(options.height - kMarginTop - kMarginBottom);
+  RIT_CHECK(plot_w > 10 && plot_h > 10);
+  auto sx = [&](double x) {
+    return kMarginLeft + (x - x_lo) / (x_hi - x_lo) * plot_w;
+  };
+  auto sy = [&](double y) {
+    return kMarginTop + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << options.height << "\" viewBox=\"0 0 "
+      << options.width << " " << options.height << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << "<text x=\"" << options.width / 2 << "\" y=\"20\" text-anchor="
+      << "\"middle\" font-family=\"sans-serif\" font-size=\"14\" "
+         "font-weight=\"bold\">"
+      << escape_xml(options.title) << "</text>\n";
+
+  // Gridlines + ticks.
+  const double ystep = nice_tick_step(y_lo, y_hi, 6);
+  for (double y = std::ceil(y_lo / ystep) * ystep; y <= y_hi + 1e-9;
+       y += ystep) {
+    const double py = sy(y);
+    svg << "<line x1=\"" << kMarginLeft << "\" y1=\"" << py << "\" x2=\""
+        << options.width - kMarginRight << "\" y2=\"" << py
+        << "\" stroke=\"#dddddd\" stroke-width=\"1\"/>\n";
+    svg << "<text x=\"" << kMarginLeft - 6 << "\" y=\"" << py + 4
+        << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+           "font-size=\"11\">"
+        << tick_label(y) << "</text>\n";
+  }
+  const double xstep = nice_tick_step(x_lo, x_hi, 7);
+  for (double x = std::ceil(x_lo / xstep) * xstep; x <= x_hi + 1e-9;
+       x += xstep) {
+    const double px = sx(x);
+    svg << "<line x1=\"" << px << "\" y1=\"" << kMarginTop << "\" x2=\"" << px
+        << "\" y2=\"" << kMarginTop + plot_h
+        << "\" stroke=\"#eeeeee\" stroke-width=\"1\"/>\n";
+    svg << "<text x=\"" << px << "\" y=\"" << kMarginTop + plot_h + 16
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+           "font-size=\"11\">"
+        << tick_label(x) << "</text>\n";
+  }
+  // Frame + axis labels.
+  svg << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop
+      << "\" width=\"" << plot_w << "\" height=\"" << plot_h
+      << "\" fill=\"none\" stroke=\"#444444\"/>\n";
+  svg << "<text x=\"" << kMarginLeft + plot_w / 2 << "\" y=\""
+      << options.height - 10
+      << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+         "font-size=\"12\">"
+      << escape_xml(options.x_label) << "</text>\n";
+  svg << "<text x=\"14\" y=\"" << kMarginTop + plot_h / 2
+      << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+         "font-size=\"12\" transform=\"rotate(-90 14 "
+      << kMarginTop + plot_h / 2 << ")\">" << escape_xml(options.y_label)
+      << "</text>\n";
+
+  // Series.
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const char* color = kPalette[i % std::size(kPalette)];
+    std::vector<std::pair<double, double>> pts = series[i].points;
+    std::sort(pts.begin(), pts.end());
+    svg << "<polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"2\" points=\"";
+    for (const auto& [x, y] : pts) {
+      svg << format_double(sx(x), 2) << ',' << format_double(sy(y), 2) << ' ';
+    }
+    svg << "\"/>\n";
+    if (options.markers) {
+      for (const auto& [x, y] : pts) {
+        svg << "<circle cx=\"" << format_double(sx(x), 2) << "\" cy=\""
+            << format_double(sy(y), 2) << "\" r=\"3\" fill=\"" << color
+            << "\"/>\n";
+      }
+    }
+    // Legend entry.
+    const double lx = kMarginLeft + 10;
+    const double ly = kMarginTop + 14 + 16.0 * static_cast<double>(i);
+    svg << "<rect x=\"" << lx << "\" y=\"" << ly - 9
+        << "\" width=\"12\" height=\"4\" fill=\"" << color << "\"/>\n";
+    svg << "<text x=\"" << lx + 18 << "\" y=\"" << ly
+        << "\" font-family=\"sans-serif\" font-size=\"11\">"
+        << escape_xml(series[i].label) << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_line_chart(const std::string& path,
+                      const std::vector<Series>& series,
+                      const ChartOptions& options) {
+  std::ofstream out(path);
+  RIT_CHECK_MSG(out.good(), "cannot open SVG file for writing: " << path);
+  out << render_line_chart(series, options);
+}
+
+}  // namespace rit::cli

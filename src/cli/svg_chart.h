@@ -1,0 +1,48 @@
+// Self-contained SVG line charts — no plotting ecosystem required.
+//
+// C++ has no matplotlib; rather than asking users to re-plot CSVs
+// elsewhere, every figure bench renders its series directly to an .svg
+// that any browser opens. Pure string generation (deterministic, easily
+// unit-tested), fixed color palette, auto-scaled axes with "nice" ticks,
+// legend, and optional per-point markers.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rit::cli {
+
+struct Series {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  // (x, y)
+};
+
+struct ChartOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  int width = 720;
+  int height = 440;
+  /// Force the y axis to include zero (fair visual comparisons).
+  bool include_zero_y = true;
+  /// Draw circles at data points.
+  bool markers = true;
+};
+
+/// Renders a multi-series line chart as a standalone SVG document.
+/// Requires at least one series with at least one point; series are
+/// colored in declaration order from a fixed 8-color palette.
+std::string render_line_chart(const std::vector<Series>& series,
+                              const ChartOptions& options);
+
+/// Convenience: render and write to `path` (parent directory must exist).
+void write_line_chart(const std::string& path,
+                      const std::vector<Series>& series,
+                      const ChartOptions& options);
+
+/// Chooses a "nice" tick step (1/2/5 x 10^k) so that [lo, hi] gets roughly
+/// `target_ticks` ticks. Exposed for testing.
+double nice_tick_step(double lo, double hi, int target_ticks);
+
+}  // namespace rit::cli

@@ -1,0 +1,33 @@
+// Aligned plain-text table printer: the bench binaries print the same
+// rows/series the paper's figures plot, in a form that is pleasant to read
+// and trivially machine-parsable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rit::cli {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows: doubles formatted with `precision`.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a header underline.
+  std::string render() const;
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rit::cli

@@ -1,0 +1,25 @@
+// Small string/number formatting helpers shared by reports, tests and CLIs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rit {
+
+/// Formats `v` with `precision` digits after the decimal point ("%.*f").
+std::string format_double(double v, int precision = 3);
+
+/// Formats an integer with thousands separators: 1234567 -> "1,234,567".
+std::string format_with_commas(long long v);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Left-pads `s` with spaces to at least `width` characters.
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pads `s` with spaces to at least `width` characters.
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace rit

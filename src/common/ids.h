@@ -1,0 +1,65 @@
+// Strong identifier types shared across the library.
+//
+// The paper indexes three distinct spaces that are easy to confuse when they
+// are all plain integers:
+//   * users P_1..P_N            -> UserId
+//   * task types tau_1..tau_m   -> TaskType
+//   * per-type unit asks alpha_w (the output of Extract) -> AskIndex
+// Wrapping them in distinct types lets the compiler reject cross-space mixes.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace rit {
+
+/// Index of a crowdsensing user. The platform root of the incentive tree is
+/// not a user and has no UserId.
+struct UserId {
+  std::uint32_t value{0};
+  constexpr auto operator<=>(const UserId&) const = default;
+};
+
+/// Index of a task type (the paper's tau_i, an "area" in spectrum sensing).
+struct TaskType {
+  std::uint32_t value{0};
+  constexpr auto operator<=>(const TaskType&) const = default;
+};
+
+/// Index into the per-type unit-ask vector produced by Extract (Alg. 2).
+struct AskIndex {
+  std::uint32_t value{0};
+  constexpr auto operator<=>(const AskIndex&) const = default;
+};
+
+/// Node index inside an IncentiveTree. Node 0 is always the platform root;
+/// user P_j lives at node j+1 by convention of tree builders.
+struct NodeId {
+  std::uint32_t value{0};
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+constexpr NodeId kRootNode{0};
+
+}  // namespace rit
+
+template <>
+struct std::hash<rit::UserId> {
+  std::size_t operator()(const rit::UserId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+template <>
+struct std::hash<rit::TaskType> {
+  std::size_t operator()(const rit::TaskType& t) const noexcept {
+    return std::hash<std::uint32_t>{}(t.value);
+  }
+};
+template <>
+struct std::hash<rit::NodeId> {
+  std::size_t operator()(const rit::NodeId& n) const noexcept {
+    return std::hash<std::uint32_t>{}(n.value);
+  }
+};

@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The library itself logs nothing at Info by default; benches and examples
+// raise the level for progress reporting. A global level (atomic) keeps the
+// interface trivial — this is a single-process simulator, not a service.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace rit::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the minimum level that will be emitted. Thread-safe.
+void set_level(Level level);
+Level level();
+
+/// Emits `message` to stderr with a level tag if `level` is enabled.
+void emit(Level level, std::string_view message);
+
+namespace detail {
+class LineStream {
+ public:
+  explicit LineStream(Level lv) : level_(lv) {}
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+  ~LineStream() { emit(level_, os_.str()); }
+  template <typename T>
+  LineStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace rit::log
+
+#define RIT_LOG(lv)                                        \
+  if (static_cast<int>(lv) < static_cast<int>(::rit::log::level())) \
+    ;                                                      \
+  else                                                     \
+    ::rit::log::detail::LineStream(lv)
+
+#define RIT_LOG_DEBUG RIT_LOG(::rit::log::Level::kDebug)
+#define RIT_LOG_INFO RIT_LOG(::rit::log::Level::kInfo)
+#define RIT_LOG_WARN RIT_LOG(::rit::log::Level::kWarn)
+#define RIT_LOG_ERROR RIT_LOG(::rit::log::Level::kError)

@@ -1,0 +1,159 @@
+#include "core/cra.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace rit::core {
+
+std::uint64_t consensus_round_down(std::uint64_t count, double y,
+                                   double base) {
+  RIT_CHECK(y >= 0.0 && y < 1.0);
+  RIT_CHECK_MSG(base > 1.0, "consensus grid base must exceed 1, got " << base);
+  if (count == 0) return 0;
+  // Largest z with base^(z+y) <= count, i.e. z = floor(log_base(count) - y).
+  const double lg =
+      std::log(static_cast<double>(count)) / std::log(base);
+  double z = std::floor(lg - y);
+  double value = std::pow(base, z + y);
+  // Guard floating-point edges on both sides: pow/log rounding can land
+  // value one step high or low when lg - y is (nearly) integral.
+  while (value > static_cast<double>(count) && z > -2000.0) {
+    z -= 1.0;
+    value = std::pow(base, z + y);
+  }
+  while (std::pow(base, z + 1.0 + y) <= static_cast<double>(count)) {
+    z += 1.0;
+    value = std::pow(base, z + y);
+  }
+  return static_cast<std::uint64_t>(std::floor(value));
+}
+
+CraOutcome run_cra(std::span<const double> asks, const CraParams& params,
+                   rng::Rng& rng) {
+  CraOutcome out;
+  out.won.assign(asks.size(), false);
+  if (asks.empty() || params.q == 0) return out;
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(params.q) + params.m_i;
+  RIT_CHECK(budget > 0);
+
+  if (params.price_mode == PriceMode::kOrderStatistic) {
+    // Ablation arm: a plain (q+m_i+1)-st lowest price round. Needs at least
+    // budget+1 asks to define the price; ties shuffled like the main path.
+    if (asks.size() < budget + 1) return out;
+    std::vector<std::uint32_t> order(asks.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return asks[a] < asks[b];
+                     });
+    for (std::size_t i = 0; i < order.size();) {
+      std::size_t j = i + 1;
+      while (j < order.size() && asks[order[j]] == asks[order[i]]) ++j;
+      if (j - i > 1) rng.shuffle(std::span<std::uint32_t>(&order[i], j - i));
+      i = j;
+    }
+    const double price = asks[order[budget]];
+    out.sample_min = price;
+    out.raw_count = budget;
+    out.consensus_count = budget;
+    auto keep = rng.sample_without_replacement(budget, params.q);
+    for (std::size_t i : keep) out.won[order[i]] = true;
+    out.num_winners = params.q;
+    out.clearing_price = price;
+    return out;
+  }
+
+  // Step 1: Bernoulli(1/(q+m_i)) sample; s = min sampled value.
+  const double sample_p = 1.0 / static_cast<double>(budget);
+  double s = std::numeric_limits<double>::infinity();
+  bool sampled_any = false;
+  for (double v : asks) {
+    if (rng.bernoulli(sample_p)) {
+      sampled_any = true;
+      s = std::min(s, v);
+    }
+  }
+  if (!sampled_any) {
+    if (params.empty_sample == EmptySamplePolicy::kNoWinners) return out;
+    // kAllAsks: act as if the threshold sits at the top of the book — every
+    // ask is at or below it, and it is still a finite, IR-safe price.
+    s = *std::max_element(asks.begin(), asks.end());
+  }
+  out.sample_min = s;
+
+  // Step 2: consensus-round the count of asks <= s.
+  const double y = rng.uniform01();
+  std::uint64_t raw = 0;
+  for (double v : asks) {
+    if (v <= s) ++raw;
+  }
+  out.raw_count = raw;
+  const std::uint64_t n_s =
+      consensus_round_down(raw, y, params.consensus_grid_base);
+  out.consensus_count = n_s;
+  if (n_s == 0) return out;
+
+  // Sorted order of asks by value, with ties shuffled uniformly: equal asks
+  // must be treated equally ("anonymity"), otherwise "the smallest n asks"
+  // would systematically favour whichever user Extract happened to expand
+  // first.
+  std::vector<std::uint32_t> order(asks.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return asks[a] < asks[b];
+                   });
+  for (std::size_t i = 0; i < order.size();) {
+    std::size_t j = i + 1;
+    while (j < order.size() && asks[order[j]] == asks[order[i]]) ++j;
+    if (j - i > 1) rng.shuffle(std::span<std::uint32_t>(&order[i], j - i));
+    i = j;
+  }
+
+  // Step 3: potential winners, in ascending-value order.
+  std::vector<std::uint32_t> chosen;
+  if (n_s <= budget) {
+    chosen.assign(order.begin(),
+                  order.begin() + static_cast<std::ptrdiff_t>(n_s));
+  } else {
+    const double keep_p =
+        static_cast<double>(budget) / (2.0 * static_cast<double>(n_s));
+    chosen.reserve(n_s);
+    for (std::uint64_t i = 0; i < n_s; ++i) {
+      if (rng.bernoulli(keep_p)) chosen.push_back(order[i]);
+    }
+  }
+
+  // Step 4: if over the potential-winner budget, keep the cheapest q+m_i and
+  // reprice at the first excluded ask (a (q+m_i+1)-st price auction).
+  double price = s;
+  if (chosen.size() > budget) {
+    price = asks[chosen[budget]];  // (q+m_i+1)-st smallest chosen ask value
+    chosen.resize(budget);
+    out.used_budget_price = true;
+  }
+
+  // Step 5: if more than q survive, q winners uniformly at random.
+  if (chosen.size() > params.q) {
+    auto keep = rng.sample_without_replacement(chosen.size(), params.q);
+    std::vector<std::uint32_t> winners;
+    winners.reserve(params.q);
+    for (std::size_t i : keep) winners.push_back(chosen[i]);
+    chosen = std::move(winners);
+  }
+
+  for (std::uint32_t w : chosen) {
+    RIT_DCHECK(asks[w] <= price);  // Lemma 6.1: winners never outbid the price
+    out.won[w] = true;
+  }
+  out.num_winners = static_cast<std::uint32_t>(chosen.size());
+  out.clearing_price = chosen.empty() ? 0.0 : price;
+  return out;
+}
+
+}  // namespace rit::core

@@ -1,0 +1,37 @@
+// Allocative efficiency: what the randomized auction costs in welfare.
+//
+// A deterministic cheapest-first auction assigns every task to the lowest-
+// cost supply; CRA deliberately randomizes winners (collusion resistance),
+// so some tasks land on more expensive users. With truthful asks the ask
+// values are the social costs, so
+//
+//   efficiency = optimal_cost / allocation_cost   (in (0, 1])
+//
+// measures how much sensing cost the randomization wastes. Reported by the
+// related-mechanisms bench: the k-th price baseline sits at 1.0 by
+// construction; RIT's gap is the allocative price of robustness.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rit::core {
+
+/// Total social cost of an allocation: sum over users of x_j * a_j (with
+/// truthful asks, a_j == c_j). Requires x_j <= k_j.
+double allocation_cost(std::span<const Ask> asks,
+                       std::span<const std::uint32_t> allocation);
+
+/// Cost of the cheapest feasible assignment: per type, fill m_i tasks from
+/// the lowest ask values (units of one user counted up to its quantity).
+/// Returns the cost, or a negative value if the job is infeasible.
+double optimal_cost(const Job& job, std::span<const Ask> asks);
+
+/// optimal / actual, or 0 when nothing was allocated. 1.0 means the
+/// allocation is cost-optimal.
+double cost_efficiency(const Job& job, std::span<const Ask> asks,
+                       std::span<const std::uint32_t> allocation);
+
+}  // namespace rit::core

@@ -1,0 +1,46 @@
+#include "core/extract.h"
+
+namespace rit::core {
+
+namespace {
+ExtractedAsks extract_impl(TaskType type, std::span<const Ask> asks,
+                           std::span<const std::uint32_t>* remaining) {
+  ExtractedAsks out;
+  // Reserve pass keeps the expansion allocation-free in the hot loop.
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < asks.size(); ++j) {
+    if (asks[j].type != type) continue;
+    total += remaining ? (*remaining)[j] : asks[j].quantity;
+  }
+  out.values.reserve(total);
+  out.owner.reserve(total);
+  for (std::size_t j = 0; j < asks.size(); ++j) {
+    if (asks[j].type != type) continue;
+    const std::uint32_t k = remaining ? (*remaining)[j] : asks[j].quantity;
+    if (remaining) {
+      RIT_CHECK_MSG(k <= asks[j].quantity,
+                    "remaining quantity " << k << " exceeds asked quantity "
+                                          << asks[j].quantity << " for user "
+                                          << j);
+    }
+    for (std::uint32_t f = 0; f < k; ++f) {
+      out.values.push_back(asks[j].value);
+      out.owner.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  return out;
+}
+}  // namespace
+
+ExtractedAsks extract(TaskType type, std::span<const Ask> asks) {
+  return extract_impl(type, asks, nullptr);
+}
+
+ExtractedAsks extract_remaining(
+    TaskType type, std::span<const Ask> asks,
+    std::span<const std::uint32_t> remaining_quantity) {
+  RIT_CHECK(remaining_quantity.size() == asks.size());
+  return extract_impl(type, asks, &remaining_quantity);
+}
+
+}  // namespace rit::core

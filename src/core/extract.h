@@ -1,0 +1,35 @@
+// Extract (Algorithm 2): flattens per-user asks (t_j, k_j, a_j) into the
+// unit-ask vector alpha for one task type, remembering the owner map
+// lambda(w) = j.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rit::core {
+
+struct ExtractedAsks {
+  /// alpha: one entry per unit ask, value a_j repeated k times.
+  std::vector<double> values;
+  /// lambda: owner[w] is the index of the user that unit ask w came from.
+  std::vector<std::uint32_t> owner;
+
+  std::size_t size() const { return values.size(); }
+  bool empty() const { return values.empty(); }
+};
+
+/// Plain Algorithm 2: expands ask j into asks[j].quantity unit asks when
+/// asks[j].type == type.
+ExtractedAsks extract(TaskType type, std::span<const Ask> asks);
+
+/// The form RIT's multi-round loop needs: expands ask j into
+/// remaining_quantity[j] unit asks (the paper's k'_j, i.e. capability not
+/// yet consumed by earlier CRA rounds). remaining_quantity must be
+/// elementwise <= the asked quantity.
+ExtractedAsks extract_remaining(TaskType type, std::span<const Ask> asks,
+                                std::span<const std::uint32_t> remaining_quantity);
+
+}  // namespace rit::core

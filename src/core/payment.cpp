@@ -1,0 +1,118 @@
+#include "core/payment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rit::core {
+
+namespace {
+void validate_inputs(const tree::IncentiveTree& tree,
+                     std::span<const TaskType> types,
+                     std::span<const double> auction_payments,
+                     double discount_base) {
+  RIT_CHECK_MSG(types.size() == tree.num_participants(),
+                "types size " << types.size() << " != participants "
+                              << tree.num_participants());
+  RIT_CHECK(auction_payments.size() == types.size());
+  RIT_CHECK_MSG(discount_base > 0.0 && discount_base < 1.0,
+                "discount base must lie in (0,1), got " << discount_base);
+}
+
+/// base^depth with depth potentially in the thousands (chain-tree stress
+/// tests): std::pow underflows cleanly to 0, which is the behaviour we want.
+double discount(double base, std::uint32_t depth) {
+  return std::pow(base, static_cast<double>(depth));
+}
+}  // namespace
+
+std::vector<double> tree_payments_reference(
+    const tree::IncentiveTree& tree, std::span<const TaskType> types,
+    std::span<const double> auction_payments, double discount_base) {
+  validate_inputs(tree, types, auction_payments, discount_base);
+  std::vector<double> p(auction_payments.begin(), auction_payments.end());
+  for (std::uint32_t i = 0; i < tree.num_participants(); ++i) {
+    const std::uint32_t node = tree::node_of_participant(i);
+    const double contribution =
+        discount(discount_base, tree.depth(node)) * auction_payments[i];
+    if (contribution == 0.0) continue;
+    for (std::uint32_t anc = tree.parent(node); anc != 0;
+         anc = tree.parent(anc)) {
+      const std::uint32_t j = tree::participant_of_node(anc);
+      if (types[j] != types[i]) p[j] += contribution;
+    }
+  }
+  return p;
+}
+
+std::vector<double> tree_payments(const tree::IncentiveTree& tree,
+                                  std::span<const TaskType> types,
+                                  std::span<const double> auction_payments,
+                                  double discount_base) {
+  validate_inputs(tree, types, auction_payments, discount_base);
+  const std::uint32_t n = tree.num_participants();
+  std::vector<double> p(auction_payments.begin(), auction_payments.end());
+  if (n == 0) return p;
+
+  // Contribution of each node laid out in preorder; a subtree is then a
+  // contiguous range, so "sum of contributions in my subtree" is a prefix-
+  // sum difference. The same-type exclusion is handled with per-type sparse
+  // prefix sums (positions of type-t nodes in preorder + running sums).
+  const auto preorder = tree.preorder();
+  std::vector<double> contrib_prefix(preorder.size() + 1, 0.0);
+
+  std::uint32_t num_types = 0;
+  for (TaskType t : types) num_types = std::max(num_types, t.value + 1);
+  std::vector<std::vector<std::uint32_t>> type_positions(num_types);
+  std::vector<std::vector<double>> type_prefix(num_types);
+
+  for (std::size_t pos = 0; pos < preorder.size(); ++pos) {
+    const std::uint32_t node = preorder[pos];
+    double c = 0.0;
+    if (node != 0) {
+      const std::uint32_t i = tree::participant_of_node(node);
+      c = discount(discount_base, tree.depth(node)) * auction_payments[i];
+      auto& positions = type_positions[types[i].value];
+      auto& prefix = type_prefix[types[i].value];
+      if (prefix.empty()) prefix.push_back(0.0);
+      positions.push_back(static_cast<std::uint32_t>(pos));
+      prefix.push_back(prefix.back() + c);
+    }
+    contrib_prefix[pos + 1] = contrib_prefix[pos] + c;
+  }
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t node = tree::node_of_participant(i);
+    if (tree.subtree_size(node) == 1) continue;  // leaf: no descendants
+    const std::uint32_t begin = tree.preorder_index(node);
+    const std::uint32_t end = begin + tree.subtree_size(node);  // exclusive
+    // Whole-subtree contribution, then subtract the same-type share. The
+    // node's own contribution is of its own type, so it cancels.
+    const double total = contrib_prefix[end] - contrib_prefix[begin];
+    const auto& positions = type_positions[types[i].value];
+    const auto& prefix = type_prefix[types[i].value];
+    const auto lo = std::lower_bound(positions.begin(), positions.end(), begin) -
+                    positions.begin();
+    const auto hi = std::lower_bound(positions.begin(), positions.end(), end) -
+                    positions.begin();
+    const double same_type = prefix[hi] - prefix[lo];
+    // The true reward is a sum of non-negative contributions; the prefix-sum
+    // subtraction can dip a few ulps below zero, which must not leak into a
+    // payment below p_i^A.
+    p[i] += std::max(0.0, total - same_type);
+  }
+  return p;
+}
+
+double solicitation_premium(std::span<const double> payments,
+                            std::span<const double> auction_payments) {
+  RIT_CHECK(payments.size() == auction_payments.size());
+  double premium = 0.0;
+  for (std::size_t i = 0; i < payments.size(); ++i) {
+    premium += payments[i] - auction_payments[i];
+  }
+  return premium;
+}
+
+}  // namespace rit::core

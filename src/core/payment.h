@@ -1,0 +1,49 @@
+// Payment determination phase (Algorithm 3, lines 22-28).
+//
+// The final payment of participant j is
+//
+//   p_j = p_j^A  +  sum over strict descendants i of j with t_i != t_j of
+//                   base^(r_i) * p_i^A
+//
+// where r_i is the *absolute* depth of the contributor i (platform root at
+// depth 0) and base = 1/2 in the paper. Two properties hinge on the details:
+//
+//  * contributors of the *same* task type are excluded — a user's sybil
+//    identities necessarily share its type (Sec. 3-B), so they can never
+//    feed tree rewards back to their owner (Lemma 6.4);
+//  * the weight decays with absolute depth, so inserting a fake identity
+//    above one's real descendants strictly shrinks their contribution.
+//
+// Two implementations are provided: a transparent O(N * depth) reference
+// and the production O(N log N) pass used by run_rit(); property tests pin
+// them to each other on random trees.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::core {
+
+/// Reference implementation: for every participant, walk its ancestors and
+/// push its contribution up. O(sum of depths); used by tests and tiny demos.
+std::vector<double> tree_payments_reference(
+    const tree::IncentiveTree& tree, std::span<const TaskType> types,
+    std::span<const double> auction_payments, double discount_base);
+
+/// Production implementation: one preorder pass with per-type prefix sums
+/// over the Euler layout; O(N log N) time, O(N) memory. Returns the final
+/// payment vector p (participant-indexed, like the inputs).
+std::vector<double> tree_payments(const tree::IncentiveTree& tree,
+                                  std::span<const TaskType> types,
+                                  std::span<const double> auction_payments,
+                                  double discount_base);
+
+/// The solicitation premium sum_j (p_j - p_j^A). Sec. 7-C bounds it by
+/// sum_j p_j^A; tests assert the bound on every run.
+double solicitation_premium(std::span<const double> payments,
+                            std::span<const double> auction_payments);
+
+}  // namespace rit::core

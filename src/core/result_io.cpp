@@ -1,0 +1,192 @@
+#include "core/result_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rit::core {
+
+namespace {
+constexpr const char* kHeader = "ritcs-record v1";
+
+std::string hex_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_hex_double(const std::string& token, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty(),
+                "record: bad double for " << what << ": '" << token << "'");
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty(),
+                "record: bad integer for " << what << ": '" << token << "'");
+  return v;
+}
+
+/// Reads the next non-empty line and checks it starts with `key`, returning
+/// the remainder tokenized.
+std::vector<std::string> expect_line(std::istream& in, const char* key) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) break;
+  }
+  RIT_CHECK_MSG(!line.empty(), "record: unexpected end of file, wanted '"
+                                   << key << "'");
+  std::istringstream ls(line);
+  std::string head;
+  ls >> head;
+  RIT_CHECK_MSG(head == key, "record: expected '" << key << "', found '"
+                                                  << head << "'");
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (ls >> tok) tokens.push_back(tok);
+  return tokens;
+}
+}  // namespace
+
+void write_record(const ExperimentRecord& record, std::ostream& out) {
+  const auto n = record.asks.size();
+  RIT_CHECK_MSG(record.tree_parents.size() == n + 1,
+                "record: tree has " << record.tree_parents.size()
+                                    << " nodes for " << n << " asks");
+  RIT_CHECK(record.result.allocation.size() == n);
+  RIT_CHECK(record.result.auction_payment.size() == n);
+  RIT_CHECK(record.result.payment.size() == n);
+
+  out << kHeader << "\n";
+  out << "discount " << hex_double(record.discount_base) << "\n";
+  out << "job";
+  for (std::uint32_t d : record.job.demand_vector()) out << ' ' << d;
+  out << "\n";
+  out << "users " << n << "\n";
+  for (const Ask& a : record.asks) {
+    out << "ask " << a.type.value << ' ' << a.quantity << ' '
+        << hex_double(a.value) << "\n";
+  }
+  out << "tree";
+  for (std::uint32_t p : record.tree_parents) out << ' ' << p;
+  out << "\n";
+  const RitResult& r = record.result;
+  out << "success " << (r.success ? 1 : 0) << "\n";
+  out << "eta " << hex_double(r.eta) << "\n";
+  out << "kmax " << r.k_max << "\n";
+  out << "degraded " << (r.probability_degraded ? 1 : 0) << "\n";
+  out << "achieved " << hex_double(r.achieved_probability) << "\n";
+  out << "allocation";
+  for (std::uint32_t x : r.allocation) out << ' ' << x;
+  out << "\n";
+  out << "auction_payment";
+  for (double p : r.auction_payment) out << ' ' << hex_double(p);
+  out << "\n";
+  out << "payment";
+  for (double p : r.payment) out << ' ' << hex_double(p);
+  out << "\n";
+}
+
+void write_record_file(const ExperimentRecord& record,
+                       const std::string& path) {
+  std::ofstream out(path);
+  RIT_CHECK_MSG(out.good(), "cannot open record file for writing: " << path);
+  write_record(record, out);
+}
+
+ExperimentRecord read_record(std::istream& in) {
+  std::string header;
+  std::getline(in, header);
+  RIT_CHECK_MSG(header == kHeader,
+                "record: bad header '" << header << "' (want '" << kHeader
+                                       << "')");
+  ExperimentRecord rec;
+  {
+    const auto tokens = expect_line(in, "discount");
+    RIT_CHECK(tokens.size() == 1);
+    rec.discount_base = parse_hex_double(tokens[0], "discount");
+  }
+  {
+    const auto tokens = expect_line(in, "job");
+    RIT_CHECK_MSG(!tokens.empty(), "record: job needs at least one type");
+    std::vector<std::uint32_t> demand;
+    for (const auto& t : tokens) {
+      demand.push_back(static_cast<std::uint32_t>(parse_u64(t, "job")));
+    }
+    rec.job = Job(std::move(demand));
+  }
+  std::size_t n = 0;
+  {
+    const auto tokens = expect_line(in, "users");
+    RIT_CHECK(tokens.size() == 1);
+    n = parse_u64(tokens[0], "users");
+  }
+  rec.asks.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto tokens = expect_line(in, "ask");
+    RIT_CHECK_MSG(tokens.size() == 3, "record: ask wants 3 fields");
+    rec.asks.push_back(
+        Ask{TaskType{static_cast<std::uint32_t>(parse_u64(tokens[0], "ask type"))},
+            static_cast<std::uint32_t>(parse_u64(tokens[1], "ask quantity")),
+            parse_hex_double(tokens[2], "ask value")});
+  }
+  {
+    const auto tokens = expect_line(in, "tree");
+    RIT_CHECK_MSG(tokens.size() == n + 1,
+                  "record: tree wants " << n + 1 << " parents, found "
+                                        << tokens.size());
+    for (const auto& t : tokens) {
+      rec.tree_parents.push_back(
+          static_cast<std::uint32_t>(parse_u64(t, "tree")));
+    }
+  }
+  RitResult& r = rec.result;
+  r.success = parse_u64(expect_line(in, "success").at(0), "success") != 0;
+  r.eta = parse_hex_double(expect_line(in, "eta").at(0), "eta");
+  r.k_max =
+      static_cast<std::uint32_t>(parse_u64(expect_line(in, "kmax").at(0), "kmax"));
+  r.probability_degraded =
+      parse_u64(expect_line(in, "degraded").at(0), "degraded") != 0;
+  r.achieved_probability =
+      parse_hex_double(expect_line(in, "achieved").at(0), "achieved");
+  {
+    const auto tokens = expect_line(in, "allocation");
+    RIT_CHECK_MSG(tokens.size() == n, "record: allocation size mismatch");
+    for (const auto& t : tokens) {
+      r.allocation.push_back(
+          static_cast<std::uint32_t>(parse_u64(t, "allocation")));
+    }
+  }
+  {
+    const auto tokens = expect_line(in, "auction_payment");
+    RIT_CHECK_MSG(tokens.size() == n, "record: auction_payment size mismatch");
+    for (const auto& t : tokens) {
+      r.auction_payment.push_back(parse_hex_double(t, "auction_payment"));
+    }
+  }
+  {
+    const auto tokens = expect_line(in, "payment");
+    RIT_CHECK_MSG(tokens.size() == n, "record: payment size mismatch");
+    for (const auto& t : tokens) {
+      r.payment.push_back(parse_hex_double(t, "payment"));
+    }
+  }
+  // Structural sanity: the tree must parse (throws otherwise).
+  (void)rec.tree();
+  return rec;
+}
+
+ExperimentRecord read_record_file(const std::string& path) {
+  std::ifstream in(path);
+  RIT_CHECK_MSG(in.good(), "cannot open record file: " << path);
+  return read_record(in);
+}
+
+}  // namespace rit::core

@@ -1,0 +1,43 @@
+#include "core/types.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace rit::core {
+
+Job::Job(std::vector<std::uint32_t> demand) : demand_(std::move(demand)) {
+  RIT_CHECK_MSG(!demand_.empty(), "a job must define at least one task type");
+  for (std::uint32_t d : demand_) {
+    total_ += d;
+    if (d > 0) ++demanded_types_;
+  }
+  RIT_CHECK_MSG(total_ > 0, "a job must demand at least one task");
+}
+
+Job Job::uniform(std::uint32_t num_types, std::uint32_t per_type) {
+  return Job(std::vector<std::uint32_t>(num_types, per_type));
+}
+
+void validate_asks(const Job& job, std::span<const Ask> asks) {
+  for (std::size_t j = 0; j < asks.size(); ++j) {
+    const Ask& a = asks[j];
+    RIT_CHECK_MSG(a.type.value < job.num_types(),
+                  "ask " << j << " references unknown task type "
+                         << a.type.value);
+    RIT_CHECK_MSG(a.quantity > 0, "ask " << j << " has zero quantity");
+    RIT_CHECK_MSG(a.quantity <= kMaxAskQuantity,
+                  "ask " << j << " claims " << a.quantity
+                         << " tasks, above the sanity cap "
+                         << kMaxAskQuantity);
+    RIT_CHECK_MSG(std::isfinite(a.value) && a.value > 0.0,
+                  "ask " << j << " has invalid value " << a.value);
+  }
+}
+
+std::uint32_t observed_k_max(std::span<const Ask> asks) {
+  std::uint32_t k = 0;
+  for (const Ask& a : asks) k = std::max(k, a.quantity);
+  return k;
+}
+
+}  // namespace rit::core

@@ -1,0 +1,51 @@
+#include "extensions/private_reporting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rit::ext {
+
+double laplace_noise(double scale, rng::Rng& rng) {
+  RIT_CHECK(scale > 0.0);
+  // Inverse CDF: u ~ U(-1/2, 1/2), x = -b * sgn(u) * ln(1 - 2|u|).
+  const double u = rng.uniform01() - 0.5;
+  const double sign = u < 0.0 ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::abs(u));
+}
+
+PrivateSummary publish_private_summary(const core::RitResult& result,
+                                       const PrivacyParams& params,
+                                       rng::Rng& rng) {
+  RIT_CHECK_MSG(params.epsilon > 0.0, "epsilon must be positive");
+  RIT_CHECK_MSG(params.payment_clip > 0.0, "payment clip must be positive");
+
+  PrivateSummary out;
+  out.releases = 4;
+  out.epsilon_spent = params.epsilon;
+  const double eps_each = params.epsilon / out.releases;
+
+  double participant_count = static_cast<double>(result.payment.size());
+  double winner_count = 0.0;
+  double clipped_payment = 0.0;
+  double clipped_premium = 0.0;
+  for (std::size_t j = 0; j < result.payment.size(); ++j) {
+    if (result.allocation[j] > 0) winner_count += 1.0;
+    clipped_payment += std::min(result.payment[j], params.payment_clip);
+    clipped_premium += std::min(
+        result.payment[j] - result.auction_payment[j], params.payment_clip);
+  }
+  // Sensitivities: counts change by 1 per user; clipped money sums by at
+  // most the clip.
+  out.noisy_participant_count =
+      participant_count + laplace_noise(1.0 / eps_each, rng);
+  out.noisy_winner_count = winner_count + laplace_noise(1.0 / eps_each, rng);
+  out.noisy_total_payment =
+      clipped_payment + laplace_noise(params.payment_clip / eps_each, rng);
+  out.noisy_total_premium =
+      clipped_premium + laplace_noise(params.payment_clip / eps_each, rng);
+  return out;
+}
+
+}  // namespace rit::ext

@@ -1,0 +1,58 @@
+// EXTENSION (beyond the paper): differentially private result reporting.
+//
+// The paper's Sec. 3-C defers "privacy protection" to future research. The
+// payments themselves must stay exact (they move money), but everything the
+// platform *publishes* about a campaign — total spend, participation
+// counts, per-area allocation — leaks information about individual bids.
+// This module publishes those aggregates under epsilon-differential
+// privacy with the Laplace mechanism over clipped per-user contributions:
+// neighboring runs (one user's ask added/removed/changed) shift each
+// clipped aggregate by at most its stated sensitivity.
+//
+// Scope note: this protects the PUBLISHED SUMMARY only. It does not make
+// the mechanism itself private (payments to participants necessarily
+// reveal information to their recipients), and composing many published
+// summaries consumes budget linearly — standard DP accounting applies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/rit.h"
+#include "rng/rng.h"
+
+namespace rit::ext {
+
+/// One Laplace(b) variate with scale b = sensitivity / epsilon.
+double laplace_noise(double scale, rng::Rng& rng);
+
+struct PrivacyParams {
+  /// Total privacy budget for one published summary; split evenly across
+  /// the released statistics.
+  double epsilon = 1.0;
+  /// Per-user payment clip: a user's payment contributes to published sums
+  /// as min(payment, payment_clip). Bounds the sensitivity of money
+  /// aggregates; pick ~ the 99th percentile of expected payments.
+  double payment_clip = 100.0;
+};
+
+struct PrivateSummary {
+  /// Number of statistics the budget was split across.
+  std::uint32_t releases{0};
+  double epsilon_spent{0.0};
+
+  double noisy_participant_count{0.0};
+  double noisy_winner_count{0.0};
+  /// Sum of clipped payments + Laplace noise.
+  double noisy_total_payment{0.0};
+  /// Sum of clipped solicitation rewards + noise.
+  double noisy_total_premium{0.0};
+};
+
+/// Publishes an epsilon-DP summary of a mechanism run. Deterministic given
+/// `rng`. Throws on non-positive epsilon/clip.
+PrivateSummary publish_private_summary(const core::RitResult& result,
+                                       const PrivacyParams& params,
+                                       rng::Rng& rng);
+
+}  // namespace rit::ext

@@ -1,0 +1,68 @@
+#include "extensions/quality_aware.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rit::ext {
+
+std::uint32_t QualityTiers::tier_of(double quality) const {
+  RIT_CHECK_MSG(!boundaries.empty(), "tiering needs at least one tier");
+  RIT_CHECK_MSG(quality >= boundaries.front(),
+                "quality " << quality << " below the lowest tier edge "
+                           << boundaries.front());
+  const auto it =
+      std::upper_bound(boundaries.begin(), boundaries.end(), quality);
+  return static_cast<std::uint32_t>(it - boundaries.begin()) - 1;
+}
+
+std::uint32_t QualityJob::demand_of(std::uint32_t area,
+                                    std::uint32_t tier) const {
+  RIT_CHECK(area < areas && tier < tiers);
+  return demand[area * tiers + tier];
+}
+
+StratifiedInstance stratify(const QualityJob& qjob,
+                            std::span<const core::Ask> asks,
+                            std::span<const double> qualities,
+                            const QualityTiers& tiers) {
+  RIT_CHECK(asks.size() == qualities.size());
+  RIT_CHECK(qjob.areas >= 1);
+  RIT_CHECK_MSG(qjob.tiers == tiers.num_tiers(),
+                "job declares " << qjob.tiers << " tiers but the tiering has "
+                                << tiers.num_tiers());
+  RIT_CHECK_MSG(qjob.demand.size() ==
+                    static_cast<std::size_t>(qjob.areas) * qjob.tiers,
+                "quality job demand matrix has wrong size");
+  RIT_CHECK_MSG(std::is_sorted(tiers.boundaries.begin(),
+                               tiers.boundaries.end()),
+                "tier boundaries must be ascending");
+
+  StratifiedInstance out;
+  out.tiers = qjob.tiers;
+  out.job = core::Job(qjob.demand);
+  out.asks.reserve(asks.size());
+  for (std::size_t j = 0; j < asks.size(); ++j) {
+    RIT_CHECK_MSG(asks[j].type.value < qjob.areas,
+                  "ask " << j << " references unknown area "
+                         << asks[j].type.value);
+    const std::uint32_t tier = tiers.tier_of(qualities[j]);
+    out.asks.push_back(core::Ask{
+        TaskType{asks[j].type.value * qjob.tiers + tier}, asks[j].quantity,
+        asks[j].value});
+  }
+  return out;
+}
+
+core::RitResult run_quality_aware_rit(const QualityJob& qjob,
+                                      std::span<const core::Ask> asks,
+                                      std::span<const double> qualities,
+                                      const QualityTiers& tiers,
+                                      const tree::IncentiveTree& tree,
+                                      const core::RitConfig& config,
+                                      rng::Rng& rng) {
+  const StratifiedInstance refined = stratify(qjob, asks, qualities, tiers);
+  return core::run_rit(refined.job, refined.asks, tree, config, rng);
+}
+
+}  // namespace rit::ext

@@ -1,0 +1,88 @@
+// EXTENSION (beyond the paper): quality-aware RIT by stratification.
+//
+// The paper's Sec. 3-C defers "data quality guarantee" to future research.
+// This extension adds it WITHOUT touching the mechanism, by reduction: the
+// platform certifies each user's sensing quality (sensor model, history),
+// buckets qualities into tiers, and refines every task type (area) into
+// (area, tier) sub-types with their own demands. RIT then runs verbatim on
+// the refined instance, so truthfulness, sybil-proofness, IR, and the
+// budget bound are all inherited — a high-quality demand can only be
+// served by high-tier users.
+//
+// The one assumption that matters: quality is PLATFORM-CERTIFIED, not
+// self-reported. Sybil identities of a user necessarily carry the owner's
+// certified tier, so they still share the owner's refined type and the
+// same-type exclusion of the payment phase keeps protecting Lemma 6.4.
+// If users could self-report tiers, identities could scatter across tiers
+// and collect each other's tree rewards — quality_aware_test demonstrates
+// that failure mode explicitly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rit.h"
+#include "core/types.h"
+
+namespace rit::ext {
+
+/// A quality tiering: boundaries[t] is the inclusive lower edge of tier t's
+/// quality band; tiers are ordered ascending. E.g. {0.0, 0.5, 0.8} defines
+/// low [0, .5), mid [.5, .8), high [.8, ...].
+struct QualityTiers {
+  std::vector<double> boundaries{0.0};
+
+  std::uint32_t num_tiers() const {
+    return static_cast<std::uint32_t>(boundaries.size());
+  }
+  /// Tier index of a certified quality value.
+  std::uint32_t tier_of(double quality) const;
+};
+
+/// A quality-aware job: demand[area][tier] tasks of each (area, tier).
+struct QualityJob {
+  /// demand[a * tiers + t] = tasks of area a requiring tier >= exactly t.
+  std::vector<std::uint32_t> demand;
+  std::uint32_t areas{0};
+  std::uint32_t tiers{0};
+
+  std::uint32_t demand_of(std::uint32_t area, std::uint32_t tier) const;
+};
+
+struct StratifiedInstance {
+  /// The refined job over areas*tiers types.
+  core::Job job{std::vector<std::uint32_t>{1}};
+  /// Asks with refined types: type = area * tiers + tier(quality_j).
+  std::vector<core::Ask> asks;
+  std::uint32_t tiers{0};
+};
+
+/// Builds the refined instance. asks[j].type is the user's area;
+/// qualities[j] its certified quality. Throws on size mismatch or invalid
+/// tiering.
+StratifiedInstance stratify(const QualityJob& qjob,
+                            std::span<const core::Ask> asks,
+                            std::span<const double> qualities,
+                            const QualityTiers& tiers);
+
+/// Maps a refined type back to (area, tier).
+inline std::uint32_t area_of(TaskType refined, std::uint32_t tiers) {
+  return refined.value / tiers;
+}
+inline std::uint32_t tier_of_type(TaskType refined, std::uint32_t tiers) {
+  return refined.value % tiers;
+}
+
+/// Convenience: stratify + run_rit on the refined instance. The returned
+/// result is indexed by the ORIGINAL participant indices (the reduction
+/// preserves ordering), so utilities/payments read off directly.
+core::RitResult run_quality_aware_rit(const QualityJob& qjob,
+                                      std::span<const core::Ask> asks,
+                                      std::span<const double> qualities,
+                                      const QualityTiers& tiers,
+                                      const tree::IncentiveTree& tree,
+                                      const core::RitConfig& config,
+                                      rng::Rng& rng);
+
+}  // namespace rit::ext

@@ -1,0 +1,27 @@
+// Edge-list file IO.
+//
+// Format is the SNAP plain-text convention the paper's Twitter dataset [21]
+// ships in: one "from to" pair per line, '#' comments allowed. This lets a
+// user who does have the original dataset drop it in and rerun every
+// experiment on the real graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace rit::graph {
+
+/// Parses an edge list. Node ids are remapped densely (sorted by original
+/// id) so SNAP's sparse ids work; `num_nodes` becomes the number of distinct
+/// ids seen. Throws rit::CheckFailure on malformed lines.
+Graph read_edge_list(std::istream& in);
+
+/// Convenience: reads from a file path. Throws on unreadable files.
+Graph read_edge_list_file(const std::string& path);
+
+/// Writes `g` as "from to" lines (dense ids).
+void write_edge_list(const Graph& g, std::ostream& out);
+
+}  // namespace rit::graph

@@ -1,0 +1,55 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace rit::graph {
+
+Graph::Graph(std::uint32_t num_nodes, std::vector<Edge> edges)
+    : num_nodes_(num_nodes) {
+  for (const Edge& e : edges) {
+    RIT_CHECK_MSG(e.from < num_nodes && e.to < num_nodes,
+                  "edge (" << e.from << "," << e.to << ") out of range for "
+                           << num_nodes << " nodes");
+    RIT_CHECK_MSG(e.from != e.to, "self-loop at node " << e.from);
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  offsets_.assign(num_nodes_ + 1, 0);
+  targets_.reserve(edges.size());
+  in_degree_.assign(num_nodes_, 0);
+  for (const Edge& e : edges) {
+    ++offsets_[e.from + 1];
+    targets_.push_back(e.to);
+    ++in_degree_[e.to];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    offsets_[i] += offsets_[i - 1];
+  }
+}
+
+bool Graph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  auto nbrs = out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (std::uint32_t u = 0; u < num_nodes_; ++u) {
+    for (std::uint32_t v : out_neighbors(u)) out.push_back({u, v});
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Graph::sources() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t u = 0; u < num_nodes_; ++u) {
+    if (in_degree_[u] == 0) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace rit::graph

@@ -1,0 +1,114 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace rit::graph {
+
+namespace {
+DegreeStats stats_from_degrees(std::vector<double> degrees,
+                               std::size_t num_edges) {
+  RIT_CHECK(!degrees.empty());
+  DegreeStats s;
+  std::sort(degrees.begin(), degrees.end());
+  const auto n = degrees.size();
+  double sum = 0.0;
+  for (double d : degrees) sum += d;
+  s.mean = sum / static_cast<double>(n);
+  s.max = degrees.back();
+  auto pct = [&](double p) {
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(n - 1));
+    return degrees[idx];
+  };
+  s.p50 = pct(0.50);
+  s.p90 = pct(0.90);
+  s.p99 = pct(0.99);
+  s.max_over_mean = s.mean > 0.0 ? s.max / s.mean : 0.0;
+  const std::size_t top = std::max<std::size_t>(1, n / 100);
+  double top_sum = 0.0;
+  for (std::size_t i = n - top; i < n; ++i) top_sum += degrees[i];
+  s.top1pct_share = num_edges > 0
+                        ? top_sum / static_cast<double>(num_edges)
+                        : 0.0;
+  return s;
+}
+}  // namespace
+
+DegreeStats out_degree_stats(const Graph& g) {
+  RIT_CHECK(g.num_nodes() >= 1);
+  std::vector<double> degrees(g.num_nodes());
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    degrees[u] = static_cast<double>(g.out_degree(u));
+  }
+  return stats_from_degrees(std::move(degrees), g.num_edges());
+}
+
+DegreeStats in_degree_stats(const Graph& g) {
+  RIT_CHECK(g.num_nodes() >= 1);
+  std::vector<double> degrees(g.num_nodes());
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    degrees[u] = static_cast<double>(g.in_degree(u));
+  }
+  return stats_from_degrees(std::move(degrees), g.num_edges());
+}
+
+ReachabilityStats reachability(const Graph& g,
+                               const std::vector<std::uint32_t>& sources) {
+  ReachabilityStats out;
+  if (g.num_nodes() == 0) return out;
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::queue<std::pair<std::uint32_t, std::uint32_t>> frontier;  // node,depth
+  std::size_t count = 0;
+  for (std::uint32_t s : sources) {
+    RIT_CHECK(s < g.num_nodes());
+    if (seen[s]) continue;
+    seen[s] = true;
+    ++count;
+    frontier.emplace(s, 0);
+  }
+  while (!frontier.empty()) {
+    const auto [u, depth] = frontier.front();
+    frontier.pop();
+    out.bfs_depth = std::max(out.bfs_depth, depth);
+    for (std::uint32_t v : g.out_neighbors(u)) {
+      if (seen[v]) continue;
+      seen[v] = true;
+      ++count;
+      frontier.emplace(v, depth + 1);
+    }
+  }
+  out.reachable_fraction =
+      static_cast<double>(count) / static_cast<double>(g.num_nodes());
+  return out;
+}
+
+double estimate_clustering(const Graph& g, std::size_t samples,
+                           rng::Rng& rng) {
+  RIT_CHECK(samples > 0);
+  // Nodes that can anchor a length-2 path: out-degree >= 1 whose neighbours
+  // have out-degree >= 1.
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+    if (g.out_degree(u) >= 1) candidates.push_back(u);
+  }
+  if (candidates.empty()) return 0.0;
+  std::size_t paths = 0;
+  std::size_t closed = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::uint32_t u = candidates[rng.uniform_index(candidates.size())];
+    const auto nu = g.out_neighbors(u);
+    const std::uint32_t v = nu[rng.uniform_index(nu.size())];
+    const auto nv = g.out_neighbors(v);
+    if (nv.empty()) continue;
+    const std::uint32_t w = nv[rng.uniform_index(nv.size())];
+    if (w == u) continue;
+    ++paths;
+    if (g.has_edge(u, w)) ++closed;
+  }
+  return paths == 0 ? 0.0
+                    : static_cast<double>(closed) / static_cast<double>(paths);
+}
+
+}  // namespace rit::graph

@@ -1,0 +1,50 @@
+// Graph metrics used to validate the Twitter-graph substitution (DESIGN.md)
+// and by the graph-family ablation: a Barabási–Albert stand-in is only a
+// fair substitute if its degree tail and reachability profile resemble a
+// follower graph's.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rng/rng.h"
+
+namespace rit::graph {
+
+struct DegreeStats {
+  double mean{0.0};
+  double max{0.0};
+  /// 50th / 90th / 99th percentiles of the degree distribution.
+  double p50{0.0};
+  double p90{0.0};
+  double p99{0.0};
+  /// Tail-heaviness proxy: max / mean. ~O(1) for ER, >> 1 for scale-free.
+  double max_over_mean{0.0};
+  /// Fraction of all edges incident to the top 1% highest-degree nodes —
+  /// the "hub mass" that makes follower graphs produce shallow trees.
+  double top1pct_share{0.0};
+};
+
+/// Out-degree statistics of `g` (num_nodes >= 1).
+DegreeStats out_degree_stats(const Graph& g);
+/// In-degree statistics of `g`.
+DegreeStats in_degree_stats(const Graph& g);
+
+/// Fraction of nodes reachable (via directed edges) from `sources`, and the
+/// BFS depth needed to reach them — exactly the quantities that determine
+/// incentive-tree coverage and depth.
+struct ReachabilityStats {
+  double reachable_fraction{0.0};
+  std::uint32_t bfs_depth{0};
+};
+ReachabilityStats reachability(const Graph& g,
+                               const std::vector<std::uint32_t>& sources);
+
+/// Estimated global clustering coefficient by sampling `samples` random
+/// length-2 paths (u -> v -> w, u != w) and checking whether u -> w closes
+/// the triangle. 0 if the graph has no length-2 paths.
+double estimate_clustering(const Graph& g, std::size_t samples,
+                           rng::Rng& rng);
+
+}  // namespace rit::graph

@@ -1,0 +1,150 @@
+#include "platform/campaign.h"
+
+#include <numeric>
+
+#include "common/check.h"
+#include "sim/failures.h"
+#include "sim/workload.h"
+
+namespace rit::platform {
+
+Campaign::Campaign(CampaignConfig config, std::string tag)
+    : config_(std::move(config)), tag_(std::move(tag)) {
+  RIT_CHECK_MSG(!tag_.empty(), "a campaign needs a non-empty tag");
+}
+
+const Campaign::Recruited& Campaign::require_recruited() const {
+  RIT_CHECK_MSG(instance_.has_value(),
+                "campaign '" << tag_ << "': recruit() has not run");
+  return *instance_;
+}
+
+void Campaign::recruit() {
+  RIT_CHECK_MSG(!instance_.has_value(),
+                "campaign '" << tag_ << "': already recruited");
+  const sim::Scenario& s = config_.scenario;
+  rng::Rng graph_rng(s.trial_seed(0, 0));
+  rng::Rng pop_rng(s.trial_seed(0, 1));
+  rng::Rng job_rng(s.trial_seed(0, 2));
+  const graph::Graph g = sim::generate_graph(s, graph_rng);
+  const sim::Population pop = sim::generate_population(s, pop_rng);
+
+  Recruited rec;
+  rec.job = sim::generate_job(s, job_rng);
+  rec.mechanism_seed = s.trial_seed(0, 3);
+
+  // Recruit per mode; `members` lists the participating graph nodes in
+  // join order, with the matching tree.
+  std::vector<std::uint32_t> members;
+  switch (config_.mode) {
+    case SolicitationMode::kInstant: {
+      sim::TreeResult tr = sim::generate_tree(s, g);
+      rec.tree = std::move(tr.tree);
+      members = std::move(tr.graph_node_of_participant);
+      break;
+    }
+    case SolicitationMode::kGrowth: {
+      sim::GrowthOptions opts;
+      opts.supply_multiple = config_.supply_multiple;
+      opts.seeds.resize(std::max<std::uint32_t>(1, s.initial_joiners));
+      std::iota(opts.seeds.begin(), opts.seeds.end(), 0u);
+      sim::GrowthResult grown = sim::grow_until_supply(g, pop, rec.job, opts);
+      rec.tree = std::move(grown.tree);
+      members = std::move(grown.joined);
+      break;
+    }
+    case SolicitationMode::kDynamics: {
+      sim::DynamicsOptions opts = config_.dynamics;
+      opts.supply_multiple = config_.supply_multiple;
+      if (opts.seeds.empty()) opts.seeds = {0};
+      rng::Rng cascade_rng(s.trial_seed(0, 4));
+      sim::DynamicsResult campaign =
+          sim::simulate_solicitation(g, pop, &rec.job, opts, cascade_rng);
+      // Strip users who departed before close.
+      std::vector<core::Ask> joined_asks;
+      joined_asks.reserve(campaign.joined.size());
+      for (std::uint32_t u : campaign.joined) {
+        joined_asks.push_back(pop.truthful_asks[u]);
+      }
+      const sim::DropoutResult survivors = sim::remove_participants(
+          campaign.tree, joined_asks, campaign.departed);
+      rec.tree = survivors.tree;
+      members.reserve(survivors.asks.size());
+      for (std::uint32_t i : survivors.original_of) {
+        members.push_back(campaign.joined[i]);
+      }
+      break;
+    }
+  }
+
+  rec.asks.reserve(members.size());
+  rec.costs.reserve(members.size());
+  rec.accounts.reserve(members.size());
+  for (std::uint32_t u : members) {
+    rec.asks.push_back(pop.truthful_asks[u]);
+    rec.costs.push_back(pop.costs[u]);
+    rec.accounts.push_back(u);  // population index = stable account id
+  }
+  RIT_CHECK(rec.tree.num_participants() == rec.asks.size());
+  instance_ = std::move(rec);
+}
+
+const core::RitResult& Campaign::clear() {
+  const Recruited& rec = require_recruited();
+  RIT_CHECK_MSG(!result_.has_value(),
+                "campaign '" << tag_ << "': already cleared");
+  rng::Rng rng(rec.mechanism_seed);
+  core::RitResult r = core::run_rit(rec.job, rec.asks, rec.tree,
+                                    config_.scenario.mechanism, rng);
+  const core::AuditReport audit = core::audit_payments(
+      rec.tree, rec.asks, r, config_.scenario.mechanism.discount_base);
+  RIT_CHECK_MSG(audit.ok, "campaign '" << tag_ << "': post-clear audit failed: "
+                                       << (audit.violations.empty()
+                                               ? "unknown"
+                                               : audit.violations.front()));
+  result_ = std::move(r);
+  return *result_;
+}
+
+std::size_t Campaign::settle(Ledger& ledger) {
+  RIT_CHECK_MSG(result_.has_value(),
+                "campaign '" << tag_ << "': clear() has not run");
+  RIT_CHECK_MSG(!settled_, "campaign '" << tag_
+                                        << "': already settled — settling "
+                                           "twice would pay everyone twice");
+  settled_ = true;
+  return ledger.settle(*result_, require_recruited().accounts, tag_);
+}
+
+std::uint32_t Campaign::num_participants() const {
+  return static_cast<std::uint32_t>(require_recruited().asks.size());
+}
+
+const tree::IncentiveTree& Campaign::tree() const {
+  return require_recruited().tree;
+}
+
+AccountId Campaign::account_of(std::uint32_t participant) const {
+  const Recruited& rec = require_recruited();
+  RIT_CHECK(participant < rec.accounts.size());
+  return rec.accounts[participant];
+}
+
+const core::RitResult& Campaign::result() const {
+  RIT_CHECK_MSG(result_.has_value(),
+                "campaign '" << tag_ << "': clear() has not run");
+  return *result_;
+}
+
+core::ExperimentRecord Campaign::record() const {
+  const Recruited& rec = require_recruited();
+  core::ExperimentRecord out;
+  out.job = rec.job;
+  out.asks = rec.asks;
+  out.tree_parents = rec.tree.parents();
+  out.discount_base = config_.scenario.mechanism.discount_base;
+  out.result = result();
+  return out;
+}
+
+}  // namespace rit::platform

@@ -1,0 +1,106 @@
+// Campaign: the façade that runs one crowdsensing campaign end to end.
+//
+// Everything the examples wire by hand — graph, population, job, tree,
+// mechanism, audit, settlement — behind a three-call lifecycle:
+//
+//   platform::CampaignConfig cfg;
+//   cfg.scenario.num_users = 20000;
+//   platform::Campaign campaign(cfg, "aq-march");
+//   campaign.recruit();                 // graph -> tree -> sealed asks
+//   const auto& result = campaign.clear();  // auction + payments (+audit)
+//   campaign.settle(ledger);            // balances move
+//
+// The lifecycle is a checked state machine (clearing before recruiting
+// throws), every stage is deterministic from the scenario seed, and the
+// post-clear audit is mandatory: a run whose payments do not re-derive
+// from its inputs refuses to settle.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/audit.h"
+#include "core/result_io.h"
+#include "core/rit.h"
+#include "platform/ledger.h"
+#include "sim/dynamics.h"
+#include "sim/growth.h"
+#include "sim/runner.h"
+
+namespace rit::platform {
+
+/// How the campaign recruits its incentive tree.
+enum class SolicitationMode {
+  /// The Sec. 7-A spanning forest over the whole population (everyone
+  /// joins; the Figs. 6-9 setting).
+  kInstant,
+  /// Grow wave-by-wave until supply covers supply_multiple * demand
+  /// (Remark 6.1); only the recruited users participate.
+  kGrowth,
+  /// Discrete-event cascade (sim/dynamics.h) with the same supply target;
+  /// users departed before close are stripped from the auction.
+  kDynamics,
+};
+
+struct CampaignConfig {
+  sim::Scenario scenario;
+  SolicitationMode mode = SolicitationMode::kInstant;
+  /// kGrowth / kDynamics: the Remark 6.1 supply multiple.
+  double supply_multiple = 2.0;
+  /// kDynamics knobs.
+  sim::DynamicsOptions dynamics;
+};
+
+class Campaign {
+ public:
+  Campaign(CampaignConfig config, std::string tag);
+
+  /// Stage 1: builds graph, population, tree; collects sealed asks.
+  /// Throws if already recruited.
+  void recruit();
+
+  /// Stage 2: runs RIT and audits the outcome. Throws if not recruited or
+  /// already cleared; throws if the mandatory audit finds violations.
+  const core::RitResult& clear();
+
+  /// Stage 3: settles payments into `ledger` (participant j's account id is
+  /// its stable population index). No-op returning 0 on failed runs.
+  /// Throws if not cleared, and throws on a second call — settling twice
+  /// would pay everyone twice.
+  std::size_t settle(Ledger& ledger);
+
+  // --- accessors (valid after the corresponding stage) ---
+  const std::string& tag() const { return tag_; }
+  bool recruited() const { return instance_.has_value(); }
+  bool cleared() const { return result_.has_value(); }
+  /// Participants and their asks (after recruit()).
+  std::uint32_t num_participants() const;
+  const tree::IncentiveTree& tree() const;
+  const std::vector<core::Ask>& asks() const { return require_recruited().asks; }
+  const core::Job& job() const { return require_recruited().job; }
+  /// Stable account id of participant j (its index in the full population).
+  AccountId account_of(std::uint32_t participant) const;
+  const core::RitResult& result() const;
+  /// Bit-exact record of the cleared run (for result_io / audit tooling).
+  core::ExperimentRecord record() const;
+
+ private:
+  struct Recruited {
+    core::Job job{std::vector<std::uint32_t>{1}};
+    std::vector<core::Ask> asks;
+    std::vector<double> costs;
+    std::vector<AccountId> accounts;
+    tree::IncentiveTree tree = tree::IncentiveTree::root_only();
+    std::uint64_t mechanism_seed{0};
+  };
+
+  const Recruited& require_recruited() const;
+
+  CampaignConfig config_;
+  std::string tag_;
+  std::optional<Recruited> instance_;
+  std::optional<core::RitResult> result_;
+  bool settled_{false};
+};
+
+}  // namespace rit::platform

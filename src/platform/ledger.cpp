@@ -1,0 +1,75 @@
+#include "platform/ledger.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/format_util.h"
+
+namespace rit::platform {
+
+void Ledger::post(const std::string& campaign, AccountId account,
+                  double amount, const char* memo) {
+  RIT_CHECK_MSG(std::isfinite(amount) && amount > 0.0,
+                "transaction amount must be positive and finite, got "
+                    << amount);
+  transactions_.push_back(
+      Transaction{next_id_++, campaign, account, amount, memo});
+  balances_[account] += amount;
+  outflow_ += amount;
+}
+
+std::size_t Ledger::settle(const core::RitResult& result,
+                           std::span<const AccountId> account_of,
+                           const std::string& campaign_tag) {
+  RIT_CHECK_MSG(account_of.size() == result.payment.size(),
+                "account map has " << account_of.size() << " entries for "
+                                   << result.payment.size()
+                                   << " participants");
+  if (!result.success) return 0;
+
+  const std::size_t before = transactions_.size();
+  for (std::size_t j = 0; j < result.payment.size(); ++j) {
+    const double sensing = result.auction_payment[j];
+    const double solicitation = result.payment[j] - result.auction_payment[j];
+    if (sensing > 0.0) post(campaign_tag, account_of[j], sensing, "sensing");
+    if (solicitation > 0.0) {
+      post(campaign_tag, account_of[j], solicitation, "solicitation");
+    }
+  }
+  RIT_CHECK_MSG(balanced(), "ledger conservation violated after settling "
+                                << campaign_tag);
+  return transactions_.size() - before;
+}
+
+double Ledger::balance_of(AccountId account) const {
+  const auto it = balances_.find(account);
+  return it == balances_.end() ? 0.0 : it->second;
+}
+
+std::vector<Transaction> Ledger::campaign_transactions(
+    const std::string& campaign_tag) const {
+  std::vector<Transaction> out;
+  for (const Transaction& t : transactions_) {
+    if (t.campaign == campaign_tag) out.push_back(t);
+  }
+  return out;
+}
+
+bool Ledger::balanced(double tolerance) const {
+  double total = 0.0;
+  for (const auto& [account, balance] : balances_) total += balance;
+  return std::abs(total - outflow_) <= tolerance * (1.0 + outflow_);
+}
+
+void Ledger::write_statement(std::ostream& out) const {
+  out << "ledger: " << transactions_.size() << " transaction(s), outflow "
+      << format_double(outflow_, 2) << ", " << balances_.size()
+      << " account(s)\n";
+  for (const Transaction& t : transactions_) {
+    out << "  #" << t.id << " [" << t.campaign << "] account " << t.account
+        << " +" << format_double(t.amount, 4) << " (" << t.memo << ")\n";
+  }
+}
+
+}  // namespace rit::platform

@@ -1,0 +1,72 @@
+// The money ledger: where mechanism outputs become account balances.
+//
+// A crowdsensing platform settles many campaigns against the same user
+// base; the ledger records every payout as an immutable transaction
+// (campaign tag, user, amount, memo) and maintains balances. Its core
+// invariant — the platform's total outflow equals the sum of user balances
+// — is checked on every settlement, and a settlement is all-or-nothing:
+// failed mechanism runs (success == false) settle zero transactions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rit.h"
+
+namespace rit::platform {
+
+/// A user identity stable across campaigns (participant indices are
+/// per-campaign; the caller maps them to UserAccount ids).
+using AccountId = std::uint64_t;
+
+struct Transaction {
+  std::uint64_t id{0};
+  std::string campaign;
+  AccountId account{0};
+  double amount{0.0};      // > 0: platform pays the user
+  std::string memo;        // "sensing" or "solicitation"
+};
+
+class Ledger {
+ public:
+  /// Settles a successful mechanism result. account_of[j] maps participant
+  /// j to its account. Two transactions per paid user: the sensing part
+  /// (auction payment) and the solicitation part (tree reward), zero-amount
+  /// parts skipped. Throws on size mismatch; a failed result settles
+  /// nothing and returns 0.
+  std::size_t settle(const core::RitResult& result,
+                     std::span<const AccountId> account_of,
+                     const std::string& campaign_tag);
+
+  double balance_of(AccountId account) const;
+  double platform_outflow() const { return outflow_; }
+  std::size_t num_transactions() const { return transactions_.size(); }
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+
+  /// All transactions of one campaign tag.
+  std::vector<Transaction> campaign_transactions(
+      const std::string& campaign_tag) const;
+
+  /// Verifies the conservation invariant; returns false (never throws) so
+  /// it can run inside audits.
+  bool balanced(double tolerance = 1e-6) const;
+
+  /// Writes a human-readable statement.
+  void write_statement(std::ostream& out) const;
+
+ private:
+  void post(const std::string& campaign, AccountId account, double amount,
+            const char* memo);
+
+  std::vector<Transaction> transactions_;
+  std::unordered_map<AccountId, double> balances_;
+  double outflow_{0.0};
+  std::uint64_t next_id_{1};
+};
+
+}  // namespace rit::platform

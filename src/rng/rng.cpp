@@ -1,0 +1,74 @@
+#include "rng/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rit::rng {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
+  RIT_CHECK(bound > 0);
+  // Lemire 2019: multiply-shift with rejection of the biased low region.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RIT_CHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  if (span == ~std::uint64_t{0}) return static_cast<std::int64_t>(next_u64());
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   uniform_u64(span + 1));
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  RIT_CHECK(lo < hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::uniform_real_left_open(double lo, double hi) {
+  RIT_CHECK(lo < hi);
+  // 1 - U is in (0, 1]; scale into (lo, hi].
+  double u = 1.0 - uniform01();
+  return lo + (hi - lo) * u;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  RIT_CHECK(mean > 0.0);
+  // 1 - U in (0, 1], so the log argument never hits zero.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  RIT_CHECK_MSG(k <= n, "cannot sample " << k << " from " << n);
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + uniform_index(n - i);
+    std::swap(pool[i], pool[j]);
+    out.push_back(pool[i]);
+  }
+  return out;
+}
+
+}  // namespace rit::rng

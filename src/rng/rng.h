@@ -1,0 +1,91 @@
+// Rng: the single randomness source used throughout the library.
+//
+// All distribution code is written out explicitly (no <random> distribution
+// classes) because the standard leaves their algorithms unspecified — two
+// standard libraries may produce different streams from the same engine.
+// Every simulation result in EXPERIMENTS.md is replayable from its seed on
+// any conforming C++20 toolchain.
+//
+// Rng objects are cheap (32 bytes of state) and passed by reference into
+// every randomized routine; `split()` derives statistically independent
+// children for per-trial / per-component streams so that adding draws in one
+// component does not perturb another (the "common random numbers" variance
+// reduction the paired truthfulness tests rely on).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "rng/xoshiro256.h"
+
+namespace rit::rng {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// The seed this stream was created from (for diagnostics / replay).
+  std::uint64_t seed() const { return seed_; }
+
+  /// Raw 64 uniform random bits.
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Derives an independent child stream. Deterministic: the i-th split of a
+  /// given Rng state is always the same stream.
+  Rng split() { return Rng(next_u64() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Lemire's nearly-divisionless method with rejection — exactly uniform.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform size_t index in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_u64(n));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double uniform_real(double lo, double hi);
+
+  /// Uniform double in (lo, hi]: the paper draws costs from (0, 10] and
+  /// capabilities from (0, 20], both half-open on the left.
+  double uniform_real_left_open(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential variate with the given mean (> 0); inverse-CDF method, so
+  /// one uniform draw per variate (stream-accounting stays simple).
+  double exponential(double mean);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Chooses `k` distinct indices uniformly from [0, n) (k <= n), in
+  /// selection order (not sorted). Uses partial Fisher-Yates: O(n) memory,
+  /// O(k) swaps.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  Xoshiro256StarStar engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace rit::rng

@@ -1,0 +1,27 @@
+// SplitMix64 (Steele, Lea, Flood 2014; public-domain reference by Vigna).
+//
+// Used only to expand a user-provided 64-bit seed into the 256-bit state of
+// xoshiro256** and to derive independent child seeds. Never used as the
+// simulation generator itself.
+#pragma once
+
+#include <cstdint>
+
+namespace rit::rng {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rit::rng

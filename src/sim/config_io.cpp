@@ -1,0 +1,145 @@
+#include "sim/config_io.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rit::sim {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !value.empty(),
+                "config key '" << key << "' wants an integer, got '" << value
+                               << "'");
+  return v;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !value.empty(),
+                "config key '" << key << "' wants a number, got '" << value
+                               << "'");
+  return v;
+}
+}  // namespace
+
+Scenario read_scenario(std::istream& in) {
+  Scenario s;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    RIT_CHECK_MSG(eq != std::string::npos,
+                  "config line " << line_no << ": expected 'key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    if (key == "users") {
+      s.num_users = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "types") {
+      s.num_types = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "tasks_per_type") {
+      s.tasks_per_type = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "demand_lo") {
+      s.demand_lo = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "demand_hi") {
+      s.demand_hi = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "k_max") {
+      s.k_max = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "cost_max") {
+      s.cost_max = parse_double(key, value);
+    } else if (key == "h") {
+      s.mechanism.h = parse_double(key, value);
+    } else if (key == "discount_base") {
+      s.mechanism.discount_base = parse_double(key, value);
+    } else if (key == "policy") {
+      if (value == "theoretical") {
+        s.mechanism.round_budget_policy = core::RoundBudgetPolicy::kTheoretical;
+      } else if (value == "completion") {
+        s.mechanism.round_budget_policy =
+            core::RoundBudgetPolicy::kRunToCompletion;
+      } else {
+        RIT_CHECK_MSG(false, "config key 'policy' wants theoretical|completion, got '"
+                                 << value << "'");
+      }
+    } else if (key == "graph") {
+      s.graph = parse_graph_kind(value);
+    } else if (key == "ba_edges") {
+      s.ba_edges_per_node = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "er_degree") {
+      s.er_degree = parse_double(key, value);
+    } else if (key == "ws_k") {
+      s.ws_k = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "ws_beta") {
+      s.ws_beta = parse_double(key, value);
+    } else if (key == "cm_exponent") {
+      s.cm_exponent = parse_double(key, value);
+    } else if (key == "cm_max_degree") {
+      s.cm_max_degree = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "initial_joiners") {
+      s.initial_joiners = static_cast<std::uint32_t>(parse_u64(key, value));
+    } else if (key == "seed") {
+      s.seed = parse_u64(key, value);
+    } else {
+      RIT_CHECK_MSG(false, "config line " << line_no << ": unknown key '"
+                                          << key << "'");
+    }
+  }
+  return s;
+}
+
+Scenario read_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  RIT_CHECK_MSG(in.good(), "cannot open scenario file: " << path);
+  return read_scenario(in);
+}
+
+void write_scenario(const Scenario& s, std::ostream& out) {
+  out << "# ritcs scenario\n";
+  out << "users = " << s.num_users << "\n";
+  out << "types = " << s.num_types << "\n";
+  out << "tasks_per_type = " << s.tasks_per_type << "\n";
+  out << "demand_lo = " << s.demand_lo << "\n";
+  out << "demand_hi = " << s.demand_hi << "\n";
+  out << "k_max = " << s.k_max << "\n";
+  out << "cost_max = " << s.cost_max << "\n";
+  out << "h = " << s.mechanism.h << "\n";
+  out << "discount_base = " << s.mechanism.discount_base << "\n";
+  out << "policy = "
+      << (s.mechanism.round_budget_policy ==
+                  core::RoundBudgetPolicy::kTheoretical
+              ? "theoretical"
+              : "completion")
+      << "\n";
+  out << "graph = " << to_string(s.graph) << "\n";
+  out << "ba_edges = " << s.ba_edges_per_node << "\n";
+  out << "er_degree = " << s.er_degree << "\n";
+  out << "ws_k = " << s.ws_k << "\n";
+  out << "ws_beta = " << s.ws_beta << "\n";
+  out << "cm_exponent = " << s.cm_exponent << "\n";
+  out << "cm_max_degree = " << s.cm_max_degree << "\n";
+  out << "initial_joiners = " << s.initial_joiners << "\n";
+  out << "seed = " << s.seed << "\n";
+}
+
+}  // namespace rit::sim

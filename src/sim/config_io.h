@@ -1,0 +1,34 @@
+// Scenario (de)serialization: a plain "key = value" config format so
+// experiments can be described in files, diffed, and attached to results.
+//
+//   # spectrum sensing, paper scale
+//   users = 40000
+//   types = 10
+//   tasks_per_type = 5000
+//   h = 0.8
+//   graph = ba
+//   policy = completion
+//
+// Unknown keys are rejected (typos should fail loudly, not silently run the
+// wrong experiment).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/scenario.h"
+
+namespace rit::sim {
+
+/// Parses a config stream into a Scenario, starting from defaults. Throws
+/// CheckFailure on malformed lines, unknown keys, or invalid values.
+Scenario read_scenario(std::istream& in);
+
+/// Convenience: parse from a file path.
+Scenario read_scenario_file(const std::string& path);
+
+/// Writes every Scenario field in the same format (round-trips through
+/// read_scenario).
+void write_scenario(const Scenario& scenario, std::ostream& out);
+
+}  // namespace rit::sim

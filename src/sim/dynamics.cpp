@@ -1,0 +1,179 @@
+#include "sim/dynamics.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace rit::sim {
+
+namespace {
+struct Event {
+  double time;
+  enum class Kind : std::uint8_t { kInvitation, kJoin, kDepart } kind;
+  std::uint32_t target;
+  std::uint32_t inviter;  // graph node, or kFromPlatform
+  std::uint64_t id;       // insertion order: the deterministic tie-break
+};
+
+struct Later {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+};
+
+constexpr std::uint32_t kFromPlatform =
+    std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+std::size_t DynamicsResult::joined_by(double t) const {
+  return std::upper_bound(join_time.begin(), join_time.end(), t) -
+         join_time.begin();
+}
+
+DynamicsResult simulate_solicitation(const graph::Graph& g,
+                                     const Population& population,
+                                     const core::Job* job,
+                                     const DynamicsOptions& options,
+                                     rng::Rng& rng) {
+  RIT_CHECK(population.size() == g.num_nodes());
+  RIT_CHECK(options.invite_delay_mean > 0.0);
+  RIT_CHECK(options.decision_delay_mean > 0.0);
+  RIT_CHECK(options.acceptance_prob >= 0.0 && options.acceptance_prob <= 1.0);
+  RIT_CHECK_MSG(!options.seeds.empty(), "dynamics needs at least one seed");
+  RIT_CHECK_MSG(options.supply_multiple <= 0.0 || job != nullptr,
+                "supply target requires a job");
+  RIT_CHECK(options.lifetime_mean >= 0.0);
+
+  const std::uint32_t n = g.num_nodes();
+  DynamicsResult res{tree::IncentiveTree::root_only(), {}, {}, 0.0,
+                     DynamicsResult::StopReason::kCascadeDied, {}, {}};
+  if (job != nullptr) res.supply_by_type.assign(job->num_types(), 0);
+
+  std::vector<std::uint64_t> target;
+  if (options.supply_multiple > 0.0) {
+    target.assign(job->num_types(), 0);
+    for (std::uint32_t t = 0; t < job->num_types(); ++t) {
+      target[t] = static_cast<std::uint64_t>(
+          options.supply_multiple * job->demand(TaskType{t}) + 0.999999);
+    }
+  }
+  auto supply_met = [&]() {
+    if (target.empty()) return false;
+    for (std::uint32_t t = 0; t < job->num_types(); ++t) {
+      if (job->demand(TaskType{t}) > 0 && res.supply_by_type[t] < target[t]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<bool> joined(n, false);
+  // A user who accepted an invitation but whose join has not fired yet; no
+  // other invitation may claim it in the meantime.
+  std::vector<bool> committed(n, false);
+  std::vector<std::uint32_t> node_of(n, 0);
+  std::vector<std::uint32_t> parents{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue;
+  std::uint64_t next_id = 0;
+  const std::uint32_t cap = options.max_users.value_or(n);
+
+  auto join = [&](std::uint32_t u, double time, std::uint32_t inviter_graph) {
+    joined[u] = true;
+    committed[u] = true;
+    node_of[u] = static_cast<std::uint32_t>(res.joined.size() + 1);
+    parents.push_back(inviter_graph == kFromPlatform ? 0
+                                                     : node_of[inviter_graph]);
+    res.joined.push_back(u);
+    res.join_time.push_back(time);
+    if (job != nullptr) {
+      const core::Ask& ask = population.truthful_asks[u];
+      if (ask.type.value < res.supply_by_type.size()) {
+        res.supply_by_type[ask.type.value] += ask.quantity;
+      }
+    }
+    // Schedule invitations to every neighbour.
+    for (std::uint32_t v : g.out_neighbors(u)) {
+      if (joined[v]) continue;
+      queue.push(Event{time + rng.exponential(options.invite_delay_mean),
+                       Event::Kind::kInvitation, v, u, next_id++});
+    }
+    if (options.lifetime_mean > 0.0) {
+      queue.push(Event{time + rng.exponential(options.lifetime_mean),
+                       Event::Kind::kDepart, u, kFromPlatform, next_id++});
+    }
+  };
+
+  // Seeds join at t = 0 in ascending order (paper tie-break flavour).
+  std::vector<std::uint32_t> seeds = options.seeds;
+  std::sort(seeds.begin(), seeds.end());
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+  for (std::uint32_t s : seeds) {
+    RIT_CHECK_MSG(s < n, "seed " << s << " out of range");
+    if (res.joined.size() >= cap) break;
+    join(s, 0.0, kFromPlatform);
+  }
+
+  const bool explicit_cap = options.max_users.has_value();
+  bool stop = false;
+  if (explicit_cap && res.joined.size() >= cap) {
+    res.stop_reason = DynamicsResult::StopReason::kMaxUsers;
+    stop = true;
+  } else if (supply_met()) {
+    res.stop_reason = DynamicsResult::StopReason::kSupplyMet;
+    stop = true;
+  }
+
+  while (!stop && !queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (options.deadline && ev.time > *options.deadline) {
+      res.end_time = *options.deadline;
+      res.stop_reason = DynamicsResult::StopReason::kDeadline;
+      stop = true;
+      break;
+    }
+    res.end_time = ev.time;
+    if (ev.kind == Event::Kind::kInvitation) {
+      if (committed[ev.target]) continue;  // someone else got there first
+      // The invitee deliberates; a declined invitation is simply dropped
+      // (another neighbour may try again later).
+      if (!rng.bernoulli(options.acceptance_prob)) continue;
+      committed[ev.target] = true;
+      queue.push(
+          Event{ev.time + rng.exponential(options.decision_delay_mean),
+                Event::Kind::kJoin, ev.target, ev.inviter, next_id++});
+      continue;
+    }
+    if (ev.kind == Event::Kind::kDepart) {
+      const std::uint32_t participant =
+          tree::participant_of_node(node_of[ev.target]);
+      res.departed.push_back(participant);
+      if (job != nullptr) {
+        const core::Ask& ask = population.truthful_asks[ev.target];
+        if (ask.type.value < res.supply_by_type.size()) {
+          RIT_DCHECK(res.supply_by_type[ask.type.value] >= ask.quantity);
+          res.supply_by_type[ask.type.value] -= ask.quantity;
+        }
+      }
+      continue;
+    }
+    // kJoin
+    RIT_DCHECK(!joined[ev.target]);
+    join(ev.target, ev.time, ev.inviter);
+    if (explicit_cap && res.joined.size() >= cap) {
+      res.stop_reason = DynamicsResult::StopReason::kMaxUsers;
+      stop = true;
+    } else if (supply_met()) {
+      res.stop_reason = DynamicsResult::StopReason::kSupplyMet;
+      stop = true;
+    }
+  }
+
+  res.tree = tree::IncentiveTree(std::move(parents));
+  return res;
+}
+
+}  // namespace rit::sim

@@ -1,0 +1,84 @@
+// Discrete-event solicitation dynamics.
+//
+// The static tree builders answer "what does the tree look like when
+// solicitation is done"; this module answers "how does the campaign unfold
+// over time" — the dimension the paper's DARPA Network Challenge anecdote
+// (4,400 participants in nine hours) lives in. Each joined user invites its
+// social-graph neighbours after an exponential think-time; each invitee
+// accepts its first arriving invitation with some probability after its own
+// decision delay. The simulation stops at a user threshold (the paper's N),
+// a supply target (Remark 6.1), a deadline, or when the cascade dies out.
+//
+// Everything is deterministic given the Rng, and the resulting tree is a
+// drop-in input for run_rit().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "graph/graph.h"
+#include "rng/rng.h"
+#include "sim/workload.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::sim {
+
+struct DynamicsOptions {
+  /// Mean think-time between a user joining and each of its invitations
+  /// going out (each invitation gets an independent exponential delay).
+  double invite_delay_mean = 1.0;
+  /// Mean time an invitee deliberates before joining.
+  double decision_delay_mean = 0.5;
+  /// Probability an invitation is accepted. Declined invitations burn that
+  /// inviter's chance; another neighbour may still recruit the user later.
+  double acceptance_prob = 0.7;
+  /// Graph nodes that join at time 0 (children of the platform).
+  std::vector<std::uint32_t> seeds{0};
+  /// Stop once this many users joined (the paper's N).
+  std::optional<std::uint32_t> max_users;
+  /// Stop at this simulation time.
+  std::optional<double> deadline;
+  /// If > 0, stop when per-type supply reaches supply_multiple * m_i
+  /// (Remark 6.1); requires `job` in simulate_solicitation.
+  double supply_multiple = 0.0;
+  /// Churn: each joined user independently departs after an exponential
+  /// lifetime with this mean (0 = nobody leaves). Departed users still
+  /// occupy their tree position (their referrals happened) but no longer
+  /// count toward the supply target, and `departed` reports them so the
+  /// caller can strip their asks (sim/failures.h) before the auction.
+  double lifetime_mean = 0.0;
+};
+
+struct DynamicsResult {
+  tree::IncentiveTree tree;
+  /// Graph node of each participant, in join order.
+  std::vector<std::uint32_t> joined;
+  /// Join time of each participant (seeds at 0).
+  std::vector<double> join_time;
+  /// Time the simulation stopped.
+  double end_time{0.0};
+  /// Why it stopped.
+  enum class StopReason { kCascadeDied, kMaxUsers, kDeadline, kSupplyMet };
+  StopReason stop_reason{StopReason::kCascadeDied};
+  /// Per-type unit supply among joined users (empty if no job given).
+  /// With churn enabled this counts only users still present at end_time.
+  std::vector<std::uint64_t> supply_by_type;
+  /// Participants (indices into `joined`) who departed before end_time;
+  /// empty without churn.
+  std::vector<std::uint32_t> departed;
+
+  /// Number of users joined at or before time t.
+  std::size_t joined_by(double t) const;
+};
+
+/// Simulates the cascade. `population` supplies each graph node's ask (for
+/// the supply target); pass `job == nullptr` to disable supply tracking.
+DynamicsResult simulate_solicitation(const graph::Graph& g,
+                                     const Population& population,
+                                     const core::Job* job,
+                                     const DynamicsOptions& options,
+                                     rng::Rng& rng);
+
+}  // namespace rit::sim

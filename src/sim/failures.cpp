@@ -1,0 +1,64 @@
+#include "sim/failures.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rit::sim {
+
+DropoutResult remove_participants(const tree::IncentiveTree& tree,
+                                  std::span<const core::Ask> asks,
+                                  std::span<const std::uint32_t> dropouts) {
+  RIT_CHECK(asks.size() == tree.num_participants());
+  const auto n = static_cast<std::uint32_t>(asks.size());
+  std::vector<bool> dropped(n, false);
+  for (std::uint32_t d : dropouts) {
+    RIT_CHECK_MSG(d < n, "dropout " << d << " out of range");
+    dropped[d] = true;
+  }
+
+  DropoutResult res{tree::IncentiveTree::root_only(), {}, {}, {}};
+  res.new_of_original.assign(n, DropoutResult::kDropped);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    if (dropped[j]) continue;
+    res.new_of_original[j] = static_cast<std::uint32_t>(res.asks.size());
+    res.original_of.push_back(j);
+    res.asks.push_back(asks[j]);
+  }
+
+  // Surviving ancestor of each original node, resolved root-down so each
+  // node's answer is already final when its children ask.
+  const auto m = static_cast<std::uint32_t>(res.asks.size());
+  std::vector<std::uint32_t> new_parents(m + 1, 0);
+  // surviving_anchor[node]: the NEW tree node that a child of `node` should
+  // attach to (node itself if it survives, else its parent's anchor).
+  std::vector<std::uint32_t> surviving_anchor(tree.num_nodes(), 0);
+  surviving_anchor[0] = 0;
+  for (std::uint32_t node : tree.preorder()) {
+    if (node == 0) continue;
+    const std::uint32_t j = tree::participant_of_node(node);
+    if (dropped[j]) {
+      surviving_anchor[node] = surviving_anchor[tree.parent(node)];
+    } else {
+      const std::uint32_t new_node =
+          tree::node_of_participant(res.new_of_original[j]);
+      surviving_anchor[node] = new_node;
+      new_parents[new_node] = surviving_anchor[tree.parent(node)];
+    }
+  }
+  res.tree = tree::IncentiveTree(std::move(new_parents));
+  return res;
+}
+
+DropoutResult random_dropout(const tree::IncentiveTree& tree,
+                             std::span<const core::Ask> asks, double rate,
+                             rng::Rng& rng) {
+  RIT_CHECK(rate >= 0.0 && rate <= 1.0);
+  std::vector<std::uint32_t> dropouts;
+  for (std::uint32_t j = 0; j < asks.size(); ++j) {
+    if (rng.bernoulli(rate)) dropouts.push_back(j);
+  }
+  return remove_participants(tree, asks, dropouts);
+}
+
+}  // namespace rit::sim

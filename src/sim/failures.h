@@ -1,0 +1,45 @@
+// Failure injection: participants dropping out between solicitation and
+// the auction.
+//
+// Real crowdsensing users uninstall the app, leave the area, or go offline
+// after joining the tree. The mechanism itself never sees them (they submit
+// no ask), but their *position* in the tree matters: their recruits'
+// referral chains already happened, so when P_j vanishes its children are
+// re-attached to P_j's parent (the platform keeps the recorded solicitation
+// edges minus the dead node). This module rewrites an instance accordingly
+// and is the substrate for the dropout-robustness tests and ablation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "rng/rng.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::sim {
+
+struct DropoutResult {
+  tree::IncentiveTree tree;
+  std::vector<core::Ask> asks;
+  /// survivor_of_new[i]: original participant index of new participant i.
+  std::vector<std::uint32_t> original_of;
+  /// new_of_original[j]: new index of original participant j, or kDropped.
+  std::vector<std::uint32_t> new_of_original;
+  static constexpr std::uint32_t kDropped = 0xffffffff;
+};
+
+/// Removes the given participants (deduplicated) from an instance. Children
+/// of a removed node are spliced to its closest surviving ancestor (or the
+/// platform). Survivors keep their relative order.
+DropoutResult remove_participants(const tree::IncentiveTree& tree,
+                                  std::span<const core::Ask> asks,
+                                  std::span<const std::uint32_t> dropouts);
+
+/// Drops each participant independently with probability `rate`.
+DropoutResult random_dropout(const tree::IncentiveTree& tree,
+                             std::span<const core::Ask> asks, double rate,
+                             rng::Rng& rng);
+
+}  // namespace rit::sim

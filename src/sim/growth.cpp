@@ -1,0 +1,93 @@
+#include "sim/growth.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace rit::sim {
+
+GrowthResult grow_until_supply(const graph::Graph& g,
+                               const Population& population,
+                               const core::Job& job,
+                               const GrowthOptions& options) {
+  RIT_CHECK(population.size() == g.num_nodes());
+  RIT_CHECK(options.supply_multiple > 0.0);
+  RIT_CHECK_MSG(!options.seeds.empty(), "growth needs at least one seed");
+  const std::uint32_t n = g.num_nodes();
+  const std::uint32_t cap = std::min<std::uint32_t>(
+      options.max_users.value_or(n), n);
+
+  GrowthResult res{tree::IncentiveTree::root_only(), {}, false, {}};
+  res.supply_by_type.assign(job.num_types(), 0);
+
+  std::vector<std::uint64_t> target(job.num_types(), 0);
+  for (std::uint32_t t = 0; t < job.num_types(); ++t) {
+    target[t] = static_cast<std::uint64_t>(
+        options.supply_multiple * job.demand(TaskType{t}) + 0.999999);
+  }
+  auto supply_met = [&]() {
+    for (std::uint32_t t = 0; t < job.num_types(); ++t) {
+      if (job.demand(TaskType{t}) > 0 && res.supply_by_type[t] < target[t]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  constexpr std::uint32_t kRoot = kUnset - 1;
+  std::vector<std::uint32_t> inviter(n, kUnset);
+  std::vector<std::uint32_t> parents{0};  // grows with join order
+
+  auto join = [&](std::uint32_t u, std::uint32_t inviter_node) {
+    res.joined.push_back(u);
+    parents.push_back(inviter_node);
+    const core::Ask& ask = population.truthful_asks[u];
+    res.supply_by_type[ask.type.value] += ask.quantity;
+  };
+
+  // node_of[u]: tree node of graph node u once joined.
+  std::vector<std::uint32_t> node_of(n, 0);
+
+  std::vector<std::uint32_t> wave;
+  for (std::uint32_t s : options.seeds) {
+    RIT_CHECK_MSG(s < n, "seed " << s << " out of range");
+    if (inviter[s] != kUnset) continue;
+    inviter[s] = kRoot;
+    wave.push_back(s);
+  }
+  std::sort(wave.begin(), wave.end());
+  bool done = false;
+  for (std::uint32_t s : wave) {
+    if (res.joined.size() >= cap || (done = supply_met())) break;
+    node_of[s] = static_cast<std::uint32_t>(res.joined.size() + 1);
+    join(s, 0);
+  }
+
+  while (!wave.empty() && !done && res.joined.size() < cap) {
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t u : wave) {
+      if (node_of[u] == 0) continue;  // cut off before joining
+      for (std::uint32_t v : g.out_neighbors(u)) {
+        if (inviter[v] != kUnset) continue;
+        inviter[v] = u;
+        next.push_back(v);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    for (std::uint32_t v : next) {
+      if (res.joined.size() >= cap || (done = supply_met())) break;
+      node_of[v] = static_cast<std::uint32_t>(res.joined.size() + 1);
+      join(v, node_of[inviter[v]]);
+    }
+    std::erase_if(next, [&](std::uint32_t v) { return node_of[v] == 0; });
+    wave = std::move(next);
+  }
+
+  res.supply_met = supply_met();
+  res.tree = tree::IncentiveTree(std::move(parents));
+  return res;
+}
+
+}  // namespace rit::sim

@@ -1,0 +1,54 @@
+// Solicitation growth control (Remark 6.1 made executable).
+//
+// The paper stops solicitation at a threshold N and remarks that N should
+// be large enough that, for every task type, the joined users can complete
+// at least 2*m_i tasks — CRA selects up to q + m_i potential winners, so it
+// needs that much live supply to allocate reliably. This module grows the
+// BFS spanning forest wave by wave and stops at the first N whose joined
+// population satisfies a configurable supply multiple, answering the
+// operational question "how many users do I actually need to recruit?".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/types.h"
+#include "graph/graph.h"
+#include "sim/workload.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::sim {
+
+struct GrowthOptions {
+  /// Required supply per type, as a multiple of m_i (Remark 6.1: 2.0).
+  double supply_multiple = 2.0;
+  /// Graph nodes that join at the very beginning.
+  std::vector<std::uint32_t> seeds{0};
+  /// Hard cap on recruited users (default: the whole graph).
+  std::optional<std::uint32_t> max_users;
+};
+
+struct GrowthResult {
+  tree::IncentiveTree tree;
+  /// Graph node of each participant, in join order.
+  std::vector<std::uint32_t> joined;
+  /// Whether every demanded type reached the supply target before the graph
+  /// (or max_users) was exhausted.
+  bool supply_met{false};
+  /// Per-type unit supply among the joined users.
+  std::vector<std::uint64_t> supply_by_type;
+};
+
+/// Grows the incentive tree over `g` until the joined users' capabilities
+/// cover `supply_multiple * m_i` units for every demanded type of `job`
+/// (user u's type/capability taken from population.truthful_asks[u]; the
+/// population is indexed by graph node). Users keep joining in BFS order
+/// with the paper's smallest-inviter tie-break; growth stops mid-wave as
+/// soon as the target is met, mirroring "T stops growing when the number of
+/// users reaches N".
+GrowthResult grow_until_supply(const graph::Graph& g,
+                               const Population& population,
+                               const core::Job& job,
+                               const GrowthOptions& options);
+
+}  // namespace rit::sim

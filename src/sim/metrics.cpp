@@ -1,0 +1,17 @@
+#include "sim/metrics.h"
+
+namespace rit::sim {
+
+void AggregateMetrics::add(const TrialMetrics& t) {
+  ++trials;
+  if (t.success) ++successes;
+  avg_utility_auction.add(t.avg_utility_auction);
+  avg_utility_rit.add(t.avg_utility_rit);
+  total_payment_auction.add(t.total_payment_auction);
+  total_payment_rit.add(t.total_payment_rit);
+  runtime_auction_ms.add(t.runtime_auction_ms);
+  runtime_rit_ms.add(t.runtime_rit_ms);
+  solicitation_premium.add(t.solicitation_premium);
+}
+
+}  // namespace rit::sim

@@ -1,0 +1,49 @@
+// Per-trial metrics and cross-trial aggregation for the Sec. 7 experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/online_stats.h"
+
+namespace rit::sim {
+
+/// The four quantities Sec. 7-B tracks, for both the auction phase alone
+/// and the full mechanism (the two series in every panel of Figs. 6-8).
+struct TrialMetrics {
+  bool success{false};
+
+  double avg_utility_auction{0.0};
+  double avg_utility_rit{0.0};
+  double total_payment_auction{0.0};
+  double total_payment_rit{0.0};
+  double runtime_auction_ms{0.0};
+  double runtime_rit_ms{0.0};
+
+  /// Solicitation premium sum(p_j - p_j^A); Sec. 7-C bounds it by the total
+  /// auction payment.
+  double solicitation_premium{0.0};
+
+  std::uint64_t tasks_allocated{0};
+  bool probability_degraded{false};
+};
+
+struct AggregateMetrics {
+  stats::OnlineStats avg_utility_auction;
+  stats::OnlineStats avg_utility_rit;
+  stats::OnlineStats total_payment_auction;
+  stats::OnlineStats total_payment_rit;
+  stats::OnlineStats runtime_auction_ms;
+  stats::OnlineStats runtime_rit_ms;
+  stats::OnlineStats solicitation_premium;
+  std::uint64_t trials{0};
+  std::uint64_t successes{0};
+
+  void add(const TrialMetrics& t);
+  double success_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+};
+
+}  // namespace rit::sim

@@ -1,0 +1,86 @@
+#include "sim/population_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rit::sim {
+
+Population read_population(std::istream& in) {
+  Population pop;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    // Commas become spaces; then whitespace-tokenize.
+    for (char& ch : line) {
+      if (ch == ',') ch = ' ';
+    }
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank line
+    if (first == "type") continue;  // header row
+    char* end = nullptr;
+    const unsigned long type = std::strtoul(first.c_str(), &end, 10);
+    RIT_CHECK_MSG(end != nullptr && *end == '\0',
+                  "population line " << line_no << ": bad type '" << first
+                                     << "'");
+    std::string qty_tok;
+    std::string cost_tok;
+    RIT_CHECK_MSG(static_cast<bool>(ls >> qty_tok >> cost_tok),
+                  "population line " << line_no
+                                     << ": want 'type quantity cost'");
+    std::string trailing;
+    RIT_CHECK_MSG(!(ls >> trailing),
+                  "population line " << line_no << ": trailing tokens");
+    const unsigned long quantity = std::strtoul(qty_tok.c_str(), &end, 10);
+    RIT_CHECK_MSG(end != nullptr && *end == '\0',
+                  "population line " << line_no << ": bad quantity '"
+                                     << qty_tok << "'");
+    const double cost = std::strtod(cost_tok.c_str(), &end);
+    RIT_CHECK_MSG(end != nullptr && *end == '\0',
+                  "population line " << line_no << ": bad cost '" << cost_tok
+                                     << "'");
+    RIT_CHECK_MSG(quantity >= 1 && cost > 0.0,
+                  "population line " << line_no
+                                     << ": quantity/cost out of range");
+    pop.truthful_asks.push_back(
+        core::Ask{TaskType{static_cast<std::uint32_t>(type)},
+                  static_cast<std::uint32_t>(quantity), cost});
+    pop.costs.push_back(cost);
+  }
+  RIT_CHECK_MSG(pop.size() > 0, "population file contained no users");
+  return pop;
+}
+
+Population read_population_file(const std::string& path) {
+  std::ifstream in(path);
+  RIT_CHECK_MSG(in.good(), "cannot open population file: " << path);
+  return read_population(in);
+}
+
+void write_population(const Population& population, std::ostream& out) {
+  out << "type,quantity,cost\n";
+  for (std::size_t j = 0; j < population.size(); ++j) {
+    const core::Ask& a = population.truthful_asks[j];
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", population.costs[j]);
+    out << a.type.value << ',' << a.quantity << ',' << buf << '\n';
+  }
+}
+
+void write_population_file(const Population& population,
+                           const std::string& path) {
+  std::ofstream out(path);
+  RIT_CHECK_MSG(out.good(), "cannot open population file for writing: "
+                                << path);
+  write_population(population, out);
+}
+
+}  // namespace rit::sim

@@ -1,0 +1,30 @@
+// Population (de)serialization: run the mechanism on real user data.
+//
+// The synthetic workload generator covers the paper's simulations, but a
+// deployment has measured users. This CSV schema — one user per line,
+// `type,quantity,cost` with an optional header — lets operators drop in
+// their own population (from surveys, past campaigns, or the SNAP-derived
+// pipelines) and reuse every harness in this repo unchanged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/workload.h"
+
+namespace rit::sim {
+
+/// Parses `type,quantity,cost` lines (comma or whitespace separated; '#'
+/// comments and an optional "type,quantity,cost" header tolerated).
+/// Truthful asks are built with value == cost. Throws CheckFailure on
+/// malformed rows or an empty population.
+Population read_population(std::istream& in);
+Population read_population_file(const std::string& path);
+
+/// Writes the population in the same schema (round-trips exactly; costs in
+/// hex-float for bit-exactness).
+void write_population(const Population& population, std::ostream& out);
+void write_population_file(const Population& population,
+                           const std::string& path);
+
+}  // namespace rit::sim

@@ -1,0 +1,98 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/format_util.h"
+#include "stats/histogram.h"
+
+namespace rit::sim {
+
+std::string markdown_report(const Scenario& scenario,
+                            const TrialInstance& instance,
+                            const core::RitResult& result,
+                            const ReportOptions& options) {
+  const std::uint32_t n = instance.population.size();
+  RIT_CHECK(result.payment.size() == n);
+  RIT_CHECK(instance.tree.num_participants() == n);
+
+  std::ostringstream os;
+  os << "# Crowdsensing campaign report\n\n";
+  os << "## Scenario\n\n";
+  os << "- users: " << n << " across " << scenario.num_types
+     << " task types (graph: " << to_string(scenario.graph) << ")\n";
+  os << "- job: " << instance.job.total_tasks() << " tasks\n";
+  os << "- robustness target H: " << format_double(scenario.mechanism.h, 2)
+     << ", discount base "
+     << format_double(scenario.mechanism.discount_base, 2) << "\n";
+  os << "- seed: " << scenario.seed << "\n\n";
+
+  os << "## Outcome\n\n";
+  if (!result.success) {
+    os << "**ALLOCATION FAILED** — the job could not be completed within "
+          "the round budget; all payments are zero.\n";
+    for (const core::TypeAuctionInfo& info : result.type_info) {
+      if (info.allocated < info.demanded) {
+        os << "- type " << info.type.value << ": " << info.allocated << "/"
+           << info.demanded << " after " << info.rounds_used << " round(s)\n";
+      }
+    }
+    return os.str();
+  }
+  std::uint32_t winners = 0;
+  for (std::uint32_t x : result.allocation) winners += x > 0 ? 1 : 0;
+  const double premium =
+      result.total_payment() - result.total_auction_payment();
+  os << "- tasks allocated: " << instance.job.total_tasks() << " to "
+     << winners << " workers\n";
+  os << "- platform cost: " << format_double(result.total_payment(), 2)
+     << " (sensing " << format_double(result.total_auction_payment(), 2)
+     << " + solicitation " << format_double(premium, 2) << ")\n";
+  os << "- achieved truthfulness bound: "
+     << format_double(result.achieved_probability, 4)
+     << (result.probability_degraded ? " (degraded — see DESIGN.md)" : "")
+     << "\n\n";
+
+  os << "## Per-type auction\n\n";
+  os << "| type | demanded | allocated | rounds | budget | round bound |\n";
+  os << "|---|---|---|---|---|---|\n";
+  for (const core::TypeAuctionInfo& info : result.type_info) {
+    os << "| " << info.type.value << " | " << info.demanded << " | "
+       << info.allocated << " | " << info.rounds_used << " | "
+       << info.budget.max_rounds << " | "
+       << format_double(info.budget.per_round_bound, 3) << " |\n";
+  }
+  os << "\n";
+
+  os << "## Utility distribution (winners and recruiters)\n\n";
+  stats::Histogram hist(0.0, 10.0, options.histogram_buckets);
+  for (std::uint32_t j = 0; j < n; ++j) {
+    const double u = result.utility_of(j, instance.population.costs[j]);
+    if (u > 0.0) hist.add(u);
+  }
+  os << "positive-utility users: " << hist.count() << "\n\n```\n"
+     << hist.render(40) << "```\n\n";
+
+  os << "## Top recruiters\n\n";
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return result.payment[a] - result.auction_payment[a] >
+           result.payment[b] - result.auction_payment[b];
+  });
+  os << "| user | recruits (subtree) | depth | solicitation reward |\n";
+  os << "|---|---|---|---|\n";
+  for (std::size_t i = 0; i < options.top_recruiters && i < n; ++i) {
+    const std::uint32_t j = order[i];
+    const std::uint32_t node = tree::node_of_participant(j);
+    os << "| P" << j + 1 << " | " << instance.tree.subtree_size(node) - 1
+       << " | " << instance.tree.depth(node) << " | "
+       << format_double(result.payment[j] - result.auction_payment[j], 2)
+       << " |\n";
+  }
+  return os.str();
+}
+
+}  // namespace rit::sim

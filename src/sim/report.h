@@ -1,0 +1,26 @@
+// Campaign report: one markdown document summarizing a mechanism run —
+// scenario, outcome, per-type auction diagnostics, utility distribution,
+// top recruiters. The human-facing artifact a platform operator files after
+// a campaign; `ritcs --mode=report` emits it.
+#pragma once
+
+#include <string>
+
+#include "core/rit.h"
+#include "sim/runner.h"
+
+namespace rit::sim {
+
+struct ReportOptions {
+  std::size_t top_recruiters = 5;
+  std::size_t histogram_buckets = 10;
+};
+
+/// Renders the report. `result` must come from running the mechanism on
+/// `instance` (sizes are validated).
+std::string markdown_report(const Scenario& scenario,
+                            const TrialInstance& instance,
+                            const core::RitResult& result,
+                            const ReportOptions& options = {});
+
+}  // namespace rit::sim

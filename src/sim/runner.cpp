@@ -1,0 +1,153 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/payment.h"
+#include "core/rit.h"
+#include "stats/timer.h"
+
+namespace rit::sim {
+
+namespace {
+// Component tags for Scenario::trial_seed.
+constexpr std::uint64_t kGraphComponent = 0;
+constexpr std::uint64_t kPopulationComponent = 1;
+constexpr std::uint64_t kJobComponent = 2;
+constexpr std::uint64_t kMechanismComponent = 3;
+}  // namespace
+
+TrialInstance make_instance(const Scenario& scenario, std::uint64_t trial) {
+  rng::Rng graph_rng(scenario.trial_seed(trial, kGraphComponent));
+  rng::Rng pop_rng(scenario.trial_seed(trial, kPopulationComponent));
+  rng::Rng job_rng(scenario.trial_seed(trial, kJobComponent));
+
+  graph::Graph g = generate_graph(scenario, graph_rng);
+  TreeResult tr = generate_tree(scenario, g);
+  return TrialInstance{
+      generate_population(scenario, pop_rng),
+      generate_job(scenario, job_rng),
+      std::move(tr.tree),
+      scenario.trial_seed(trial, kMechanismComponent),
+  };
+}
+
+TrialMetrics run_trial(const Scenario& scenario, const TrialInstance& inst) {
+  TrialMetrics m;
+  const auto& asks = inst.population.truthful_asks;
+  const auto& costs = inst.population.costs;
+  const auto n = static_cast<double>(inst.population.size());
+
+  // Auction phase alone, timed. Same seed as the full run: phase 1 of both
+  // runs consumes the identical random stream, so allocations and auction
+  // payments coincide and the series isolate the payment phase's effect.
+  {
+    rng::Rng rng(inst.mechanism_seed);
+    stats::Timer timer;
+    const core::RitResult auction =
+        core::run_auction_phase(inst.job, asks, scenario.mechanism, rng);
+    m.runtime_auction_ms = timer.elapsed_ms();
+    double total_utility = 0.0;
+    for (std::uint32_t j = 0; j < inst.population.size(); ++j) {
+      total_utility += auction.auction_utility_of(j, costs[j]);
+    }
+    m.avg_utility_auction = n > 0 ? total_utility / n : 0.0;
+    m.total_payment_auction = auction.total_auction_payment();
+  }
+
+  // Full mechanism, timed end to end.
+  {
+    rng::Rng rng(inst.mechanism_seed);
+    stats::Timer timer;
+    const core::RitResult full =
+        core::run_rit(inst.job, asks, inst.tree, scenario.mechanism, rng);
+    m.runtime_rit_ms = timer.elapsed_ms();
+    m.success = full.success;
+    m.probability_degraded = full.probability_degraded;
+    double total_utility = 0.0;
+    std::uint64_t allocated = 0;
+    for (std::uint32_t j = 0; j < inst.population.size(); ++j) {
+      total_utility += full.utility_of(j, costs[j]);
+      allocated += full.allocation[j];
+    }
+    m.avg_utility_rit = n > 0 ? total_utility / n : 0.0;
+    m.total_payment_rit = full.total_payment();
+    m.tasks_allocated = allocated;
+    m.solicitation_premium =
+        core::solicitation_premium(full.payment, full.auction_payment);
+  }
+  return m;
+}
+
+TrialMetrics run_trial(const Scenario& scenario, std::uint64_t trial) {
+  return run_trial(scenario, make_instance(scenario, trial));
+}
+
+AggregateMetrics run_many(
+    const Scenario& scenario, std::uint64_t trials,
+    const std::function<void(std::uint64_t, std::uint64_t)>& progress) {
+  AggregateMetrics agg;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    agg.add(run_trial(scenario, t));
+    if (progress) progress(t + 1, trials);
+  }
+  return agg;
+}
+
+AggregateMetrics run_until_precision(const Scenario& scenario,
+                                     double target_ci,
+                                     std::uint64_t min_trials,
+                                     std::uint64_t max_trials) {
+  RIT_CHECK(target_ci > 0.0);
+  RIT_CHECK(min_trials >= 2 && min_trials <= max_trials);
+  AggregateMetrics agg;
+  for (std::uint64_t t = 0; t < max_trials; ++t) {
+    agg.add(run_trial(scenario, t));
+    if (t + 1 >= min_trials &&
+        agg.avg_utility_rit.ci95_half_width() <= target_ci) {
+      break;
+    }
+  }
+  return agg;
+}
+
+AggregateMetrics run_many_parallel(const Scenario& scenario,
+                                   std::uint64_t trials, unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::uint64_t>(threads, std::max<std::uint64_t>(trials, 1)));
+  if (threads <= 1) return run_many(scenario, trials);
+
+  // Strided partition: worker w takes trials w, w+threads, w+2*threads...
+  // Each worker aggregates locally; merging in worker order afterwards
+  // keeps the result independent of scheduling.
+  std::vector<AggregateMetrics> partial(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w]() {
+      for (std::uint64_t t = w; t < trials; t += threads) {
+        partial[w].add(run_trial(scenario, t));
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  AggregateMetrics agg;
+  for (const AggregateMetrics& p : partial) {
+    agg.trials += p.trials;
+    agg.successes += p.successes;
+    agg.avg_utility_auction.merge(p.avg_utility_auction);
+    agg.avg_utility_rit.merge(p.avg_utility_rit);
+    agg.total_payment_auction.merge(p.total_payment_auction);
+    agg.total_payment_rit.merge(p.total_payment_rit);
+    agg.runtime_auction_ms.merge(p.runtime_auction_ms);
+    agg.runtime_rit_ms.merge(p.runtime_rit_ms);
+    agg.solicitation_premium.merge(p.solicitation_premium);
+  }
+  return agg;
+}
+
+}  // namespace rit::sim

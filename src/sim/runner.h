@@ -1,0 +1,59 @@
+// Trial runner: generates one instance from a Scenario and measures both the
+// auction phase and the full RIT mechanism on it.
+#pragma once
+
+#include <functional>
+
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+#include "sim/workload.h"
+
+namespace rit::sim {
+
+/// The fully-materialized instance for one trial (exposed so the Fig. 9
+/// bench and the property tests can mutate it before running mechanisms).
+struct TrialInstance {
+  Population population;
+  core::Job job;
+  tree::IncentiveTree tree;
+  std::uint64_t mechanism_seed{0};
+};
+
+/// Draws the instance for (scenario, trial): graph, tree, population, job.
+/// Component streams are independent, so e.g. enlarging the population does
+/// not change the job draw.
+TrialInstance make_instance(const Scenario& scenario, std::uint64_t trial);
+
+/// Runs the auction phase and the full mechanism on one instance with the
+/// *same* mechanism randomness (paired streams: phase-1 results coincide,
+/// so the two series in Figs. 6-8 differ only by the payment phase).
+TrialMetrics run_trial(const Scenario& scenario, const TrialInstance& inst);
+
+/// Convenience: make_instance + run_trial.
+TrialMetrics run_trial(const Scenario& scenario, std::uint64_t trial);
+
+/// Runs `trials` trials and aggregates. `progress`, when set, is invoked
+/// after each trial with (completed, total).
+AggregateMetrics run_many(
+    const Scenario& scenario, std::uint64_t trials,
+    const std::function<void(std::uint64_t, std::uint64_t)>& progress = {});
+
+/// Runs trials until the 95% confidence half-width of the RIT average
+/// utility falls below `target_ci` (absolute), bounded by [min_trials,
+/// max_trials]. The Monte-Carlo answer to "how many trials do I need?" —
+/// returns when the estimate is tight, not at an arbitrary count.
+AggregateMetrics run_until_precision(const Scenario& scenario,
+                                     double target_ci,
+                                     std::uint64_t min_trials = 5,
+                                     std::uint64_t max_trials = 1000);
+
+/// Same, fanned out over `threads` worker threads. Safe because every trial
+/// derives its own streams from (scenario.seed, trial) and shares nothing;
+/// per-thread aggregates are merged in thread-index order, so the result is
+/// deterministic and independent of scheduling (the merge order of Welford
+/// accumulators is fixed). threads == 0 picks hardware_concurrency().
+AggregateMetrics run_many_parallel(const Scenario& scenario,
+                                   std::uint64_t trials,
+                                   unsigned threads = 0);
+
+}  // namespace rit::sim

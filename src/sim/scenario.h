@@ -1,0 +1,83 @@
+// Scenario: one fully-specified simulation configuration (Sec. 7-A).
+//
+// The defaults encode the paper's setup: m = 10 task types, task types
+// uniform over the 10, k_j ~ U over {1..20} (the paper's "(0,20]"),
+// c_j ~ U(0,10], H = 0.8, incentive tree from a social-graph spanning
+// forest. Every randomized piece derives its stream from `seed` plus the
+// trial index, so a scenario + trial id replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+#include "core/types.h"
+
+namespace rit::sim {
+
+enum class GraphKind {
+  kBarabasiAlbert,
+  kErdosRenyi,
+  kWattsStrogatz,
+  kConfigurationModel,
+  kStar,
+  kPath,
+};
+
+/// Parses "ba" / "er" / "ws" / "cm" / "star" / "path"; throws otherwise.
+GraphKind parse_graph_kind(const std::string& name);
+std::string to_string(GraphKind kind);
+
+struct Scenario {
+  std::uint32_t num_users = 10000;  // n
+  std::uint32_t num_types = 10;     // m
+
+  /// Fixed per-type demand m_i (Figs. 6-8). Ignored when demand_hi > 0.
+  std::uint32_t tasks_per_type = 500;
+  /// When demand_hi > 0, each m_i is drawn uniformly from
+  /// (demand_lo, demand_hi] per trial (the Fig. 9 setup: (100, 500]).
+  std::uint32_t demand_lo = 0;
+  std::uint32_t demand_hi = 0;
+
+  /// k_j ~ uniform over {1, ..., k_max} (paper: (0, 20]).
+  std::uint32_t k_max = 20;
+  /// c_j ~ uniform over (0, cost_max] (paper: (0, 10]).
+  double cost_max = 10.0;
+
+  /// Mechanism knobs. The simulation default is kRunToCompletion because
+  /// the paper's Sec. 7 results are only reproducible when the auction
+  /// phase may finish the allocation (DESIGN.md ambiguity #3); the
+  /// theoretical round budget and the achieved probability bound are still
+  /// reported by every run.
+  core::RitConfig mechanism = completion_mechanism();
+
+  static core::RitConfig completion_mechanism() {
+    core::RitConfig cfg;
+    cfg.round_budget_policy = core::RoundBudgetPolicy::kRunToCompletion;
+    return cfg;
+  }
+
+  GraphKind graph = GraphKind::kBarabasiAlbert;
+  /// Out-edges per node for Barabási–Albert.
+  std::uint32_t ba_edges_per_node = 3;
+  /// Expected out-degree for Erdős–Rényi (p = er_degree / (n-1)).
+  double er_degree = 6.0;
+  /// Watts–Strogatz ring degree and rewiring probability.
+  std::uint32_t ws_k = 6;
+  double ws_beta = 0.1;
+  /// Configuration-model Zipf exponent and max out-degree (the ego-Twitter
+  /// out-degree tail is roughly exponent 2).
+  double cm_exponent = 2.0;
+  std::uint32_t cm_max_degree = 500;
+  /// How many lowest-index graph nodes join at the very beginning
+  /// (children of the platform before any solicitation).
+  std::uint32_t initial_joiners = 10;
+
+  std::uint64_t seed = 42;
+
+  /// Stream seed for trial `t` and a component tag; all simulation
+  /// randomness must flow through these.
+  std::uint64_t trial_seed(std::uint64_t trial, std::uint64_t component) const;
+};
+
+}  // namespace rit::sim

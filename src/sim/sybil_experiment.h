@@ -1,0 +1,47 @@
+// The Fig. 9 experiment as a reusable component: designate a victim, sweep
+// sybil-attack sizes and ask values, and measure the attacker's expected
+// utility against the honest reference. Used by bench_fig9_sybil_utility,
+// the ritcs CLI, and the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/runner.h"
+#include "stats/online_stats.h"
+
+namespace rit::sim {
+
+struct SybilExperimentConfig {
+  /// The victim's private unit cost (the paper's c_29 = 5.5).
+  double victim_cost = 5.5;
+  /// The victim's capability K (the paper's K_29 = 17; also the maximum
+  /// number of identities).
+  std::uint32_t victim_capability = 17;
+  /// Identity counts to sweep (paper: 2..17).
+  std::uint32_t delta_lo = 2;
+  std::uint32_t delta_hi = 17;
+  /// Common ask value for every identity in one series (paper: 5.5, 6.5,
+  /// 6.25).
+  std::vector<double> ask_values{5.5, 6.5, 6.25};
+  std::uint64_t trials = 30;
+};
+
+struct SybilSeriesPoint {
+  std::uint32_t identities{0};
+  /// One accumulator per ask value, in config order.
+  std::vector<stats::OnlineStats> utility;
+  /// Honest single-identity truthful reference on the same instances.
+  stats::OnlineStats honest;
+};
+
+/// Runs the experiment over `scenario` instances. Per trial, the victim is
+/// the first user (scanning from index 29, the paper's P_29) whose truthful
+/// auction payment is non-zero on a probe run; it is then upgraded to the
+/// configured capability/cost. Plans are random (Sec. 7-B "randomly
+/// generate the identities") but identical across ask values so the series
+/// differ only in the asks.
+std::vector<SybilSeriesPoint> run_sybil_experiment(
+    const Scenario& scenario, const SybilExperimentConfig& config);
+
+}  // namespace rit::sim

@@ -1,0 +1,53 @@
+#include "stats/chi_square.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rit::stats {
+
+double chi_square_statistic(std::span<const std::uint64_t> observed,
+                            std::span<const double> expected) {
+  RIT_CHECK(!observed.empty());
+  RIT_CHECK(observed.size() == expected.size());
+  double x2 = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    RIT_CHECK_MSG(expected[i] > 0.0, "expected count must be positive");
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    x2 += diff * diff / expected[i];
+  }
+  return x2;
+}
+
+double chi_square_uniform(std::span<const std::uint64_t> observed) {
+  RIT_CHECK(!observed.empty());
+  std::uint64_t total = 0;
+  for (std::uint64_t o : observed) total += o;
+  RIT_CHECK_MSG(total > 0, "need at least one observation");
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  double x2 = 0.0;
+  for (std::uint64_t o : observed) {
+    const double diff = static_cast<double>(o) - expected;
+    x2 += diff * diff / expected;
+  }
+  return x2;
+}
+
+double chi_square_critical(std::uint64_t dof, double alpha) {
+  RIT_CHECK(dof >= 1);
+  double z = 0.0;
+  if (alpha == 0.01) {
+    z = 2.3263478740408408;
+  } else if (alpha == 0.001) {
+    z = 3.0902323061678132;
+  } else {
+    RIT_CHECK_MSG(false, "supported alphas are 0.01 and 0.001, got " << alpha);
+  }
+  // Wilson–Hilferty: X^2_(dof,alpha) ~ dof * (1 - 2/(9 dof) + z sqrt(2/(9 dof)))^3.
+  const double k = static_cast<double>(dof);
+  const double term = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * term * term * term;
+}
+
+}  // namespace rit::stats

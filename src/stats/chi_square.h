@@ -1,0 +1,25 @@
+// Pearson chi-square goodness-of-fit: the statistical backbone of the RNG
+// and winner-uniformity tests (an explicit test statistic beats ad-hoc
+// per-bucket tolerances).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rit::stats {
+
+/// Pearson's X^2 = sum (observed - expected)^2 / expected over categories.
+/// expected[i] must be > 0 and the two spans equal-sized and non-empty.
+double chi_square_statistic(std::span<const std::uint64_t> observed,
+                            std::span<const double> expected);
+
+/// Same for the common uniform case: expected[i] = total/k for every cell.
+double chi_square_uniform(std::span<const std::uint64_t> observed);
+
+/// Approximate upper critical value of the chi-square distribution with
+/// `dof` degrees of freedom at significance alpha in {0.01, 0.001} —
+/// the Wilson–Hilferty cube-root normal approximation, accurate to a few
+/// percent for dof >= 3, ample for pass/fail RNG testing.
+double chi_square_critical(std::uint64_t dof, double alpha);
+
+}  // namespace rit::stats

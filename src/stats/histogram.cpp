@@ -1,0 +1,68 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/format_util.h"
+
+namespace rit::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bucket_count)) {
+  RIT_CHECK(lo < hi);
+  RIT_CHECK(bucket_count >= 1);
+  buckets_.assign(bucket_count, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, buckets_.size() - 1);  // guard fp rounding at hi edge
+  ++buckets_[idx];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  RIT_CHECK(i < buckets_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::size_t peak = std::max<std::size_t>(
+      std::max(underflow_, overflow_),
+      buckets_.empty() ? 0 : *std::max_element(buckets_.begin(), buckets_.end()));
+  peak = std::max<std::size_t>(peak, 1);
+  std::ostringstream os;
+  auto bar = [&](std::size_t c) {
+    const auto w = static_cast<std::size_t>(
+        std::llround(static_cast<double>(c) / static_cast<double>(peak) *
+                     static_cast<double>(max_bar_width)));
+    return std::string(w, '#');
+  };
+  if (underflow_ > 0) {
+    os << pad_left("< " + format_double(lo_, 2), 18) << " | " << bar(underflow_)
+       << ' ' << underflow_ << '\n';
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    os << pad_left("[" + format_double(bucket_lo(i), 2) + ", " +
+                       format_double(bucket_lo(i) + width_, 2) + ")",
+                   18)
+       << " | " << bar(buckets_[i]) << ' ' << buckets_[i] << '\n';
+  }
+  if (overflow_ > 0) {
+    os << pad_left(">= " + format_double(hi_, 2), 18) << " | " << bar(overflow_)
+       << ' ' << overflow_ << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rit::stats

@@ -1,0 +1,44 @@
+// Fixed-width histogram for utility / payment distributions.
+//
+// Used by examples and the EXPERIMENTS.md appendix to show how the payment
+// determination phase reshapes the distribution of user utilities, and by
+// tests as a coarse distribution-equality check between the naive and fast
+// payment implementations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rit::stats {
+
+class Histogram {
+ public:
+  /// Buckets [lo, hi) split into `bucket_count` equal-width buckets, plus
+  /// underflow and overflow buckets. Requires lo < hi and bucket_count >= 1.
+  Histogram(double lo, double hi, std::size_t bucket_count);
+
+  void add(double x);
+
+  std::size_t count() const { return total_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::size_t bucket(std::size_t i) const { return buckets_.at(i); }
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+
+  /// Multi-line ASCII rendering with proportional bars (for examples).
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> buckets_;
+  std::size_t underflow_{0};
+  std::size_t overflow_{0};
+  std::size_t total_{0};
+};
+
+}  // namespace rit::stats

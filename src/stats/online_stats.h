@@ -1,0 +1,39 @@
+// Welford online mean/variance accumulator.
+//
+// Every metric reported in EXPERIMENTS.md is an average over trials; Welford
+// keeps the accumulation numerically stable even when utilities differ by
+// orders of magnitude within one sweep.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace rit::stats {
+
+class OnlineStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel-combine form).
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Half-width of a normal-approximation 95% confidence interval.
+  double ci95_half_width() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return n_ == 0 ? 0.0 : mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace rit::stats

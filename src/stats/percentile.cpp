@@ -1,0 +1,48 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rit::stats {
+
+namespace {
+double interpolated(const std::vector<double>& sorted, double p) {
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double pos = p * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+}  // namespace
+
+double quantile(std::span<const double> samples, double p) {
+  RIT_CHECK(!samples.empty());
+  RIT_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<double> copy(samples.begin(), samples.end());
+  std::sort(copy.begin(), copy.end());
+  return interpolated(copy, p);
+}
+
+double median(std::span<const double> samples) {
+  return quantile(samples, 0.5);
+}
+
+std::vector<std::pair<double, double>> quantiles(
+    std::span<const double> samples, std::span<const double> qs) {
+  RIT_CHECK(!samples.empty());
+  std::vector<double> copy(samples.begin(), samples.end());
+  std::sort(copy.begin(), copy.end());
+  std::vector<std::pair<double, double>> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    RIT_CHECK(q >= 0.0 && q <= 1.0);
+    out.emplace_back(q, interpolated(copy, q));
+  }
+  return out;
+}
+
+}  // namespace rit::stats

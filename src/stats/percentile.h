@@ -1,0 +1,21 @@
+// Percentile / quantile helpers over sample vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rit::stats {
+
+/// Returns the p-quantile (p in [0,1]) of `samples` using linear
+/// interpolation between order statistics. Copies and partially sorts;
+/// `samples` is unmodified. Requires a non-empty input.
+double quantile(std::span<const double> samples, double p);
+
+/// Convenience: median.
+double median(std::span<const double> samples);
+
+/// Returns {q, quantile(q)} pairs for each q in `qs` with one sort.
+std::vector<std::pair<double, double>> quantiles(
+    std::span<const double> samples, std::span<const double> qs);
+
+}  // namespace rit::stats

@@ -1,0 +1,28 @@
+// Wall-clock timer for the Fig. 8 running-time experiments.
+#pragma once
+
+#include <chrono>
+
+namespace rit::stats {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last reset, in milliseconds.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double elapsed_s() const { return elapsed_ms() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rit::stats

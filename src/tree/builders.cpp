@@ -1,0 +1,122 @@
+#include "tree/builders.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rit::tree {
+
+SpanningForestResult build_spanning_forest(const graph::Graph& g,
+                                           const SpanningForestOptions& opts) {
+  RIT_CHECK_MSG(!opts.seeds.empty(), "spanning forest needs at least one seed");
+  const std::uint32_t n = g.num_nodes();
+  const std::uint32_t cap = opts.max_users.value_or(n);
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+
+  // inviter[u]: graph node that recruited u; kRootInviter for seeds.
+  constexpr std::uint32_t kRootInviter = std::numeric_limits<std::uint32_t>::max() - 1;
+  std::vector<std::uint32_t> inviter(n, kUnset);
+  std::vector<std::uint32_t> join_order;
+  join_order.reserve(std::min(n, cap));
+
+  std::vector<std::uint32_t> wave;
+  for (std::uint32_t s : opts.seeds) {
+    RIT_CHECK_MSG(s < n, "seed " << s << " out of range");
+    if (inviter[s] != kUnset) continue;  // duplicate seed
+    inviter[s] = kRootInviter;
+    wave.push_back(s);
+  }
+  std::sort(wave.begin(), wave.end());
+  for (std::uint32_t s : wave) {
+    if (join_order.size() >= cap) break;
+    join_order.push_back(s);
+  }
+
+  // BFS waves. Within a wave we iterate inviters in ascending id, so the
+  // first inviter to claim a candidate is the smallest-index one — the
+  // paper's tie-break. New joiners are appended in ascending graph id.
+  while (!wave.empty() && join_order.size() < cap) {
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t u : wave) {
+      for (std::uint32_t v : g.out_neighbors(u)) {
+        if (inviter[v] != kUnset) continue;
+        inviter[v] = u;
+        next.push_back(v);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    for (std::uint32_t v : next) {
+      if (join_order.size() >= cap) break;
+      join_order.push_back(v);
+    }
+    // Anyone marked in this wave but cut off by the cap must be un-marked.
+    if (join_order.size() >= cap) {
+      for (std::uint32_t v : next) {
+        if (std::find(join_order.begin(), join_order.end(), v) ==
+            join_order.end()) {
+          inviter[v] = kUnset;
+        }
+      }
+    }
+    wave = std::move(next);
+    // Drop cut-off nodes from the frontier.
+    std::erase_if(wave, [&](std::uint32_t v) { return inviter[v] == kUnset; });
+  }
+
+  if (opts.attach_unreached_to_root) {
+    for (std::uint32_t u = 0; u < n && join_order.size() < cap; ++u) {
+      if (inviter[u] == kUnset) {
+        inviter[u] = kRootInviter;
+        join_order.push_back(u);
+      }
+    }
+  }
+
+  SpanningForestResult res{IncentiveTree::root_only(), {}, {}, {}};
+  res.joined.assign(n, false);
+  res.node_of.assign(n, 0);
+  res.graph_of.assign(join_order.size() + 1, 0);
+  std::vector<std::uint32_t> parents(join_order.size() + 1, 0);
+  for (std::uint32_t i = 0; i < join_order.size(); ++i) {
+    const std::uint32_t u = join_order[i];
+    res.joined[u] = true;
+    res.node_of[u] = node_of_participant(i);
+    res.graph_of[node_of_participant(i)] = u;
+  }
+  for (std::uint32_t i = 0; i < join_order.size(); ++i) {
+    const std::uint32_t u = join_order[i];
+    parents[node_of_participant(i)] =
+        inviter[u] == kRootInviter ? 0 : res.node_of[inviter[u]];
+  }
+  res.tree = IncentiveTree(std::move(parents));
+  return res;
+}
+
+IncentiveTree random_recursive_tree(std::uint32_t num_participants,
+                                    double root_prob, rng::Rng& rng) {
+  RIT_CHECK(root_prob >= 0.0 && root_prob <= 1.0);
+  std::vector<std::uint32_t> parents(num_participants + 1, 0);
+  for (std::uint32_t i = 0; i < num_participants; ++i) {
+    const std::uint32_t node = node_of_participant(i);
+    if (i == 0 || rng.bernoulli(root_prob)) {
+      parents[node] = 0;
+    } else {
+      parents[node] = node_of_participant(
+          static_cast<std::uint32_t>(rng.uniform_index(i)));
+    }
+  }
+  return IncentiveTree(std::move(parents));
+}
+
+IncentiveTree flat_tree(std::uint32_t num_participants) {
+  return IncentiveTree(std::vector<std::uint32_t>(num_participants + 1, 0));
+}
+
+IncentiveTree chain_tree(std::uint32_t num_participants) {
+  std::vector<std::uint32_t> parents(num_participants + 1, 0);
+  for (std::uint32_t i = 1; i < num_participants; ++i) {
+    parents[node_of_participant(i)] = node_of_participant(i - 1);
+  }
+  return IncentiveTree(std::move(parents));
+}
+
+}  // namespace rit::tree

@@ -1,0 +1,69 @@
+#include "tree/dot_export.h"
+
+#include <array>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rit::tree {
+
+namespace {
+// A small colour-blind-friendly palette; groups cycle through it.
+constexpr std::array<const char*, 8> kPalette = {
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+    "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"};
+
+std::string default_label(std::uint32_t node) {
+  return node == 0 ? "platform" : "P" + std::to_string(node);
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+}  // namespace
+
+void write_dot(const IncentiveTree& tree, std::ostream& out,
+               const DotOptions& options) {
+  RIT_CHECK_MSG(tree.num_nodes() <= options.max_nodes,
+                "tree has " << tree.num_nodes()
+                            << " nodes, above the DOT export limit of "
+                            << options.max_nodes);
+  const auto& label = options.label
+                          ? options.label
+                          : std::function<std::string(std::uint32_t)>(
+                                default_label);
+  out << "digraph \"" << escape(options.name) << "\" {\n";
+  out << "  rankdir=TB;\n";
+  out << "  node [shape=ellipse, style=filled, fillcolor=white];\n";
+  out << "  n0 [label=\"" << escape(label(0))
+      << "\", shape=box, fillcolor=\"#dddddd\"];\n";
+  for (std::uint32_t v = 1; v < tree.num_nodes(); ++v) {
+    out << "  n" << v << " [label=\"" << escape(label(v)) << '"';
+    if (options.color_group) {
+      const int group = options.color_group(v);
+      if (group >= 0) {
+        out << ", fillcolor=\"" << kPalette[group % kPalette.size()] << '"';
+      }
+    }
+    out << "];\n";
+  }
+  for (std::uint32_t v = 1; v < tree.num_nodes(); ++v) {
+    out << "  n" << tree.parent(v) << " -> n" << v << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string to_dot(const IncentiveTree& tree, const DotOptions& options) {
+  std::ostringstream os;
+  write_dot(tree, os, options);
+  return os.str();
+}
+
+}  // namespace rit::tree

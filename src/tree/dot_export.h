@@ -1,0 +1,37 @@
+// Graphviz DOT export of incentive trees.
+//
+// `dot -Tpdf tree.dot -o tree.pdf` renders the solicitation structure;
+// optional per-node annotations (task type as fill colour, payment as
+// label) make mechanism outcomes visually auditable.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "tree/incentive_tree.h"
+
+namespace rit::tree {
+
+struct DotOptions {
+  /// Label for each node; default "platform" / "P<i>".
+  std::function<std::string(std::uint32_t)> label;
+  /// Optional fill-colour group per node (e.g. task type); nodes in the
+  /// same group share a colour from a fixed palette. Return any value < 0
+  /// for "no colour". Root is always drawn as a grey box.
+  std::function<int(std::uint32_t)> color_group;
+  /// Graph name in the DOT header.
+  std::string name = "incentive_tree";
+  /// Safety valve: refuse to render trees larger than this many nodes.
+  std::size_t max_nodes = 100000;
+};
+
+/// Writes the tree in DOT format. Throws CheckFailure when the tree exceeds
+/// max_nodes.
+void write_dot(const IncentiveTree& tree, std::ostream& out,
+               const DotOptions& options = {});
+
+/// Convenience: DOT as a string.
+std::string to_dot(const IncentiveTree& tree, const DotOptions& options = {});
+
+}  // namespace rit::tree

@@ -1,0 +1,51 @@
+#include "tree/render.h"
+
+#include <sstream>
+#include <vector>
+
+namespace rit::tree {
+
+namespace {
+std::string default_label(std::uint32_t node) {
+  if (node == 0) return "platform";
+  return "P" + std::to_string(node);  // node i is participant P_i, 1-based
+}
+
+void render_node(const IncentiveTree& tree,
+                 const std::function<std::string(std::uint32_t)>& label,
+                 std::uint32_t node, const std::string& prefix, bool last,
+                 std::size_t& budget, std::ostringstream& os) {
+  if (budget == 0) return;
+  --budget;
+  if (node == 0) {
+    os << label(node) << '\n';
+  } else {
+    os << prefix << (last ? "`-- " : "|-- ") << label(node) << '\n';
+  }
+  auto kids = tree.children(node);
+  const std::string child_prefix =
+      node == 0 ? "" : prefix + (last ? "    " : "|   ");
+  for (std::size_t i = 0; i < kids.size(); ++i) {
+    if (budget == 0) {
+      os << child_prefix << "... (truncated)\n";
+      return;
+    }
+    render_node(tree, label, kids[i], child_prefix, i + 1 == kids.size(),
+                budget, os);
+  }
+}
+}  // namespace
+
+std::string render_ascii(
+    const IncentiveTree& tree,
+    const std::function<std::string(std::uint32_t)>& label,
+    std::size_t max_nodes) {
+  std::ostringstream os;
+  std::size_t budget = max_nodes;
+  const auto& lbl =
+      label ? label : std::function<std::string(std::uint32_t)>(default_label);
+  render_node(tree, lbl, 0, "", true, budget, os);
+  return os.str();
+}
+
+}  // namespace rit::tree

@@ -1,0 +1,20 @@
+// ASCII rendering of small incentive trees (examples and failure messages).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tree/incentive_tree.h"
+
+namespace rit::tree {
+
+/// Renders the tree with box-drawing connectors. `label(node)` supplies the
+/// text for each node; the default prints "platform" for the root and
+/// "P<i>" (1-based, matching the paper) for participants. Rendering is
+/// truncated after `max_nodes` nodes to keep accidental large dumps sane.
+std::string render_ascii(
+    const IncentiveTree& tree,
+    const std::function<std::string(std::uint32_t)>& label = {},
+    std::size_t max_nodes = 256);
+
+}  // namespace rit::tree

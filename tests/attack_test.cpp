@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "attack/bid_strategies.h"
+#include "attack/sybil_apply.h"
+#include "attack/sybil_plan.h"
+#include "common/check.h"
+#include "tree/builders.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::attack {
+namespace {
+
+using core::Ask;
+using rit::TaskType;
+
+// platform -> {P0, P1}, P0 -> {P2, P3}; victim P0 has children P2, P3.
+struct Fixture {
+  tree::IncentiveTree tree{std::vector<std::uint32_t>{0, 0, 0, 1, 1}};
+  std::vector<Ask> asks{
+      {TaskType{0}, 6, 5.0},
+      {TaskType{1}, 2, 3.0},
+      {TaskType{1}, 3, 4.0},
+      {TaskType{0}, 1, 2.0},
+  };
+};
+
+TEST(SybilPlan, ChainPlanShape) {
+  Fixture f;
+  const SybilPlan plan = chain_plan(f.tree, f.asks, 0, 3, 7.5);
+  EXPECT_EQ(plan.delta(), 3u);
+  EXPECT_EQ(plan.total_quantity(), 6u);
+  EXPECT_EQ(plan.identities[0].parent, kOriginalParent);
+  EXPECT_EQ(plan.identities[1].parent, 1u);
+  EXPECT_EQ(plan.identities[2].parent, 2u);
+  for (const auto& id : plan.identities) {
+    EXPECT_EQ(id.value, 7.5);
+    EXPECT_EQ(id.quantity, 2u);
+  }
+  // Children adopted by the deepest identity.
+  EXPECT_EQ(plan.child_assignment, (std::vector<std::uint32_t>{3, 3}));
+}
+
+TEST(SybilPlan, StarPlanShape) {
+  Fixture f;
+  const SybilPlan plan = star_plan(f.tree, f.asks, 0, 2, 5.0);
+  EXPECT_EQ(plan.identities[0].parent, kOriginalParent);
+  EXPECT_EQ(plan.identities[1].parent, kOriginalParent);
+  EXPECT_EQ(plan.identities[0].quantity, 3u);
+  EXPECT_EQ(plan.identities[1].quantity, 3u);
+  EXPECT_EQ(plan.child_assignment, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(SybilPlan, EvenSplitWithRemainder) {
+  Fixture f;
+  f.asks[0].quantity = 7;
+  const SybilPlan plan = chain_plan(f.tree, f.asks, 0, 3, 5.0);
+  EXPECT_EQ(plan.identities[0].quantity, 3u);
+  EXPECT_EQ(plan.identities[1].quantity, 2u);
+  EXPECT_EQ(plan.identities[2].quantity, 2u);
+}
+
+TEST(SybilPlan, RandomPlanIsValidAcrossSeeds) {
+  Fixture f;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    rng::Rng rng(seed);
+    const SybilPlan plan = random_plan(f.tree, f.asks, 0, 4, 5.5, rng);
+    EXPECT_EQ(plan.delta(), 4u);
+    EXPECT_EQ(plan.total_quantity(), 6u);
+    // validate_plan is called inside random_plan; re-validate explicitly.
+    EXPECT_NO_THROW(validate_plan(f.tree, f.asks, plan, 6));
+  }
+}
+
+TEST(SybilPlan, RandomPlanSplitsArePositive) {
+  Fixture f;
+  rng::Rng rng(7);
+  const SybilPlan plan = random_plan(f.tree, f.asks, 0, 6, 5.5, rng);
+  for (const auto& id : plan.identities) EXPECT_GE(id.quantity, 1u);
+}
+
+TEST(SybilPlan, TooManyIdentitiesRejected) {
+  Fixture f;
+  rng::Rng rng(1);
+  EXPECT_THROW(random_plan(f.tree, f.asks, 3, 2, 5.0, rng), CheckFailure);
+}
+
+TEST(SybilPlan, ValidatorCatchesBadPlans) {
+  Fixture f;
+  SybilPlan plan;
+  plan.victim = 0;
+  plan.identities = {{3, 5.0, kOriginalParent}, {3, 5.0, 1}};
+  plan.child_assignment = {1, 2};
+  EXPECT_NO_THROW(validate_plan(f.tree, f.asks, plan, 6));
+  // Over capability.
+  EXPECT_THROW(validate_plan(f.tree, f.asks, plan, 5), CheckFailure);
+  // Forward-referencing identity parent.
+  plan.identities[0].parent = 2;
+  EXPECT_THROW(validate_plan(f.tree, f.asks, plan, 6), CheckFailure);
+  plan.identities[0].parent = kOriginalParent;
+  // Child assigned to nonexistent identity.
+  plan.child_assignment = {1, 3};
+  EXPECT_THROW(validate_plan(f.tree, f.asks, plan, 6), CheckFailure);
+  // Wrong number of child assignments.
+  plan.child_assignment = {1};
+  EXPECT_THROW(validate_plan(f.tree, f.asks, plan, 6), CheckFailure);
+}
+
+TEST(SybilApply, ChainRewiresTreeCorrectly) {
+  Fixture f;
+  const SybilPlan plan = chain_plan(f.tree, f.asks, 0, 2, 7.0);
+  const AttackedInstance inst = apply_sybil(f.tree, f.asks, plan);
+  // 4 original participants -> 5 after the split.
+  EXPECT_EQ(inst.asks.size(), 5u);
+  EXPECT_EQ(inst.tree.num_participants(), 5u);
+  EXPECT_EQ(inst.identity_participants, (std::vector<std::uint32_t>{0, 4}));
+  // Identity 1 sits where the victim was (child of the platform).
+  EXPECT_EQ(inst.tree.parent(tree::node_of_participant(0)), 0u);
+  // Identity 2 hangs below identity 1.
+  EXPECT_EQ(inst.tree.parent(tree::node_of_participant(4)),
+            tree::node_of_participant(0));
+  // The victim's children were adopted by the deepest identity.
+  EXPECT_EQ(inst.tree.parent(tree::node_of_participant(2)),
+            tree::node_of_participant(4));
+  EXPECT_EQ(inst.tree.parent(tree::node_of_participant(3)),
+            tree::node_of_participant(4));
+  // Other users untouched.
+  EXPECT_EQ(inst.tree.parent(tree::node_of_participant(1)), 0u);
+}
+
+TEST(SybilApply, AsksCarryIdentityValuesAndType) {
+  Fixture f;
+  const SybilPlan plan = star_plan(f.tree, f.asks, 0, 2, 6.25);
+  const AttackedInstance inst = apply_sybil(f.tree, f.asks, plan);
+  for (std::uint32_t p : inst.identity_participants) {
+    EXPECT_EQ(inst.asks[p].type, TaskType{0});
+    EXPECT_EQ(inst.asks[p].value, 6.25);
+    EXPECT_EQ(inst.asks[p].quantity, 3u);
+  }
+  // Non-victims keep their asks verbatim.
+  EXPECT_EQ(inst.asks[1], f.asks[1]);
+  EXPECT_EQ(inst.asks[2], f.asks[2]);
+  EXPECT_EQ(inst.asks[3], f.asks[3]);
+}
+
+TEST(SybilApply, DepthsShiftOnlyUnderAdoptingIdentities) {
+  Fixture f;
+  const SybilPlan plan = chain_plan(f.tree, f.asks, 0, 3, 5.0);
+  const AttackedInstance inst = apply_sybil(f.tree, f.asks, plan);
+  // Victim's children dropped from depth 2 to depth 2 + (3-1) = 4.
+  EXPECT_EQ(inst.tree.depth(tree::node_of_participant(2)), 4u);
+  // The sibling P1 stays at depth 1.
+  EXPECT_EQ(inst.tree.depth(tree::node_of_participant(1)), 1u);
+}
+
+TEST(SybilApply, SingleIdentityIsStructurallyIdentity) {
+  Fixture f;
+  SybilPlan plan;
+  plan.victim = 0;
+  plan.identities = {{6, 5.0, kOriginalParent}};
+  plan.child_assignment = {1, 1};
+  const AttackedInstance inst = apply_sybil(f.tree, f.asks, plan);
+  EXPECT_EQ(inst.tree.parents(), f.tree.parents());
+  EXPECT_EQ(inst.asks.size(), f.asks.size());
+  for (std::size_t j = 0; j < f.asks.size(); ++j) {
+    EXPECT_EQ(inst.asks[j], f.asks[j]);
+  }
+}
+
+TEST(SybilApply, AttackerUtilityAggregatesIdentities) {
+  Fixture f;
+  const SybilPlan plan = star_plan(f.tree, f.asks, 0, 2, 5.0);
+  const AttackedInstance inst = apply_sybil(f.tree, f.asks, plan);
+  std::vector<double> payments(5, 0.0);
+  std::vector<std::uint32_t> allocations(5, 0);
+  payments[0] = 10.0;  // identity 1
+  payments[4] = 4.0;   // identity 2
+  allocations[0] = 2;
+  payments[1] = 100.0;  // unrelated user, must not count
+  EXPECT_DOUBLE_EQ(inst.attacker_utility(payments, allocations, 3.0),
+                   10.0 + 4.0 - 2 * 3.0);
+}
+
+TEST(BidStrategies, WithAskValueAndQuantity) {
+  Fixture f;
+  const auto v = with_ask_value(f.asks, 1, 9.9);
+  EXPECT_EQ(v[1].value, 9.9);
+  EXPECT_EQ(v[1].quantity, f.asks[1].quantity);
+  EXPECT_EQ(v[0], f.asks[0]);
+  const auto q = with_quantity(f.asks, 2, 1);
+  EXPECT_EQ(q[2].quantity, 1u);
+  EXPECT_EQ(q[2].value, f.asks[2].value);
+  EXPECT_THROW(with_ask_value(f.asks, 9, 1.0), CheckFailure);
+  EXPECT_THROW(with_ask_value(f.asks, 0, 0.0), CheckFailure);
+  EXPECT_THROW(with_quantity(f.asks, 0, 0), CheckFailure);
+}
+
+TEST(BidStrategies, DeviationGridBracketsTheCost) {
+  const auto grid = deviation_grid(4.0);
+  EXPECT_GE(grid.size(), 5u);
+  bool below = false;
+  bool above = false;
+  for (double g : grid) {
+    EXPECT_GT(g, 0.0);
+    below |= g < 4.0;
+    above |= g > 4.0;
+  }
+  EXPECT_TRUE(below);
+  EXPECT_TRUE(above);
+}
+
+TEST(BidStrategies, RandomDeviationStaysInRange) {
+  rng::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = random_deviation(5.0, 10.0, rng);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 10.0);
+  }
+}
+
+}  // namespace
+}  // namespace rit::attack

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/format_util.h"
+#include "common/ids.h"
+#include "common/log.h"
+
+namespace rit {
+namespace {
+
+TEST(Check, PassingPredicateDoesNothing) {
+  EXPECT_NO_THROW(RIT_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(RIT_CHECK_MSG(true, "never rendered"));
+}
+
+TEST(Check, FailingPredicateThrowsCheckFailure) {
+  EXPECT_THROW(RIT_CHECK(false), CheckFailure);
+}
+
+TEST(Check, FailureMessageCarriesExpressionAndContext) {
+  try {
+    RIT_CHECK_MSG(2 > 3, "context " << 42);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("context 42"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, DcheckActiveInDebugOnly) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(RIT_DCHECK(false));
+#else
+  EXPECT_THROW(RIT_DCHECK(false), CheckFailure);
+#endif
+}
+
+TEST(Ids, DistinctTypesCompareWithinTheirOwnSpace) {
+  EXPECT_EQ(UserId{3}, UserId{3});
+  EXPECT_NE(UserId{3}, UserId{4});
+  EXPECT_LT(TaskType{1}, TaskType{2});
+  EXPECT_EQ(kRootNode, NodeId{0});
+}
+
+TEST(Ids, HashableInUnorderedContainers) {
+  std::hash<UserId> h;
+  EXPECT_EQ(h(UserId{7}), h(UserId{7}));
+}
+
+TEST(FormatUtil, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+  EXPECT_EQ(format_double(0.5, 3), "0.500");
+}
+
+TEST(FormatUtil, FormatWithCommas) {
+  EXPECT_EQ(format_with_commas(0), "0");
+  EXPECT_EQ(format_with_commas(999), "999");
+  EXPECT_EQ(format_with_commas(1000), "1,000");
+  EXPECT_EQ(format_with_commas(1234567), "1,234,567");
+  EXPECT_EQ(format_with_commas(-1234567), "-1,234,567");
+}
+
+TEST(FormatUtil, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(FormatUtil, Padding) {
+  EXPECT_EQ(pad_left("x", 3), "  x");
+  EXPECT_EQ(pad_right("x", 3), "x  ");
+  EXPECT_EQ(pad_left("long", 2), "long");
+}
+
+TEST(Log, LevelGate) {
+  const auto prev = log::level();
+  log::set_level(log::Level::kError);
+  EXPECT_EQ(log::level(), log::Level::kError);
+  // Below-threshold emission is a no-op; nothing observable to assert
+  // beyond "does not crash", which is still worth pinning.
+  RIT_LOG_DEBUG << "suppressed";
+  RIT_LOG_INFO << "suppressed";
+  log::set_level(prev);
+}
+
+}  // namespace
+}  // namespace rit

@@ -1,0 +1,469 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "core/cra.h"
+#include "rng/rng.h"
+
+namespace rit::core {
+namespace {
+
+std::uint32_t count_winners(const CraOutcome& o) {
+  std::uint32_t c = 0;
+  for (bool w : o.won) c += w ? 1 : 0;
+  return c;
+}
+
+TEST(ConsensusRoundDown, ZeroCountIsZero) {
+  EXPECT_EQ(consensus_round_down(0, 0.3), 0u);
+}
+
+TEST(ConsensusRoundDown, ExactPowersWithYZero) {
+  // With y = 0 the consensus set is exactly the powers of two.
+  EXPECT_EQ(consensus_round_down(1, 0.0), 1u);
+  EXPECT_EQ(consensus_round_down(2, 0.0), 2u);
+  EXPECT_EQ(consensus_round_down(3, 0.0), 2u);
+  EXPECT_EQ(consensus_round_down(4, 0.0), 4u);
+  EXPECT_EQ(consensus_round_down(1023, 0.0), 512u);
+  EXPECT_EQ(consensus_round_down(1024, 0.0), 1024u);
+}
+
+TEST(ConsensusRoundDown, ValueIsInConsensusSetAndBelowCount) {
+  rng::Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t count = 1 + rng.uniform_u64(100000);
+    const double y = rng.uniform01();
+    const std::uint64_t v = consensus_round_down(count, y);
+    EXPECT_LE(v, count);
+    if (v == 0) {
+      // Only possible when 2^(z+y) < 1 for the maximal feasible z, i.e.
+      // count == 1 and y > 0.
+      EXPECT_EQ(count, 1u);
+      EXPECT_GT(y, 0.0);
+      continue;
+    }
+    // v = floor(2^(z+y)) for some integer z; recover z and verify both
+    // sides of the maximality condition.
+    const double exact = std::log2(static_cast<double>(count));
+    const double z = std::floor(exact - y);
+    EXPECT_EQ(v, static_cast<std::uint64_t>(std::floor(std::exp2(z + y))));
+    EXPECT_GT(std::exp2(z + 1.0 + y), static_cast<double>(count) * (1 - 1e-12));
+  }
+}
+
+TEST(ConsensusRoundDown, HalvingBoundsTheRatio) {
+  // The consensus value is within a factor 2 of the count: count/2 < 2^(z+y+1)/2 <= v...
+  // precisely: v > count/2 - 1 (floor effects aside, 2^(z+y) > count/2).
+  rng::Rng rng(2);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::uint64_t count = 2 + rng.uniform_u64(1 << 20);
+    const double y = rng.uniform01();
+    const std::uint64_t v = consensus_round_down(count, y);
+    EXPECT_GT(static_cast<double>(v) + 1.0, static_cast<double>(count) / 2.0);
+  }
+}
+
+TEST(ConsensusRoundDown, GeneralGridBases) {
+  // Base 4, y = 0: the grid is {.., 1, 4, 16, 64, ..}.
+  EXPECT_EQ(consensus_round_down(1, 0.0, 4.0), 1u);
+  EXPECT_EQ(consensus_round_down(3, 0.0, 4.0), 1u);
+  EXPECT_EQ(consensus_round_down(4, 0.0, 4.0), 4u);
+  EXPECT_EQ(consensus_round_down(63, 0.0, 4.0), 16u);
+  EXPECT_EQ(consensus_round_down(64, 0.0, 4.0), 64u);
+  // Worst-case rounding loss is a factor of the base: value in
+  // (count/base, count]. And averaged over y, the finer base-1.5 grid
+  // keeps strictly more of the count than base 4 (pointwise comparison
+  // does NOT hold — the grids are differently aligned per y).
+  rng::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t count = 10 + rng.uniform_u64(100000);
+    const double y = rng.uniform01();
+    for (double base : {1.5, 4.0}) {
+      const std::uint64_t v = consensus_round_down(count, y, base);
+      EXPECT_LE(v, count);
+      EXPECT_GT(static_cast<double>(v) + 1.0,
+                static_cast<double>(count) / base);
+    }
+  }
+  double kept15 = 0.0;
+  double kept4 = 0.0;
+  const int grid = 512;
+  for (int i = 0; i < grid; ++i) {
+    const double y = (i + 0.5) / grid;
+    kept15 += static_cast<double>(consensus_round_down(100000, y, 1.5));
+    kept4 += static_cast<double>(consensus_round_down(100000, y, 4.0));
+  }
+  EXPECT_GT(kept15, kept4);
+  EXPECT_THROW(consensus_round_down(10, 0.5, 1.0), CheckFailure);
+}
+
+TEST(ConsensusRoundDown, LargerBasesShrinkCoalitionInfluence) {
+  // The trade-off the grid base buys: measure of y where a k-shift flips
+  // the consensus is log_c(z/(z-k)), decreasing in c.
+  const std::uint64_t z = 5000;
+  const std::uint64_t k = 100;
+  auto measure = [&](double base) {
+    const int grid = 4096;
+    int changed = 0;
+    for (int i = 0; i < grid; ++i) {
+      const double y = (i + 0.5) / grid;
+      if (consensus_round_down(z, y, base) !=
+          consensus_round_down(z - k, y, base)) {
+        ++changed;
+      }
+    }
+    return static_cast<double>(changed) / grid;
+  };
+  const double m2 = measure(2.0);
+  const double m8 = measure(8.0);
+  EXPECT_LT(m8, m2);
+  EXPECT_LE(m2, std::log2(static_cast<double>(z) / (z - k)) + 2.0 / 4096);
+  EXPECT_LE(m8, std::log(static_cast<double>(z) / (z - k)) / std::log(8.0) +
+                    2.0 / 4096);
+}
+
+TEST(ConsensusRoundDown, CoalitionInfluenceMeasureMatchesLemma62) {
+  // The heart of Lemma 6.2: a coalition that adds/removes up to k of the
+  // asks below the threshold shifts the raw count within [z-k, z]; the
+  // consensus value only changes on a set of y of measure at most
+  // log2(z / (z-k)). Evaluate the measure exactly-ish on a fine y-grid.
+  rng::Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t z = 200 + rng.uniform_u64(100000);
+    const std::uint64_t k = 1 + rng.uniform_u64(z / 20);  // k <= z/20
+    const int grid = 4096;
+    int changed = 0;
+    for (int i = 0; i < grid; ++i) {
+      const double y = (i + 0.5) / grid;
+      if (consensus_round_down(z, y) != consensus_round_down(z - k, y)) {
+        ++changed;
+      }
+    }
+    const double measure = static_cast<double>(changed) / grid;
+    const double bound = std::log2(static_cast<double>(z) /
+                                   static_cast<double>(z - k));
+    EXPECT_LE(measure, bound + 2.0 / grid)
+        << "z=" << z << " k=" << k << " measure=" << measure
+        << " bound=" << bound;
+  }
+}
+
+TEST(Cra, EmptyAsksNoWinners) {
+  rng::Rng rng(3);
+  const CraOutcome o = run_cra({}, {.q = 5, .m_i = 5}, rng);
+  EXPECT_EQ(o.num_winners, 0u);
+  EXPECT_TRUE(o.won.empty());
+}
+
+TEST(Cra, ZeroTasksNoWinners) {
+  rng::Rng rng(4);
+  const std::vector<double> asks{1.0, 2.0, 3.0};
+  const CraOutcome o = run_cra(asks, {.q = 0, .m_i = 5}, rng);
+  EXPECT_EQ(count_winners(o), 0u);
+}
+
+TEST(Cra, NeverAllocatesMoreThanQ) {
+  rng::Rng rng(5);
+  std::vector<double> asks;
+  for (int i = 0; i < 500; ++i) asks.push_back(0.1 + 0.01 * i);
+  for (int trial = 0; trial < 200; ++trial) {
+    const CraOutcome o = run_cra(asks, {.q = 7, .m_i = 10}, rng);
+    EXPECT_LE(count_winners(o), 7u);
+    EXPECT_EQ(count_winners(o), o.num_winners);
+  }
+}
+
+TEST(Cra, WinnersNeverOutbidTheClearingPrice) {
+  rng::Rng rng(6);
+  rng::Rng ask_rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> asks;
+    const std::size_t n = 1 + ask_rng.uniform_index(300);
+    for (std::size_t i = 0; i < n; ++i) {
+      asks.push_back(ask_rng.uniform_real_left_open(0.0, 10.0));
+    }
+    const auto q = static_cast<std::uint32_t>(1 + ask_rng.uniform_index(20));
+    const auto m = static_cast<std::uint32_t>(q + ask_rng.uniform_index(50));
+    const CraOutcome o = run_cra(asks, {.q = q, .m_i = m}, rng);
+    for (std::size_t w = 0; w < asks.size(); ++w) {
+      if (o.won[w]) {
+        EXPECT_LE(asks[w], o.clearing_price)
+            << "IR violation (Lemma 6.1) at trial " << trial;
+      }
+    }
+    if (o.num_winners == 0) {
+      EXPECT_EQ(o.clearing_price, 0.0);
+    }
+  }
+}
+
+TEST(Cra, DeterministicGivenRngState) {
+  std::vector<double> asks;
+  for (int i = 0; i < 100; ++i) asks.push_back(1.0 + i * 0.05);
+  rng::Rng a(8);
+  rng::Rng b(8);
+  const CraOutcome oa = run_cra(asks, {.q = 10, .m_i = 20}, a);
+  const CraOutcome ob = run_cra(asks, {.q = 10, .m_i = 20}, b);
+  EXPECT_EQ(oa.won, ob.won);
+  EXPECT_EQ(oa.clearing_price, ob.clearing_price);
+}
+
+TEST(Cra, WinnersAreAmongTheCheapestRawCount) {
+  // All winners must have value <= the sampled threshold s (they are chosen
+  // from the n_s <= z_s cheapest asks).
+  rng::Rng rng(9);
+  std::vector<double> asks;
+  for (int i = 0; i < 400; ++i) asks.push_back(0.5 + 0.01 * i);
+  for (int trial = 0; trial < 100; ++trial) {
+    const CraOutcome o = run_cra(asks, {.q = 20, .m_i = 40}, rng);
+    for (std::size_t w = 0; w < asks.size(); ++w) {
+      if (o.won[w]) {
+        EXPECT_LE(asks[w], o.sample_min);
+      }
+    }
+    EXPECT_LE(o.consensus_count, o.raw_count == 0 ? 0 : o.raw_count);
+  }
+}
+
+TEST(Cra, EmptySamplePolicyNoWinnersCanYieldZero) {
+  // With q + m_i astronomically large, the per-ask sample probability is
+  // ~0, so the sample is (almost) always empty.
+  std::vector<double> asks{1.0, 2.0, 3.0};
+  rng::Rng rng(10);
+  CraParams params{.q = 1000000, .m_i = 1000000,
+                   .empty_sample = EmptySamplePolicy::kNoWinners};
+  int winners = 0;
+  for (int t = 0; t < 50; ++t) {
+    winners += count_winners(run_cra(asks, params, rng));
+  }
+  EXPECT_EQ(winners, 0);
+}
+
+TEST(Cra, EmptySamplePolicyAllAsksStaysProductiveAndIr) {
+  std::vector<double> asks{1.0, 2.0, 3.0};
+  rng::Rng rng(11);
+  CraParams params{.q = 1000000, .m_i = 1000000,
+                   .empty_sample = EmptySamplePolicy::kAllAsks};
+  bool any = false;
+  for (int t = 0; t < 50; ++t) {
+    const CraOutcome o = run_cra(asks, params, rng);
+    for (std::size_t w = 0; w < asks.size(); ++w) {
+      if (o.won[w]) {
+        any = true;
+        EXPECT_LE(asks[w], o.clearing_price);
+        EXPECT_TRUE(std::isfinite(o.clearing_price));
+      }
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(Cra, SingleAskCannotClearTheConsensusHurdle) {
+  // With z_s = 1 the consensus value 2^(z+y) <= 1 floors to 0 for every
+  // y > 0, so a lone ask (almost) never wins — the mechanism needs real
+  // competition per Remark 6.1. This is the faithful reading of Alg. 1 and
+  // the reason RitConfig::stall_round_limit exists.
+  std::vector<double> asks{2.5};
+  rng::Rng rng(12);
+  int wins = 0;
+  for (int t = 0; t < 200; ++t) {
+    wins += count_winners(run_cra(asks, {.q = 1, .m_i = 1}, rng));
+  }
+  EXPECT_EQ(wins, 0);
+}
+
+TEST(Cra, BudgetPriceKicksInWhenConsensusExceedsBudget) {
+  // Many equal cheap asks force n_s large; with a small budget the
+  // (q+m_i+1)-st price path must keep winners <= q+m_i and the price at
+  // least the winning values.
+  std::vector<double> asks(1000, 1.0);
+  asks.push_back(9.0);
+  rng::Rng rng(13);
+  bool saw_budget_price = false;
+  for (int t = 0; t < 300; ++t) {
+    const CraOutcome o = run_cra(asks, {.q = 3, .m_i = 4}, rng);
+    EXPECT_LE(count_winners(o), 3u);
+    if (o.used_budget_price) {
+      saw_budget_price = true;
+      EXPECT_GE(o.clearing_price, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_budget_price);
+}
+
+TEST(CraOrderStatistic, WinnersAndPriceAreDeterministic) {
+  // Ablation mode: a plain (q+m_i+1)-st price round.
+  const std::vector<double> asks{5.0, 1.0, 3.0, 2.0, 4.0, 6.0};
+  rng::Rng rng(20);
+  CraParams params{.q = 1, .m_i = 2,
+                   .price_mode = PriceMode::kOrderStatistic};
+  const CraOutcome o = run_cra(asks, params, rng);
+  // budget = 3: potential winners are asks 1.0, 2.0, 3.0; price = 4.0.
+  EXPECT_EQ(o.num_winners, 1u);
+  EXPECT_DOUBLE_EQ(o.clearing_price, 4.0);
+  for (std::size_t w = 0; w < asks.size(); ++w) {
+    if (o.won[w]) {
+      EXPECT_LE(asks[w], 3.0);
+    }
+  }
+}
+
+TEST(CraOrderStatistic, NoPriceWithoutEnoughAsks) {
+  const std::vector<double> asks{1.0, 2.0, 3.0};
+  rng::Rng rng(21);
+  CraParams params{.q = 1, .m_i = 2,
+                   .price_mode = PriceMode::kOrderStatistic};
+  const CraOutcome o = run_cra(asks, params, rng);  // needs budget+1 = 4 asks
+  EXPECT_EQ(o.num_winners, 0u);
+}
+
+// The demand-reduction book: six cheap organic asks, a price cliff, and
+// three expensive organic asks. Budget q+m = 10, so the 11th lowest ask
+// sets the deterministic price. An attacker with 6 units at cost 4.0:
+//   truthful: sorted book = {1.0 x6, 4.0 x6, 9.5, 9.8, 9.9};
+//             the 11th lowest is its own 4.0 -> margin 0;
+//   withhold to 2 units: {1.0 x6, 4.0 x2, 9.5, 9.8, 9.9};
+//             the 11th lowest is 9.9 -> margin 5.9 per winning unit.
+std::vector<double> demand_reduction_book() {
+  std::vector<double> book(6, 1.0);
+  book.push_back(9.5);
+  book.push_back(9.8);
+  book.push_back(9.9);
+  return book;
+}
+
+double attacker_cra_utility(const CraParams& params, int units,
+                            std::uint64_t seed) {
+  const std::vector<double> book = demand_reduction_book();
+  std::vector<double> asks = book;
+  for (int u = 0; u < units; ++u) asks.push_back(4.0);
+  rng::Rng rng(seed);
+  const CraOutcome o = run_cra(asks, params, rng);
+  double utility = 0.0;
+  for (std::size_t w = book.size(); w < asks.size(); ++w) {
+    if (o.won[w]) utility += o.clearing_price - 4.0;
+  }
+  return utility;
+}
+
+TEST(CraOrderStatistic, DemandReductionManipulatesThePrice) {
+  // The classic uniform-price manipulation the consensus mode exists to
+  // kill: withheld units push the price-setting slot across the cliff.
+  CraParams params{.q = 8, .m_i = 2,
+                   .price_mode = PriceMode::kOrderStatistic};
+  double truthful = 0.0;
+  double reduced = 0.0;
+  const int trials = 200;  // randomness only in the q-of-budget draw
+  for (int t = 0; t < trials; ++t) {
+    truthful += attacker_cra_utility(params, 6, 100 + t);
+    reduced += attacker_cra_utility(params, 2, 100 + t);
+  }
+  truthful /= trials;
+  reduced /= trials;
+  EXPECT_NEAR(truthful, 0.0, 1e-12);  // price == own ask: zero margin
+  EXPECT_GT(reduced, 4.0)
+      << "order-statistic mode must be manipulable by demand reduction";
+}
+
+TEST(CraOrderStatistic, DemandReductionIsUnprofitableUnderConsensus) {
+  // Same book under the paper's mode: the price is a sampled threshold, so
+  // withholding units cannot place one's own ask at the price-setting slot.
+  // Expected utilities: truthful weakly better (more units win whenever the
+  // threshold clears 4.0).
+  CraParams params{.q = 8, .m_i = 2};
+  double truthful = 0.0;
+  double reduced = 0.0;
+  const int trials = 6000;
+  for (int t = 0; t < trials; ++t) {
+    truthful += attacker_cra_utility(params, 6, 500 + t);
+    reduced += attacker_cra_utility(params, 2, 500 + t);
+  }
+  truthful /= trials;
+  reduced /= trials;
+  EXPECT_LE(reduced, truthful + 0.1)
+      << "truthful=" << truthful << " reduced=" << reduced;
+}
+
+TEST(Cra, ComparativeStaticsCheaperBooksClearCheaper) {
+  // Comparative statics of the sampled-threshold price: shifting every ask
+  // down shifts the expected clearing price down (the threshold is a
+  // sample min of the book). A distribution-level sanity check on top of
+  // the per-run invariants.
+  rng::Rng book_rng(42);
+  std::vector<double> expensive;
+  for (int i = 0; i < 300; ++i) {
+    expensive.push_back(book_rng.uniform_real_left_open(2.0, 10.0));
+  }
+  std::vector<double> cheap;
+  for (double v : expensive) cheap.push_back(v - 1.5);
+  CraParams params{.q = 30, .m_i = 40};
+  auto mean_price = [&](const std::vector<double>& book, std::uint64_t seed) {
+    rng::Rng rng(seed);
+    double sum = 0.0;
+    int priced = 0;
+    for (int t = 0; t < 2000; ++t) {
+      const CraOutcome o = run_cra(book, params, rng);
+      if (o.num_winners > 0) {
+        sum += o.clearing_price;
+        ++priced;
+      }
+    }
+    return sum / priced;
+  };
+  EXPECT_LT(mean_price(cheap, 7), mean_price(expensive, 7) - 0.5);
+}
+
+TEST(Cra, MoreSupplyLowersExpectedPrice) {
+  // Doubling the book at the same demand lowers the expected clearing
+  // price: the Fig. 6(a) competition effect at CRA granularity.
+  rng::Rng book_rng(43);
+  std::vector<double> thin;
+  for (int i = 0; i < 150; ++i) {
+    thin.push_back(book_rng.uniform_real_left_open(0.0, 10.0));
+  }
+  std::vector<double> thick = thin;
+  for (int i = 0; i < 150; ++i) {
+    thick.push_back(book_rng.uniform_real_left_open(0.0, 10.0));
+  }
+  CraParams params{.q = 25, .m_i = 30};
+  auto mean_price = [&](const std::vector<double>& book) {
+    rng::Rng rng(11);
+    double sum = 0.0;
+    int priced = 0;
+    for (int t = 0; t < 3000; ++t) {
+      const CraOutcome o = run_cra(book, params, rng);
+      if (o.num_winners > 0) {
+        sum += o.clearing_price;
+        ++priced;
+      }
+    }
+    return sum / priced;
+  };
+  EXPECT_LT(mean_price(thick), mean_price(thin));
+}
+
+TEST(Cra, UniformWinnerSelectionAmongChosen) {
+  // With 4 identical asks and q = 1, whoever is chosen must win ~uniformly.
+  std::vector<double> asks(4, 1.0);
+  rng::Rng rng(14);
+  std::array<int, 4> wins{};
+  int total = 0;
+  for (int t = 0; t < 20000; ++t) {
+    const CraOutcome o = run_cra(asks, {.q = 1, .m_i = 1}, rng);
+    for (int w = 0; w < 4; ++w) {
+      if (o.won[w]) {
+        ++wins[w];
+        ++total;
+      }
+    }
+  }
+  ASSERT_GT(total, 1000);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_NEAR(static_cast<double>(wins[w]) / total, 0.25, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace rit::core

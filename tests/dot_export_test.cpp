@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "tree/builders.h"
+#include "tree/dot_export.h"
+
+namespace rit::tree {
+namespace {
+
+TEST(DotExport, BasicStructure) {
+  const IncentiveTree t({0, 0, 0, 1});
+  const std::string dot = to_dot(t);
+  EXPECT_NE(dot.find("digraph \"incentive_tree\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 [label=\"platform\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n2;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n3;"), std::string::npos);
+  EXPECT_EQ(dot.find("n2 -> "), std::string::npos);  // leaf
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DotExport, CustomLabelsAreEscaped) {
+  const IncentiveTree t({0, 0});
+  DotOptions opts;
+  opts.label = [](std::uint32_t node) {
+    return node == 0 ? std::string("root") : std::string("say \"hi\"");
+  };
+  const std::string dot = to_dot(t, opts);
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(DotExport, ColorGroupsCycleThroughPalette) {
+  const IncentiveTree t({0, 0, 0, 0});
+  DotOptions opts;
+  opts.color_group = [](std::uint32_t node) {
+    return static_cast<int>(node % 2);
+  };
+  const std::string dot = to_dot(t, opts);
+  EXPECT_NE(dot.find("fillcolor=\"#a6cee3\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=\"#b2df8a\""), std::string::npos);
+}
+
+TEST(DotExport, NegativeGroupMeansNoColor) {
+  const IncentiveTree t({0, 0});
+  DotOptions opts;
+  opts.color_group = [](std::uint32_t) { return -1; };
+  const std::string dot = to_dot(t, opts);
+  // Only the root box carries an explicit fill.
+  EXPECT_EQ(dot.find("fillcolor=\"#a6cee3\""), std::string::npos);
+}
+
+TEST(DotExport, RefusesOversizeTrees) {
+  const auto t = flat_tree(50);
+  DotOptions opts;
+  opts.max_nodes = 10;
+  std::ostringstream os;
+  EXPECT_THROW(write_dot(t, os, opts), CheckFailure);
+}
+
+TEST(DotExport, EveryNodeAndEdgeAppearsExactlyOnce) {
+  rng::Rng rng(3);
+  const auto t = random_recursive_tree(40, 0.2, rng);
+  const std::string dot = to_dot(t);
+  for (std::uint32_t v = 1; v < t.num_nodes(); ++v) {
+    const std::string edge = "n" + std::to_string(t.parent(v)) + " -> n" +
+                             std::to_string(v) + ";";
+    const auto first = dot.find(edge);
+    EXPECT_NE(first, std::string::npos) << edge;
+    EXPECT_EQ(dot.find(edge, first + 1), std::string::npos) << edge;
+  }
+}
+
+}  // namespace
+}  // namespace rit::tree

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/rit.h"
+#include "graph/generators.h"
+#include "sim/dynamics.h"
+#include "sim/failures.h"
+#include "sim/runner.h"
+
+namespace rit::sim {
+namespace {
+
+Population quick_population(std::uint32_t n, std::uint32_t num_types,
+                            std::uint64_t seed) {
+  Scenario s;
+  s.num_users = n;
+  s.num_types = num_types;
+  s.k_max = 3;
+  rng::Rng rng(seed);
+  return generate_population(s, rng);
+}
+
+TEST(Dynamics, FullCascadeOnAlwaysAccept) {
+  const graph::Graph g = graph::path(30);
+  const Population pop = quick_population(30, 1, 1);
+  DynamicsOptions opts;
+  opts.acceptance_prob = 1.0;
+  rng::Rng rng(2);
+  const DynamicsResult res = simulate_solicitation(g, pop, nullptr, opts, rng);
+  EXPECT_EQ(res.joined.size(), 30u);
+  EXPECT_EQ(res.stop_reason, DynamicsResult::StopReason::kCascadeDied);
+  EXPECT_EQ(res.tree.num_participants(), 30u);
+  // A path joined in order produces the chain tree.
+  EXPECT_EQ(res.tree.max_depth(), 30u);
+}
+
+TEST(Dynamics, JoinTimesAreMonotoneAndStartAtZero) {
+  rng::Rng graph_rng(3);
+  const graph::Graph g = graph::barabasi_albert(300, 3, graph_rng);
+  const Population pop = quick_population(300, 2, 4);
+  DynamicsOptions opts;
+  opts.seeds = {0, 1};
+  rng::Rng rng(5);
+  const DynamicsResult res = simulate_solicitation(g, pop, nullptr, opts, rng);
+  ASSERT_GE(res.join_time.size(), 2u);
+  EXPECT_EQ(res.join_time[0], 0.0);
+  EXPECT_TRUE(std::is_sorted(res.join_time.begin(), res.join_time.end()));
+  EXPECT_GE(res.end_time, res.join_time.back());
+}
+
+TEST(Dynamics, JoinedByCountsPrefix) {
+  const graph::Graph g = graph::path(10);
+  const Population pop = quick_population(10, 1, 6);
+  DynamicsOptions opts;
+  opts.acceptance_prob = 1.0;
+  rng::Rng rng(7);
+  const DynamicsResult res = simulate_solicitation(g, pop, nullptr, opts, rng);
+  EXPECT_EQ(res.joined_by(-1.0), 0u);
+  EXPECT_EQ(res.joined_by(0.0), 1u);  // the seed
+  EXPECT_EQ(res.joined_by(res.end_time + 1.0), res.joined.size());
+  for (std::size_t i = 0; i < res.join_time.size(); ++i) {
+    EXPECT_GE(res.joined_by(res.join_time[i]), i + 1);
+  }
+}
+
+TEST(Dynamics, ZeroAcceptanceLeavesOnlySeeds) {
+  const graph::Graph g = graph::star(20);
+  const Population pop = quick_population(20, 1, 8);
+  DynamicsOptions opts;
+  opts.acceptance_prob = 0.0;
+  opts.seeds = {0};
+  rng::Rng rng(9);
+  const DynamicsResult res = simulate_solicitation(g, pop, nullptr, opts, rng);
+  EXPECT_EQ(res.joined.size(), 1u);
+  EXPECT_EQ(res.stop_reason, DynamicsResult::StopReason::kCascadeDied);
+}
+
+TEST(Dynamics, MaxUsersStopsTheCascade) {
+  const graph::Graph g = graph::complete(40);
+  const Population pop = quick_population(40, 1, 10);
+  DynamicsOptions opts;
+  opts.acceptance_prob = 1.0;
+  opts.max_users = 12;
+  rng::Rng rng(11);
+  const DynamicsResult res = simulate_solicitation(g, pop, nullptr, opts, rng);
+  EXPECT_EQ(res.joined.size(), 12u);
+  EXPECT_EQ(res.stop_reason, DynamicsResult::StopReason::kMaxUsers);
+}
+
+TEST(Dynamics, DeadlineStopsTheCascade) {
+  const graph::Graph g = graph::path(500);
+  const Population pop = quick_population(500, 1, 12);
+  DynamicsOptions opts;
+  opts.acceptance_prob = 1.0;
+  opts.deadline = 5.0;
+  rng::Rng rng(13);
+  const DynamicsResult res = simulate_solicitation(g, pop, nullptr, opts, rng);
+  EXPECT_EQ(res.stop_reason, DynamicsResult::StopReason::kDeadline);
+  EXPECT_LT(res.joined.size(), 500u);
+  for (double t : res.join_time) EXPECT_LE(t, 5.0);
+}
+
+TEST(Dynamics, SupplyTargetStopsTheCascade) {
+  rng::Rng graph_rng(14);
+  const graph::Graph g = graph::barabasi_albert(1000, 3, graph_rng);
+  Population pop = quick_population(1000, 1, 15);
+  for (auto& a : pop.truthful_asks) a.quantity = 2;
+  const core::Job job(std::vector<std::uint32_t>{20});
+  DynamicsOptions opts;
+  opts.acceptance_prob = 1.0;
+  opts.supply_multiple = 2.0;
+  rng::Rng rng(16);
+  const DynamicsResult res = simulate_solicitation(g, pop, &job, opts, rng);
+  EXPECT_EQ(res.stop_reason, DynamicsResult::StopReason::kSupplyMet);
+  EXPECT_GE(res.supply_by_type[0], 40u);
+  // Stopped promptly: at most one user of overshoot.
+  EXPECT_LE(res.supply_by_type[0], 42u);
+}
+
+TEST(Dynamics, DeterministicGivenSeed) {
+  rng::Rng graph_rng(17);
+  const graph::Graph g = graph::barabasi_albert(400, 3, graph_rng);
+  const Population pop = quick_population(400, 2, 18);
+  DynamicsOptions opts;
+  rng::Rng a(19);
+  rng::Rng b(19);
+  const DynamicsResult ra = simulate_solicitation(g, pop, nullptr, opts, a);
+  const DynamicsResult rb = simulate_solicitation(g, pop, nullptr, opts, b);
+  EXPECT_EQ(ra.joined, rb.joined);
+  EXPECT_EQ(ra.join_time, rb.join_time);
+  EXPECT_EQ(ra.tree.parents(), rb.tree.parents());
+}
+
+TEST(Dynamics, TreeFeedsStraightIntoRit) {
+  rng::Rng graph_rng(20);
+  const graph::Graph g = graph::barabasi_albert(800, 3, graph_rng);
+  const Population pop = quick_population(800, 2, 21);
+  const core::Job job = core::Job::uniform(2, 30);
+  DynamicsOptions opts;
+  opts.supply_multiple = 2.5;
+  rng::Rng rng(22);
+  const DynamicsResult grown = simulate_solicitation(g, pop, &job, opts, rng);
+  ASSERT_EQ(grown.stop_reason, DynamicsResult::StopReason::kSupplyMet);
+
+  std::vector<core::Ask> asks;
+  for (std::uint32_t u : grown.joined) asks.push_back(pop.truthful_asks[u]);
+  core::RitConfig cfg;
+  cfg.round_budget_policy = core::RoundBudgetPolicy::kRunToCompletion;
+  rng::Rng mech_rng(23);
+  const core::RitResult r = core::run_rit(job, asks, grown.tree, cfg, mech_rng);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Dynamics, ChurnReportsDeparturesAndAdjustsSupply) {
+  rng::Rng graph_rng(30);
+  const graph::Graph g = graph::barabasi_albert(500, 3, graph_rng);
+  Population pop = quick_population(500, 1, 31);
+  for (auto& a : pop.truthful_asks) a.quantity = 2;
+  const core::Job job(std::vector<std::uint32_t>{1000});  // never satisfiable
+  DynamicsOptions opts;
+  opts.acceptance_prob = 1.0;
+  opts.lifetime_mean = 2.0;  // short lives: heavy churn
+  opts.supply_multiple = 2.0;
+  rng::Rng rng(32);
+  const DynamicsResult res = simulate_solicitation(g, pop, &job, opts, rng);
+  EXPECT_FALSE(res.departed.empty());
+  // Supply accounting: joined quantities minus departed quantities.
+  std::uint64_t expected = 2 * (res.joined.size() - res.departed.size());
+  EXPECT_EQ(res.supply_by_type[0], expected);
+  // Departed indices are valid participants.
+  for (std::uint32_t p : res.departed) {
+    EXPECT_LT(p, res.joined.size());
+  }
+}
+
+TEST(Dynamics, ChurnComposesWithFailureInjection) {
+  // The intended pipeline: run the cascade with churn, strip departed
+  // users' asks via sim/failures, clear the market on the survivors.
+  rng::Rng graph_rng(33);
+  const graph::Graph g = graph::barabasi_albert(1500, 3, graph_rng);
+  const Population pop = quick_population(1500, 2, 34);
+  const core::Job job = core::Job::uniform(2, 25);
+  DynamicsOptions opts;
+  opts.acceptance_prob = 0.9;
+  opts.lifetime_mean = 50.0;  // mild churn
+  opts.supply_multiple = 3.0;
+  rng::Rng rng(35);
+  const DynamicsResult campaign = simulate_solicitation(g, pop, &job, opts, rng);
+  ASSERT_EQ(campaign.stop_reason, DynamicsResult::StopReason::kSupplyMet);
+
+  std::vector<core::Ask> asks;
+  std::vector<double> costs;
+  for (std::uint32_t u : campaign.joined) {
+    asks.push_back(pop.truthful_asks[u]);
+    costs.push_back(pop.costs[u]);
+  }
+  const DropoutResult survivors = remove_participants(
+      campaign.tree, asks, campaign.departed);
+  core::RitConfig cfg;
+  cfg.round_budget_policy = core::RoundBudgetPolicy::kRunToCompletion;
+  rng::Rng mech(36);
+  const core::RitResult r =
+      core::run_rit(job, survivors.asks, survivors.tree, cfg, mech);
+  EXPECT_TRUE(r.success);
+  for (std::uint32_t i = 0; i < survivors.asks.size(); ++i) {
+    EXPECT_GE(r.utility_of(i, costs[survivors.original_of[i]]), -1e-9);
+  }
+}
+
+TEST(Dynamics, ParentsAlwaysJoinBeforeChildren) {
+  // Causality of the cascade: an inviter's join time precedes every
+  // invitation it sends, hence every child's join time.
+  rng::Rng graph_rng(40);
+  const graph::Graph g = graph::barabasi_albert(600, 3, graph_rng);
+  const Population pop = quick_population(600, 2, 41);
+  DynamicsOptions opts;
+  opts.seeds = {0, 1};
+  rng::Rng rng(42);
+  const DynamicsResult res = simulate_solicitation(g, pop, nullptr, opts, rng);
+  for (std::uint32_t i = 0; i < res.joined.size(); ++i) {
+    const std::uint32_t node = tree::node_of_participant(i);
+    const std::uint32_t parent = res.tree.parent(node);
+    if (parent == 0) continue;  // platform seed
+    const std::uint32_t parent_participant = tree::participant_of_node(parent);
+    EXPECT_LT(res.join_time[parent_participant], res.join_time[i] + 1e-12)
+        << "participant " << i;
+  }
+}
+
+TEST(Dynamics, NoChurnByDefault) {
+  const graph::Graph g = graph::path(20);
+  const Population pop = quick_population(20, 1, 37);
+  DynamicsOptions opts;
+  opts.acceptance_prob = 1.0;
+  rng::Rng rng(38);
+  const DynamicsResult res = simulate_solicitation(g, pop, nullptr, opts, rng);
+  EXPECT_TRUE(res.departed.empty());
+}
+
+TEST(Dynamics, RejectsBadOptions) {
+  const graph::Graph g = graph::path(5);
+  const Population pop = quick_population(5, 1, 24);
+  rng::Rng rng(25);
+  DynamicsOptions opts;
+  opts.invite_delay_mean = 0.0;
+  EXPECT_THROW(simulate_solicitation(g, pop, nullptr, opts, rng),
+               CheckFailure);
+  opts = DynamicsOptions{};
+  opts.acceptance_prob = 1.5;
+  EXPECT_THROW(simulate_solicitation(g, pop, nullptr, opts, rng),
+               CheckFailure);
+  opts = DynamicsOptions{};
+  opts.supply_multiple = 2.0;  // but no job
+  EXPECT_THROW(simulate_solicitation(g, pop, nullptr, opts, rng),
+               CheckFailure);
+  opts = DynamicsOptions{};
+  opts.seeds = {};
+  EXPECT_THROW(simulate_solicitation(g, pop, nullptr, opts, rng),
+               CheckFailure);
+}
+
+TEST(RngExponential, MeanAndPositivity) {
+  rng::Rng rng(1);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.5);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+  EXPECT_THROW(rng.exponential(0.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rit::sim

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "core/payment.h"
+#include "extensions/private_reporting.h"
+#include "extensions/quality_aware.h"
+#include "rng/rng.h"
+#include "stats/online_stats.h"
+#include "tree/builders.h"
+
+namespace rit::ext {
+namespace {
+
+using core::Ask;
+using rit::TaskType;
+
+TEST(QualityTiers, TierOfMapsBands) {
+  QualityTiers tiers;
+  tiers.boundaries = {0.0, 0.5, 0.8};
+  EXPECT_EQ(tiers.tier_of(0.0), 0u);
+  EXPECT_EQ(tiers.tier_of(0.49), 0u);
+  EXPECT_EQ(tiers.tier_of(0.5), 1u);
+  EXPECT_EQ(tiers.tier_of(0.79), 1u);
+  EXPECT_EQ(tiers.tier_of(0.8), 2u);
+  EXPECT_EQ(tiers.tier_of(1.0), 2u);
+  EXPECT_THROW(tiers.tier_of(-0.1), CheckFailure);
+}
+
+TEST(QualityAware, StratifyRefinesTypes) {
+  QualityJob qjob;
+  qjob.areas = 2;
+  qjob.tiers = 2;
+  qjob.demand = {3, 1, 2, 2};  // (a0,t0)=3 (a0,t1)=1 (a1,t0)=2 (a1,t1)=2
+  QualityTiers tiers;
+  tiers.boundaries = {0.0, 0.7};
+  const std::vector<Ask> asks{
+      {TaskType{0}, 2, 1.0},  // area 0, quality .9 -> tier 1 -> type 1
+      {TaskType{1}, 1, 2.0},  // area 1, quality .3 -> tier 0 -> type 2
+  };
+  const std::vector<double> qualities{0.9, 0.3};
+  const StratifiedInstance inst = stratify(qjob, asks, qualities, tiers);
+  EXPECT_EQ(inst.job.num_types(), 4u);
+  EXPECT_EQ(inst.job.demand(TaskType{0}), 3u);
+  EXPECT_EQ(inst.asks[0].type, TaskType{1});
+  EXPECT_EQ(inst.asks[1].type, TaskType{2});
+  // Quantities and prices untouched by the reduction.
+  EXPECT_EQ(inst.asks[0].quantity, 2u);
+  EXPECT_EQ(inst.asks[1].value, 2.0);
+  EXPECT_EQ(area_of(inst.asks[0].type, 2), 0u);
+  EXPECT_EQ(tier_of_type(inst.asks[0].type, 2), 1u);
+}
+
+TEST(QualityAware, HighTierDemandOnlyServedByHighTierUsers) {
+  // One area, two tiers; demand lives in the high tier only. Low-quality
+  // users must win nothing no matter how cheap they are.
+  QualityJob qjob;
+  qjob.areas = 1;
+  qjob.tiers = 2;
+  qjob.demand = {0, 10};
+  QualityTiers tiers;
+  tiers.boundaries = {0.0, 0.7};
+  rng::Rng setup(1);
+  std::vector<Ask> asks;
+  std::vector<double> qualities;
+  for (int j = 0; j < 120; ++j) {
+    const bool high = j % 2 == 0;
+    asks.push_back(Ask{TaskType{0},
+                       static_cast<std::uint32_t>(setup.uniform_int(1, 3)),
+                       // low-quality users are much cheaper
+                       setup.uniform_real_left_open(0.0, high ? 10.0 : 1.0)});
+    qualities.push_back(high ? 0.9 : 0.2);
+  }
+  const auto t = tree::random_recursive_tree(120, 0.2, setup);
+  core::RitConfig cfg;
+  cfg.round_budget_policy = core::RoundBudgetPolicy::kRunToCompletion;
+  rng::Rng rng(2);
+  const core::RitResult r =
+      run_quality_aware_rit(qjob, asks, qualities, tiers, t, cfg, rng);
+  ASSERT_TRUE(r.success);
+  for (int j = 0; j < 120; ++j) {
+    if (qualities[j] < 0.7) {
+      EXPECT_EQ(r.allocation[j], 0u) << "low-quality user " << j << " won";
+    }
+  }
+}
+
+TEST(QualityAware, GuaranteesInheritedIrAndBudget) {
+  QualityJob qjob;
+  qjob.areas = 2;
+  qjob.tiers = 2;
+  qjob.demand = {10, 5, 8, 4};
+  QualityTiers tiers;
+  tiers.boundaries = {0.0, 0.6};
+  rng::Rng setup(3);
+  std::vector<Ask> asks;
+  std::vector<double> qualities;
+  for (int j = 0; j < 300; ++j) {
+    asks.push_back(Ask{
+        TaskType{static_cast<std::uint32_t>(setup.uniform_index(2))},
+        static_cast<std::uint32_t>(setup.uniform_int(1, 3)),
+        setup.uniform_real_left_open(0.0, 10.0)});
+    qualities.push_back(setup.uniform01());
+  }
+  const auto t = tree::random_recursive_tree(300, 0.2, setup);
+  core::RitConfig cfg;
+  cfg.round_budget_policy = core::RoundBudgetPolicy::kRunToCompletion;
+  rng::Rng rng(4);
+  const core::RitResult r =
+      run_quality_aware_rit(qjob, asks, qualities, tiers, t, cfg, rng);
+  for (int j = 0; j < 300; ++j) {
+    EXPECT_GE(r.utility_of(j, asks[j].value), -1e-9);
+    EXPECT_GE(r.payment[j], r.auction_payment[j] - 1e-12);
+  }
+  if (r.success) {
+    EXPECT_LE(r.total_payment(), 2.0 * r.total_auction_payment() + 1e-9);
+  }
+}
+
+TEST(QualityAware, SelfReportedTiersWouldBreakTheExclusion) {
+  // Documentation-by-test of the certification assumption: if identities
+  // could self-report a DIFFERENT tier, they would stop sharing the owner's
+  // refined type and the payment phase would pay the owner for its own
+  // identity's auction winnings. Demonstrated at the payment level.
+  const auto t = tree::chain_tree(2);  // P0 -> P1 (P1 is P0's identity)
+  const std::vector<double> pa{0.0, 10.0};
+  // Same certified tier => same refined type => exclusion holds.
+  const std::vector<TaskType> same{TaskType{1}, TaskType{1}};
+  EXPECT_DOUBLE_EQ(core::tree_payments(t, same, pa, 0.5)[0], 0.0);
+  // Forged different tier => different refined types => P0 collects.
+  const std::vector<TaskType> forged{TaskType{1}, TaskType{0}};
+  EXPECT_GT(core::tree_payments(t, forged, pa, 0.5)[0], 0.0);
+}
+
+TEST(QualityAware, StratifyRejectsBadInput) {
+  QualityJob qjob;
+  qjob.areas = 1;
+  qjob.tiers = 2;
+  qjob.demand = {1, 1};
+  QualityTiers tiers;
+  tiers.boundaries = {0.0, 0.5};
+  const std::vector<Ask> asks{{TaskType{0}, 1, 1.0}};
+  const std::vector<double> qualities{0.4};
+  // Mismatched sizes.
+  const std::vector<double> too_many{0.4, 0.5};
+  EXPECT_THROW(stratify(qjob, asks, too_many, tiers), CheckFailure);
+  // Tier count mismatch.
+  QualityTiers three;
+  three.boundaries = {0.0, 0.3, 0.6};
+  EXPECT_THROW(stratify(qjob, asks, qualities, three), CheckFailure);
+  // Unknown area.
+  const std::vector<Ask> bad_area{{TaskType{5}, 1, 1.0}};
+  EXPECT_THROW(stratify(qjob, bad_area, qualities, tiers), CheckFailure);
+}
+
+TEST(PrivateReporting, LaplaceNoiseShape) {
+  rng::Rng rng(5);
+  stats::OnlineStats st;
+  for (int i = 0; i < 200000; ++i) st.add(laplace_noise(2.0, rng));
+  EXPECT_NEAR(st.mean(), 0.0, 0.05);
+  // Var of Laplace(b) is 2 b^2 = 8.
+  EXPECT_NEAR(st.variance(), 8.0, 0.4);
+  EXPECT_THROW(laplace_noise(0.0, rng), CheckFailure);
+}
+
+TEST(PrivateReporting, SummaryTracksTrueValuesAtLargeEpsilon) {
+  core::RitResult r;
+  r.success = true;
+  r.allocation = {2, 0, 1};
+  r.auction_payment = {10.0, 0.0, 5.0};
+  r.payment = {12.0, 1.0, 5.0};
+  PrivacyParams params;
+  params.epsilon = 10000.0;  // essentially no noise
+  params.payment_clip = 100.0;
+  rng::Rng rng(6);
+  const PrivateSummary s = publish_private_summary(r, params, rng);
+  EXPECT_NEAR(s.noisy_participant_count, 3.0, 0.05);
+  EXPECT_NEAR(s.noisy_winner_count, 2.0, 0.05);
+  EXPECT_NEAR(s.noisy_total_payment, 18.0, 0.3);
+  EXPECT_NEAR(s.noisy_total_premium, 3.0, 0.3);
+  EXPECT_EQ(s.releases, 4u);
+  EXPECT_DOUBLE_EQ(s.epsilon_spent, 10000.0);
+}
+
+TEST(PrivateReporting, ClippingBoundsASingleUsersInfluence) {
+  // A whale's payment contributes at most the clip to the published sum:
+  // two runs differing only in the whale's payment produce clipped sums
+  // within the clip of each other (before noise; compare with huge eps).
+  core::RitResult small;
+  small.success = true;
+  small.allocation = {1, 1};
+  small.auction_payment = {5.0, 5.0};
+  small.payment = {5.0, 5.0};
+  core::RitResult whale = small;
+  whale.payment[0] = 1e9;
+  PrivacyParams params;
+  params.epsilon = 1e7;
+  params.payment_clip = 50.0;
+  rng::Rng rng1(7);
+  rng::Rng rng2(7);
+  const double a = publish_private_summary(small, params, rng1).noisy_total_payment;
+  const double b = publish_private_summary(whale, params, rng2).noisy_total_payment;
+  EXPECT_LE(std::abs(b - a), params.payment_clip + 1.0);
+}
+
+TEST(PrivateReporting, NoiseScalesInverselyWithEpsilon) {
+  core::RitResult r;
+  r.success = true;
+  r.allocation = {1};
+  r.auction_payment = {5.0};
+  r.payment = {5.0};
+  auto spread = [&](double eps) {
+    PrivacyParams params;
+    params.epsilon = eps;
+    stats::OnlineStats st;
+    rng::Rng rng(8);
+    for (int i = 0; i < 3000; ++i) {
+      st.add(publish_private_summary(r, params, rng).noisy_total_payment);
+    }
+    return st.stddev();
+  };
+  EXPECT_GT(spread(0.1), 5.0 * spread(10.0));
+}
+
+TEST(PrivateReporting, RejectsBadParams) {
+  core::RitResult r;
+  r.allocation = {1};
+  r.auction_payment = {1.0};
+  r.payment = {1.0};
+  rng::Rng rng(9);
+  PrivacyParams params;
+  params.epsilon = 0.0;
+  EXPECT_THROW(publish_private_summary(r, params, rng), CheckFailure);
+  params.epsilon = 1.0;
+  params.payment_clip = 0.0;
+  EXPECT_THROW(publish_private_summary(r, params, rng), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rit::ext

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "core/rit.h"
+#include "rng/rng.h"
+#include "sim/failures.h"
+#include "tree/builders.h"
+
+namespace rit::sim {
+namespace {
+
+using core::Ask;
+using rit::TaskType;
+
+// platform -> {P0, P1}, P0 -> {P2, P3}, P3 -> {P4}.
+struct Fixture {
+  tree::IncentiveTree tree{std::vector<std::uint32_t>{0, 0, 0, 1, 1, 4}};
+  std::vector<Ask> asks{
+      {TaskType{0}, 1, 1.0}, {TaskType{0}, 1, 2.0}, {TaskType{1}, 1, 3.0},
+      {TaskType{1}, 1, 4.0}, {TaskType{0}, 1, 5.0},
+  };
+};
+
+TEST(Failures, RemovingLeafShrinksInstance) {
+  Fixture f;
+  const DropoutResult r = remove_participants(f.tree, f.asks, {{4u}});
+  EXPECT_EQ(r.asks.size(), 4u);
+  EXPECT_EQ(r.tree.num_participants(), 4u);
+  EXPECT_EQ(r.new_of_original[4], DropoutResult::kDropped);
+  EXPECT_EQ(r.original_of, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  // Survivors keep asks and relative structure.
+  EXPECT_EQ(r.asks[3], f.asks[3]);
+  EXPECT_EQ(r.tree.parent(tree::node_of_participant(r.new_of_original[3])),
+            tree::node_of_participant(r.new_of_original[0]));
+}
+
+TEST(Failures, ChildrenSpliceToClosestSurvivingAncestor) {
+  Fixture f;
+  // Drop P0: its children P2, P3 must re-attach to the platform; P4 stays
+  // under P3.
+  const DropoutResult r = remove_participants(f.tree, f.asks, {{0u}});
+  EXPECT_EQ(r.asks.size(), 4u);
+  const std::uint32_t p2 = r.new_of_original[2];
+  const std::uint32_t p3 = r.new_of_original[3];
+  const std::uint32_t p4 = r.new_of_original[4];
+  EXPECT_EQ(r.tree.parent(tree::node_of_participant(p2)), 0u);
+  EXPECT_EQ(r.tree.parent(tree::node_of_participant(p3)), 0u);
+  EXPECT_EQ(r.tree.parent(tree::node_of_participant(p4)),
+            tree::node_of_participant(p3));
+}
+
+TEST(Failures, CascadedDropoutsSpliceThroughMultipleLevels) {
+  Fixture f;
+  // Drop P0 and P3: P4's closest surviving ancestor is the platform.
+  const DropoutResult r = remove_participants(f.tree, f.asks, {{0u, 3u}});
+  EXPECT_EQ(r.asks.size(), 3u);
+  const std::uint32_t p4 = r.new_of_original[4];
+  EXPECT_EQ(r.tree.parent(tree::node_of_participant(p4)), 0u);
+  EXPECT_EQ(r.tree.depth(tree::node_of_participant(p4)), 1u);
+}
+
+TEST(Failures, DuplicateDropoutsAreIdempotent) {
+  Fixture f;
+  const DropoutResult r = remove_participants(f.tree, f.asks, {{2u, 2u, 2u}});
+  EXPECT_EQ(r.asks.size(), 4u);
+}
+
+TEST(Failures, DropEveryoneLeavesRootOnly) {
+  Fixture f;
+  const DropoutResult r =
+      remove_participants(f.tree, f.asks, {{0u, 1u, 2u, 3u, 4u}});
+  EXPECT_EQ(r.asks.size(), 0u);
+  EXPECT_EQ(r.tree.num_participants(), 0u);
+}
+
+TEST(Failures, OutOfRangeDropoutRejected) {
+  Fixture f;
+  EXPECT_THROW(remove_participants(f.tree, f.asks, {{9u}}), CheckFailure);
+}
+
+TEST(Failures, RandomDropoutRateZeroAndOne) {
+  Fixture f;
+  rng::Rng rng(1);
+  EXPECT_EQ(random_dropout(f.tree, f.asks, 0.0, rng).asks.size(), 5u);
+  EXPECT_EQ(random_dropout(f.tree, f.asks, 1.0, rng).asks.size(), 0u);
+  EXPECT_THROW(random_dropout(f.tree, f.asks, 1.5, rng), CheckFailure);
+}
+
+TEST(Failures, RandomDropoutRateRoughlyBinomial) {
+  rng::Rng setup(2);
+  const auto t = tree::random_recursive_tree(2000, 0.2, setup);
+  std::vector<Ask> asks(2000, Ask{TaskType{0}, 1, 1.0});
+  rng::Rng rng(3);
+  const DropoutResult r = random_dropout(t, asks, 0.3, rng);
+  EXPECT_NEAR(static_cast<double>(r.asks.size()), 1400.0, 80.0);
+}
+
+TEST(Failures, MechanismSurvivesHeavyDropout) {
+  // End-to-end: a healthy instance loses 40% of its users after the tree
+  // formed; RIT still clears (supply permitting) and every pathwise
+  // invariant holds on the spliced tree.
+  rng::Rng setup(4);
+  const std::uint32_t n = 600;
+  std::vector<Ask> asks;
+  std::vector<double> costs;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    const double c = setup.uniform_real_left_open(0.0, 10.0);
+    asks.push_back(Ask{TaskType{static_cast<std::uint32_t>(
+                           setup.uniform_index(3))},
+                       static_cast<std::uint32_t>(setup.uniform_int(1, 3)),
+                       c});
+    costs.push_back(c);
+  }
+  const auto t = tree::random_recursive_tree(n, 0.15, setup);
+  rng::Rng drop_rng(5);
+  const DropoutResult r = random_dropout(t, asks, 0.4, drop_rng);
+
+  core::RitConfig cfg;
+  cfg.round_budget_policy = core::RoundBudgetPolicy::kRunToCompletion;
+  const core::Job job = core::Job::uniform(3, 25);
+  rng::Rng mech(6);
+  const core::RitResult result = core::run_rit(job, r.asks, r.tree, cfg, mech);
+  ASSERT_TRUE(result.success);
+  for (std::uint32_t i = 0; i < r.asks.size(); ++i) {
+    EXPECT_GE(result.utility_of(i, costs[r.original_of[i]]), -1e-9);
+    EXPECT_GE(result.payment[i], result.auction_payment[i] - 1e-12);
+  }
+}
+
+TEST(Failures, DepthsNeverIncreaseAfterDropout) {
+  // Splicing to an ancestor can only move survivors up; recruiters of the
+  // dropped users lose those subtrees' rewards but nobody sinks deeper.
+  rng::Rng setup(7);
+  const auto t = tree::random_recursive_tree(400, 0.1, setup);
+  std::vector<Ask> asks(400, Ask{TaskType{0}, 1, 1.0});
+  rng::Rng drop_rng(8);
+  const DropoutResult r = random_dropout(t, asks, 0.25, drop_rng);
+  for (std::uint32_t i = 0; i < r.asks.size(); ++i) {
+    const std::uint32_t old_node = tree::node_of_participant(r.original_of[i]);
+    const std::uint32_t new_node = tree::node_of_participant(i);
+    EXPECT_LE(r.tree.depth(new_node), t.depth(old_node));
+  }
+}
+
+}  // namespace
+}  // namespace rit::sim

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+
+namespace rit::graph {
+namespace {
+
+TEST(DegreeStats, StarGraph) {
+  const Graph g = star(101);  // hub 0 -> 100 leaves
+  const DegreeStats out = out_degree_stats(g);
+  EXPECT_DOUBLE_EQ(out.max, 100.0);
+  EXPECT_NEAR(out.mean, 100.0 / 101.0, 1e-12);
+  EXPECT_DOUBLE_EQ(out.p50, 0.0);
+  EXPECT_GT(out.max_over_mean, 100.0);
+  // The top-1% (the hub) carries every edge.
+  EXPECT_DOUBLE_EQ(out.top1pct_share, 1.0);
+  const DegreeStats in = in_degree_stats(g);
+  EXPECT_DOUBLE_EQ(in.max, 1.0);
+}
+
+TEST(DegreeStats, PathGraphIsFlat) {
+  const Graph g = path(50);
+  const DegreeStats out = out_degree_stats(g);
+  EXPECT_DOUBLE_EQ(out.max, 1.0);
+  EXPECT_LE(out.max_over_mean, 1.1);
+}
+
+TEST(DegreeStats, BaIsHeavierTailedThanEr) {
+  rng::Rng rng1(1);
+  rng::Rng rng2(2);
+  const Graph ba = barabasi_albert(5000, 3, rng1);
+  const double p = 6.0 / 4999.0;  // matched mean degree
+  const Graph er = erdos_renyi(5000, p, rng2);
+  const DegreeStats ba_stats = out_degree_stats(ba);
+  const DegreeStats er_stats = out_degree_stats(er);
+  // This is the substitution argument from DESIGN.md in numbers.
+  EXPECT_GT(ba_stats.max_over_mean, 3.0 * er_stats.max_over_mean);
+  EXPECT_GT(ba_stats.top1pct_share, 2.0 * er_stats.top1pct_share);
+}
+
+TEST(Reachability, FullCoverageOnConnectedGraph) {
+  const Graph g = path(10);
+  const ReachabilityStats r = reachability(g, {0});
+  EXPECT_DOUBLE_EQ(r.reachable_fraction, 1.0);
+  EXPECT_EQ(r.bfs_depth, 9u);
+}
+
+TEST(Reachability, DisconnectedComponentInvisible) {
+  Graph g(5, {{0, 1}, {1, 2}});
+  const ReachabilityStats r = reachability(g, {0});
+  EXPECT_DOUBLE_EQ(r.reachable_fraction, 3.0 / 5.0);
+  EXPECT_EQ(r.bfs_depth, 2u);
+}
+
+TEST(Reachability, MultipleSourcesDeduplicated) {
+  const Graph g = star(4);
+  const ReachabilityStats r = reachability(g, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(r.reachable_fraction, 1.0);
+  EXPECT_EQ(r.bfs_depth, 1u);
+}
+
+TEST(Reachability, BaGraphIsShallowFromSeedClique) {
+  rng::Rng rng(3);
+  const Graph g = barabasi_albert(20000, 3, rng);
+  const ReachabilityStats r = reachability(g, {0, 1, 2, 3});
+  EXPECT_GT(r.reachable_fraction, 0.99);
+  EXPECT_LT(r.bfs_depth, 20u);  // hubs keep follower graphs shallow
+}
+
+TEST(Clustering, CompleteGraphCloses) {
+  rng::Rng rng(4);
+  const Graph g = complete(12);
+  EXPECT_NEAR(estimate_clustering(g, 5000, rng), 1.0, 0.02);
+}
+
+TEST(Clustering, PathNeverCloses) {
+  rng::Rng rng(5);
+  const Graph g = path(50);
+  EXPECT_DOUBLE_EQ(estimate_clustering(g, 2000, rng), 0.0);
+}
+
+TEST(Clustering, WsBeatsErAtEqualDensity) {
+  // The small-world property: an unrewired ring lattice has high
+  // clustering; a random graph of the same density has ~zero.
+  rng::Rng rng1(6);
+  rng::Rng rng2(7);
+  const Graph ws = watts_strogatz(2000, 6, 0.0, rng1);
+  const Graph er = erdos_renyi(2000, 6.0 / 1999.0, rng2);
+  rng::Rng s1(8);
+  rng::Rng s2(9);
+  EXPECT_GT(estimate_clustering(ws, 20000, s1),
+            estimate_clustering(er, 20000, s2) + 0.2);
+}
+
+TEST(Metrics, RejectBadInputs) {
+  const Graph g = path(3);
+  EXPECT_THROW(reachability(g, {7}), CheckFailure);
+  rng::Rng rng(1);
+  EXPECT_THROW(estimate_clustering(g, 0, rng), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rit::graph

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/lottery_tree.h"
+#include "common/check.h"
+#include "rng/rng.h"
+#include "tree/builders.h"
+
+namespace rit::baselines {
+namespace {
+
+// chain: platform -> P0 -> P1 -> P2.
+TEST(LotteryTree, TicketsCombineOwnAndSubtree) {
+  const auto t = tree::chain_tree(3);
+  const std::vector<double> c{2.0, 4.0, 8.0};
+  LotteryTreeParams params;
+  params.beta = 0.5;
+  const auto tickets = lottery_tickets(t, c, params);
+  EXPECT_DOUBLE_EQ(tickets[2], 8.0);
+  EXPECT_DOUBLE_EQ(tickets[1], 4.0 + 0.5 * 8.0);
+  EXPECT_DOUBLE_EQ(tickets[0], 2.0 + 0.5 * 12.0);
+}
+
+TEST(LotteryTree, BetaZeroIsPlainRaffle) {
+  const auto t = tree::chain_tree(3);
+  const std::vector<double> c{2.0, 4.0, 8.0};
+  LotteryTreeParams params;
+  params.beta = 0.0;
+  EXPECT_EQ(lottery_tickets(t, c, params), c);
+}
+
+TEST(LotteryTree, ExpectedRewardsSumToPrize) {
+  rng::Rng rng(1);
+  const auto t = tree::random_recursive_tree(50, 0.2, rng);
+  std::vector<double> c;
+  for (int i = 0; i < 50; ++i) c.push_back(rng.uniform01() * 5.0);
+  LotteryTreeParams params;
+  params.prize = 777.0;
+  const auto rewards = lottery_expected_rewards(t, c, params);
+  double sum = 0.0;
+  for (double r : rewards) sum += r;
+  EXPECT_NEAR(sum, 777.0, 1e-9);
+}
+
+TEST(LotteryTree, ZeroContributionsNoWinner) {
+  const auto t = tree::flat_tree(3);
+  const std::vector<double> c(3, 0.0);
+  const auto rewards = lottery_expected_rewards(t, c, {});
+  for (double r : rewards) EXPECT_EQ(r, 0.0);
+  rng::Rng rng(2);
+  EXPECT_EQ(lottery_draw(t, c, {}, rng), kNoWinner);
+}
+
+TEST(LotteryTree, DrawFrequenciesMatchTickets) {
+  const auto t = tree::chain_tree(2);
+  const std::vector<double> c{1.0, 3.0};  // tickets: 1 + .5*3 = 2.5, 3
+  LotteryTreeParams params;
+  rng::Rng rng(3);
+  int wins0 = 0;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) {
+    if (lottery_draw(t, c, params, rng) == 0u) ++wins0;
+  }
+  EXPECT_NEAR(static_cast<double>(wins0) / draws, 2.5 / 5.5, 0.01);
+}
+
+TEST(LotteryTree, SolicitationIncentiveInExpectation) {
+  // Recruiting a contributor strictly raises your expected reward share
+  // relative to not recruiting them... for the recruiter; but it also
+  // dilutes — the classic lottery-tree tension. Verify the recruiter
+  // prefers the newcomer in ITS OWN subtree over a stranger's.
+  const std::vector<double> c{5.0, 5.0, 4.0};
+  LotteryTreeParams params;
+  // Newcomer (P2) under P0:
+  const tree::IncentiveTree under_p0({0, 0, 0, 1});
+  // Newcomer under P1:
+  const tree::IncentiveTree under_p1({0, 0, 0, 2});
+  const auto r_mine = lottery_expected_rewards(under_p0, c, params);
+  const auto r_theirs = lottery_expected_rewards(under_p1, c, params);
+  EXPECT_GT(r_mine[0], r_theirs[0]);
+}
+
+TEST(LotteryTree, NaiveLotteryWeightingIsSybilVulnerable) {
+  // THE point of carrying this baseline: the obvious ticket rule
+  // (own + beta * subtree) is NOT sybil-proof. A chain split keeps every
+  // identity's own contribution at full ticket value while ALSO collecting
+  // the beta-discounted share from the identities below — the attacker's
+  // combined expected reward strictly rises. Exact counterexample:
+  //   honest  chain P0 -> P1,          c = {3, 8}:
+  //     tickets {3 + 4, 8} -> P1 expects 1000 * 8/15  = 533.3
+  //   attack  chain P0 -> P1 -> P2,    c = {3, 5, 3}:
+  //     tickets {3 + 4, 5 + 1.5, 3} -> P1+P2 expect 1000 * 9.5/16.5 = 575.8
+  // This is why Pachira's real construction is intricate, and it is the
+  // lottery-flavoured cousin of the paper's Sec. 4 warning.
+  const auto honest_tree = tree::chain_tree(2);
+  const std::vector<double> honest_c{3.0, 8.0};
+  LotteryTreeParams params;
+  const auto honest = lottery_expected_rewards(honest_tree, honest_c, params);
+  EXPECT_NEAR(honest[1], 1000.0 * 8.0 / 15.0, 1e-9);
+
+  const auto sybil_tree = tree::chain_tree(3);
+  const std::vector<double> sybil_c{3.0, 5.0, 3.0};
+  const auto attacked = lottery_expected_rewards(sybil_tree, sybil_c, params);
+  EXPECT_NEAR(attacked[1] + attacked[2], 1000.0 * 9.5 / 16.5, 1e-9);
+  EXPECT_GT(attacked[1] + attacked[2], honest[1]);
+}
+
+TEST(LotteryTree, RejectsBadInputs) {
+  const auto t = tree::flat_tree(2);
+  const std::vector<double> c{1.0, -1.0};
+  EXPECT_THROW(lottery_tickets(t, c, {}), CheckFailure);
+  const std::vector<double> ok{1.0, 1.0};
+  LotteryTreeParams params;
+  params.beta = 1.0;
+  EXPECT_THROW(lottery_tickets(t, ok, params), CheckFailure);
+  const std::vector<double> wrong_size{1.0};
+  EXPECT_THROW(lottery_tickets(t, wrong_size, {}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rit::baselines

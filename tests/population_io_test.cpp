@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "sim/population_io.h"
+#include "sim/runner.h"
+
+namespace rit::sim {
+namespace {
+
+TEST(PopulationIo, ParsesCsvWithHeaderAndComments) {
+  std::istringstream in(
+      "type,quantity,cost\n"
+      "# a comment\n"
+      "0,2,1.5\n"
+      "1,1,3.25\n"
+      "\n"
+      "0 3 0.5  # whitespace form works too\n");
+  const Population pop = read_population(in);
+  ASSERT_EQ(pop.size(), 3u);
+  EXPECT_EQ(pop.truthful_asks[0].type, TaskType{0});
+  EXPECT_EQ(pop.truthful_asks[0].quantity, 2u);
+  EXPECT_DOUBLE_EQ(pop.truthful_asks[0].value, 1.5);
+  EXPECT_DOUBLE_EQ(pop.costs[1], 3.25);
+  EXPECT_EQ(pop.truthful_asks[2].quantity, 3u);
+}
+
+TEST(PopulationIo, RoundTripsBitExactly) {
+  Scenario s;
+  s.num_users = 120;
+  s.num_types = 4;
+  rng::Rng rng(1);
+  const Population pop = generate_population(s, rng);
+  std::ostringstream out;
+  write_population(pop, out);
+  std::istringstream in(out.str());
+  const Population back = read_population(in);
+  ASSERT_EQ(back.size(), pop.size());
+  for (std::size_t j = 0; j < pop.size(); ++j) {
+    EXPECT_EQ(back.truthful_asks[j], pop.truthful_asks[j]);
+    EXPECT_EQ(back.costs[j], pop.costs[j]);  // exact via hex-floats
+  }
+}
+
+TEST(PopulationIo, RejectsMalformedRows) {
+  std::istringstream missing("0,2\n");
+  EXPECT_THROW(read_population(missing), CheckFailure);
+  std::istringstream trailing("0,2,1.5,extra\n");
+  EXPECT_THROW(read_population(trailing), CheckFailure);
+  std::istringstream bad_cost("0,2,free\n");
+  EXPECT_THROW(read_population(bad_cost), CheckFailure);
+  std::istringstream zero_qty("0,0,1.5\n");
+  EXPECT_THROW(read_population(zero_qty), CheckFailure);
+  std::istringstream empty("# nothing\n");
+  EXPECT_THROW(read_population(empty), CheckFailure);
+  EXPECT_THROW(read_population_file("/no/such/pop.csv"), CheckFailure);
+}
+
+TEST(RunUntilPrecision, StopsWhenTight) {
+  Scenario s;
+  s.num_users = 300;
+  s.num_types = 2;
+  s.tasks_per_type = 15;
+  s.k_max = 4;
+  s.seed = 3;
+  // A loose target should stop early; a tight one runs to the cap.
+  const AggregateMetrics loose = run_until_precision(s, 10.0, 3, 50);
+  EXPECT_GE(loose.trials, 3u);
+  EXPECT_LE(loose.trials, 50u);
+  EXPECT_LE(loose.avg_utility_rit.ci95_half_width(), 10.0);
+  const AggregateMetrics tight = run_until_precision(s, 1e-9, 3, 8);
+  EXPECT_EQ(tight.trials, 8u);  // cap reached
+  EXPECT_GE(tight.trials, loose.trials);
+}
+
+TEST(RunUntilPrecision, RejectsBadBounds) {
+  Scenario s;
+  EXPECT_THROW(run_until_precision(s, 0.0), CheckFailure);
+  EXPECT_THROW(run_until_precision(s, 1.0, 1, 10), CheckFailure);
+  EXPECT_THROW(run_until_precision(s, 1.0, 10, 5), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rit::sim

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/rit.h"
+#include "sim/report.h"
+#include "sim/runner.h"
+
+namespace rit::sim {
+namespace {
+
+struct ReportFixture {
+  Scenario scenario;
+  TrialInstance instance;
+  core::RitResult result;
+
+  ReportFixture() : scenario(make_scenario()), instance(make_instance(scenario, 0)) {
+    rng::Rng rng(instance.mechanism_seed);
+    result = core::run_rit(instance.job, instance.population.truthful_asks,
+                           instance.tree, scenario.mechanism, rng);
+  }
+
+  static Scenario make_scenario() {
+    Scenario s;
+    s.num_users = 500;
+    s.num_types = 3;
+    s.tasks_per_type = 25;
+    s.k_max = 5;
+    s.seed = 31;
+    return s;
+  }
+};
+
+TEST(Report, SuccessfulRunHasAllSections) {
+  const ReportFixture f;
+  ASSERT_TRUE(f.result.success);
+  const std::string md = markdown_report(f.scenario, f.instance, f.result);
+  EXPECT_NE(md.find("# Crowdsensing campaign report"), std::string::npos);
+  EXPECT_NE(md.find("## Scenario"), std::string::npos);
+  EXPECT_NE(md.find("## Outcome"), std::string::npos);
+  EXPECT_NE(md.find("## Per-type auction"), std::string::npos);
+  EXPECT_NE(md.find("## Utility distribution"), std::string::npos);
+  EXPECT_NE(md.find("## Top recruiters"), std::string::npos);
+  EXPECT_NE(md.find("achieved truthfulness bound"), std::string::npos);
+  // One row per type in the auction table.
+  EXPECT_NE(md.find("| 0 | 25 |"), std::string::npos);
+  EXPECT_NE(md.find("| 2 | 25 |"), std::string::npos);
+}
+
+TEST(Report, FailureRunReportsWhatIsMissing) {
+  ReportFixture f;
+  // Re-run against an impossible job.
+  const core::Job impossible = core::Job::uniform(3, 100000);
+  rng::Rng rng(1);
+  core::RitConfig cfg;  // theoretical: fails quickly
+  const core::RitResult failed = core::run_rit(
+      impossible, f.instance.population.truthful_asks, f.instance.tree, cfg,
+      rng);
+  ASSERT_FALSE(failed.success);
+  TrialInstance inst2{std::move(f.instance.population), impossible,
+                      std::move(f.instance.tree), 0};
+  const std::string md = markdown_report(f.scenario, inst2, failed);
+  EXPECT_NE(md.find("ALLOCATION FAILED"), std::string::npos);
+  EXPECT_NE(md.find("100000"), std::string::npos);
+}
+
+TEST(Report, OptionsControlTableSizes) {
+  const ReportFixture f;
+  ReportOptions opts;
+  opts.top_recruiters = 2;
+  const std::string md = markdown_report(f.scenario, f.instance, f.result, opts);
+  // Exactly 2 recruiter rows after the header+separator of the last table.
+  const auto section = md.find("## Top recruiters");
+  ASSERT_NE(section, std::string::npos);
+  int rows = 0;
+  for (auto pos = md.find("| P", section); pos != std::string::npos;
+       pos = md.find("| P", pos + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(Report, SizeMismatchRejected) {
+  const ReportFixture f;
+  core::RitResult wrong;
+  wrong.payment.assign(3, 0.0);
+  EXPECT_THROW(markdown_report(f.scenario, f.instance, wrong), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rit::sim

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+#include "sim/workload.h"
+
+namespace rit::sim {
+namespace {
+
+Scenario small_scenario() {
+  Scenario s;
+  s.num_users = 400;
+  s.num_types = 3;
+  s.tasks_per_type = 20;
+  s.k_max = 5;
+  s.initial_joiners = 4;
+  s.seed = 7;
+  return s;
+}
+
+TEST(Scenario, GraphKindRoundTrip) {
+  for (GraphKind k :
+       {GraphKind::kBarabasiAlbert, GraphKind::kErdosRenyi,
+        GraphKind::kWattsStrogatz, GraphKind::kConfigurationModel,
+        GraphKind::kStar, GraphKind::kPath}) {
+    EXPECT_EQ(parse_graph_kind(to_string(k)), k);
+  }
+  EXPECT_THROW(parse_graph_kind("nope"), CheckFailure);
+}
+
+TEST(Scenario, TrialSeedsAreDistinctAcrossTrialsAndComponents) {
+  Scenario s;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t t = 0; t < 20; ++t) {
+    for (std::uint64_t c = 0; c < 4; ++c) {
+      seen.insert(s.trial_seed(t, c));
+    }
+  }
+  EXPECT_EQ(seen.size(), 80u);
+}
+
+TEST(Scenario, TrialSeedDeterministic) {
+  Scenario a;
+  Scenario b;
+  EXPECT_EQ(a.trial_seed(3, 1), b.trial_seed(3, 1));
+  b.seed = 43;
+  EXPECT_NE(a.trial_seed(3, 1), b.trial_seed(3, 1));
+}
+
+TEST(Workload, PopulationMatchesDistributionSupports) {
+  const Scenario s = small_scenario();
+  rng::Rng rng(1);
+  const Population pop = generate_population(s, rng);
+  ASSERT_EQ(pop.size(), s.num_users);
+  for (std::uint32_t j = 0; j < pop.size(); ++j) {
+    const auto& a = pop.truthful_asks[j];
+    EXPECT_LT(a.type.value, s.num_types);
+    EXPECT_GE(a.quantity, 1u);
+    EXPECT_LE(a.quantity, s.k_max);
+    EXPECT_GT(a.value, 0.0);
+    EXPECT_LE(a.value, s.cost_max);
+    EXPECT_EQ(a.value, pop.costs[j]);  // truthful asks reveal the cost
+  }
+}
+
+TEST(Workload, PopulationUsesAllTypes) {
+  const Scenario s = small_scenario();
+  rng::Rng rng(2);
+  const Population pop = generate_population(s, rng);
+  std::set<std::uint32_t> types;
+  for (const auto& a : pop.truthful_asks) types.insert(a.type.value);
+  EXPECT_EQ(types.size(), s.num_types);
+}
+
+TEST(Workload, FixedDemandJob) {
+  const Scenario s = small_scenario();
+  rng::Rng rng(3);
+  const core::Job job = generate_job(s, rng);
+  EXPECT_EQ(job.num_types(), 3u);
+  EXPECT_EQ(job.total_tasks(), 60u);
+}
+
+TEST(Workload, RangedDemandJob) {
+  Scenario s = small_scenario();
+  s.demand_lo = 10;
+  s.demand_hi = 50;
+  rng::Rng rng(4);
+  const core::Job job = generate_job(s, rng);
+  for (std::uint32_t t = 0; t < job.num_types(); ++t) {
+    EXPECT_GT(job.demand(TaskType{t}), 10u);
+    EXPECT_LE(job.demand(TaskType{t}), 50u);
+  }
+}
+
+TEST(Workload, GraphGenerationEachKind) {
+  Scenario s = small_scenario();
+  for (GraphKind k :
+       {GraphKind::kBarabasiAlbert, GraphKind::kErdosRenyi,
+        GraphKind::kWattsStrogatz, GraphKind::kConfigurationModel,
+        GraphKind::kStar, GraphKind::kPath}) {
+    s.graph = k;
+    rng::Rng rng(5);
+    const graph::Graph g = generate_graph(s, rng);
+    EXPECT_EQ(g.num_nodes(), s.num_users) << to_string(k);
+  }
+}
+
+TEST(Workload, TreeCoversEveryUser) {
+  const Scenario s = small_scenario();
+  rng::Rng rng(6);
+  const graph::Graph g = generate_graph(s, rng);
+  const TreeResult tr = generate_tree(s, g);
+  EXPECT_EQ(tr.tree.num_participants(), s.num_users);
+  // The participant->graph-node map is a permutation.
+  std::set<std::uint32_t> nodes(tr.graph_node_of_participant.begin(),
+                                tr.graph_node_of_participant.end());
+  EXPECT_EQ(nodes.size(), s.num_users);
+}
+
+TEST(Runner, InstanceIsDeterministic) {
+  const Scenario s = small_scenario();
+  const TrialInstance a = make_instance(s, 0);
+  const TrialInstance b = make_instance(s, 0);
+  EXPECT_EQ(a.population.truthful_asks.size(),
+            b.population.truthful_asks.size());
+  for (std::size_t j = 0; j < a.population.truthful_asks.size(); ++j) {
+    EXPECT_EQ(a.population.truthful_asks[j], b.population.truthful_asks[j]);
+  }
+  EXPECT_EQ(a.tree.parents(), b.tree.parents());
+  EXPECT_EQ(a.mechanism_seed, b.mechanism_seed);
+  EXPECT_EQ(a.job.demand_vector(), b.job.demand_vector());
+}
+
+TEST(Runner, DifferentTrialsDiffer) {
+  const Scenario s = small_scenario();
+  const TrialInstance a = make_instance(s, 0);
+  const TrialInstance b = make_instance(s, 1);
+  EXPECT_NE(a.mechanism_seed, b.mechanism_seed);
+  bool any_ask_differs = false;
+  for (std::size_t j = 0; j < a.population.truthful_asks.size(); ++j) {
+    if (!(a.population.truthful_asks[j] == b.population.truthful_asks[j])) {
+      any_ask_differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_ask_differs);
+}
+
+TEST(Runner, TrialMetricsInternallyConsistent) {
+  const Scenario s = small_scenario();
+  const TrialMetrics m = run_trial(s, 0);
+  EXPECT_GE(m.runtime_rit_ms, 0.0);
+  EXPECT_GE(m.runtime_auction_ms, 0.0);
+  if (m.success) {
+    EXPECT_EQ(m.tasks_allocated, 60u);
+    // The payment phase can only add money.
+    EXPECT_GE(m.total_payment_rit, m.total_payment_auction - 1e-9);
+    EXPECT_GE(m.avg_utility_rit, m.avg_utility_auction - 1e-12);
+    // Budget bound: premium <= total auction payment.
+    EXPECT_LE(m.solicitation_premium, m.total_payment_auction + 1e-9);
+  } else {
+    EXPECT_EQ(m.total_payment_rit, 0.0);
+  }
+}
+
+TEST(Runner, PairedSeriesShareTheAuctionOutcome) {
+  // total_payment_auction is derived from the same phase-1 results the full
+  // run used, so premium == total_rit - total_auction exactly.
+  const Scenario s = small_scenario();
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    const TrialMetrics m = run_trial(s, t);
+    if (!m.success) continue;
+    EXPECT_NEAR(m.solicitation_premium,
+                m.total_payment_rit - m.total_payment_auction, 1e-6);
+  }
+}
+
+TEST(Runner, RunManyAggregates) {
+  const Scenario s = small_scenario();
+  std::uint64_t calls = 0;
+  const AggregateMetrics agg = run_many(
+      s, 4, [&](std::uint64_t done, std::uint64_t total) {
+        ++calls;
+        EXPECT_LE(done, total);
+      });
+  EXPECT_EQ(agg.trials, 4u);
+  EXPECT_EQ(calls, 4u);
+  EXPECT_EQ(agg.avg_utility_rit.count(), 4u);
+  EXPECT_GE(agg.success_rate(), 0.0);
+  EXPECT_LE(agg.success_rate(), 1.0);
+}
+
+TEST(Runner, ParallelMatchesSerial) {
+  const Scenario s = small_scenario();
+  const AggregateMetrics serial = run_many(s, 6);
+  const AggregateMetrics parallel = run_many_parallel(s, 6, 3);
+  EXPECT_EQ(parallel.trials, serial.trials);
+  EXPECT_EQ(parallel.successes, serial.successes);
+  // Means agree up to merge-order rounding; the sample sets are identical.
+  EXPECT_NEAR(parallel.avg_utility_rit.mean(), serial.avg_utility_rit.mean(),
+              1e-9);
+  EXPECT_NEAR(parallel.total_payment_rit.mean(),
+              serial.total_payment_rit.mean(), 1e-6);
+  EXPECT_DOUBLE_EQ(parallel.total_payment_rit.min(),
+                   serial.total_payment_rit.min());
+  EXPECT_DOUBLE_EQ(parallel.total_payment_rit.max(),
+                   serial.total_payment_rit.max());
+}
+
+TEST(Runner, ParallelIsDeterministicAcrossRuns) {
+  const Scenario s = small_scenario();
+  const AggregateMetrics a = run_many_parallel(s, 5, 2);
+  const AggregateMetrics b = run_many_parallel(s, 5, 2);
+  EXPECT_DOUBLE_EQ(a.avg_utility_rit.mean(), b.avg_utility_rit.mean());
+  EXPECT_DOUBLE_EQ(a.solicitation_premium.mean(),
+                   b.solicitation_premium.mean());
+}
+
+TEST(Runner, ParallelHandlesEdgeThreadCounts) {
+  const Scenario s = small_scenario();
+  const AggregateMetrics one = run_many_parallel(s, 3, 1);
+  EXPECT_EQ(one.trials, 3u);
+  const AggregateMetrics more_threads_than_trials = run_many_parallel(s, 2, 8);
+  EXPECT_EQ(more_threads_than_trials.trials, 2u);
+  const AggregateMetrics zero = run_many_parallel(s, 0, 4);
+  EXPECT_EQ(zero.trials, 0u);
+}
+
+TEST(Metrics, AggregateCountsSuccesses) {
+  AggregateMetrics agg;
+  TrialMetrics ok;
+  ok.success = true;
+  TrialMetrics bad;
+  bad.success = false;
+  agg.add(ok);
+  agg.add(ok);
+  agg.add(bad);
+  EXPECT_EQ(agg.trials, 3u);
+  EXPECT_EQ(agg.successes, 2u);
+  EXPECT_NEAR(agg.success_rate(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rit::sim

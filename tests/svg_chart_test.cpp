@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cli/svg_chart.h"
+#include "common/check.h"
+
+namespace rit::cli {
+namespace {
+
+Series simple_series() {
+  Series s;
+  s.label = "RIT";
+  s.points = {{0.0, 1.0}, {1.0, 2.0}, {2.0, 1.5}};
+  return s;
+}
+
+TEST(NiceTickStep, PicksOneTwoFiveSteps) {
+  EXPECT_DOUBLE_EQ(nice_tick_step(0.0, 10.0, 5), 2.0);
+  EXPECT_DOUBLE_EQ(nice_tick_step(0.0, 100.0, 5), 20.0);
+  EXPECT_DOUBLE_EQ(nice_tick_step(0.0, 1.0, 5), 0.2);
+  EXPECT_DOUBLE_EQ(nice_tick_step(0.0, 7.0, 7), 1.0);
+  EXPECT_DOUBLE_EQ(nice_tick_step(0.0, 45000.0, 6), 10000.0);
+}
+
+TEST(SvgChart, WellFormedDocument) {
+  ChartOptions opts;
+  opts.title = "Test chart";
+  opts.x_label = "x";
+  opts.y_label = "y";
+  const std::string svg = render_line_chart({simple_series()}, opts);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Test chart"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("RIT"), std::string::npos);
+  // One marker circle per point.
+  int circles = 0;
+  for (auto pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 3);
+}
+
+TEST(SvgChart, EscapesXmlInLabels) {
+  ChartOptions opts;
+  opts.title = "a < b & c";
+  const std::string svg = render_line_chart({simple_series()}, opts);
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_EQ(svg.find("a < b & c"), std::string::npos);
+}
+
+TEST(SvgChart, MultipleSeriesGetDistinctColors) {
+  Series a = simple_series();
+  a.label = "first";
+  Series b = simple_series();
+  b.label = "second";
+  for (auto& [x, y] : b.points) y += 1.0;
+  const std::string svg = render_line_chart({a, b}, {});
+  EXPECT_NE(svg.find("#1f78b4"), std::string::npos);
+  EXPECT_NE(svg.find("#e31a1c"), std::string::npos);
+  EXPECT_NE(svg.find("first"), std::string::npos);
+  EXPECT_NE(svg.find("second"), std::string::npos);
+}
+
+TEST(SvgChart, IncludeZeroYPutsZeroTickIn) {
+  Series s;
+  s.label = "high";
+  // x values away from zero so the only possible "0" tick is on the y axis.
+  s.points = {{10.0, 100.0}, {11.0, 110.0}};
+  ChartOptions opts;
+  opts.include_zero_y = true;
+  const std::string with_zero = render_line_chart({s}, opts);
+  EXPECT_NE(with_zero.find(">0<"), std::string::npos);
+  opts.include_zero_y = false;
+  const std::string without = render_line_chart({s}, opts);
+  EXPECT_EQ(without.find(">0<"), std::string::npos);
+}
+
+TEST(SvgChart, DegenerateInputsHandled) {
+  // Single point, flat series: still a valid document, no NaNs.
+  Series s;
+  s.label = "dot";
+  s.points = {{5.0, 5.0}};
+  const std::string svg = render_line_chart({s}, {});
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+TEST(SvgChart, RejectsBadInput) {
+  EXPECT_THROW(render_line_chart({}, {}), CheckFailure);
+  Series empty;
+  empty.label = "none";
+  EXPECT_THROW(render_line_chart({empty}, {}), CheckFailure);
+  Series nan_series;
+  nan_series.label = "nan";
+  nan_series.points = {{0.0, std::numeric_limits<double>::quiet_NaN()}};
+  EXPECT_THROW(render_line_chart({nan_series}, {}), CheckFailure);
+}
+
+TEST(SvgChart, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/ritcs_chart_test.svg";
+  write_line_chart(path, {simple_series()}, {});
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_THROW(write_line_chart("/no/dir/x.svg", {simple_series()}, {}),
+               CheckFailure);
+}
+
+TEST(SvgChart, SortsPointsByX) {
+  Series s;
+  s.label = "unsorted";
+  s.points = {{2.0, 1.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const std::string svg = render_line_chart({s}, {});
+  // The polyline x coordinates must appear in increasing order.
+  const auto poly = svg.find("points=\"");
+  ASSERT_NE(poly, std::string::npos);
+  const auto end = svg.find('"', poly + 8);
+  const std::string pts = svg.substr(poly + 8, end - poly - 8);
+  double prev = -1.0;
+  std::istringstream is(pts);
+  std::string pair;
+  while (is >> pair) {
+    const double x = std::stod(pair.substr(0, pair.find(',')));
+    EXPECT_GE(x, prev);
+    prev = x;
+  }
+}
+
+}  // namespace
+}  // namespace rit::cli

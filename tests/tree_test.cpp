@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "graph/generators.h"
+#include "tree/builders.h"
+#include "tree/incentive_tree.h"
+#include "tree/render.h"
+
+namespace rit::tree {
+namespace {
+
+// The running example: platform -> {P1, P2}, P1 -> {P3, P4}, P4 -> {P5}.
+IncentiveTree example_tree() {
+  //          node: 0  1  2  3  4  5
+  return IncentiveTree({0, 0, 0, 1, 1, 4});
+}
+
+TEST(IncentiveTree, RootOnly) {
+  const auto t = IncentiveTree::root_only();
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_EQ(t.num_participants(), 0u);
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_TRUE(t.children(0).empty());
+}
+
+TEST(IncentiveTree, ParentsChildrenDepths) {
+  const auto t = example_tree();
+  EXPECT_EQ(t.num_participants(), 5u);
+  EXPECT_EQ(t.parent(3), 1u);
+  EXPECT_EQ(t.parent(5), 4u);
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(1), 1u);
+  EXPECT_EQ(t.depth(3), 2u);
+  EXPECT_EQ(t.depth(5), 3u);
+  EXPECT_EQ(t.max_depth(), 3u);
+  const auto kids = t.children(1);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0], 3u);
+  EXPECT_EQ(kids[1], 4u);
+}
+
+TEST(IncentiveTree, PreorderSubtreesAreContiguous) {
+  const auto t = example_tree();
+  const auto pre = t.preorder();
+  ASSERT_EQ(pre.size(), 6u);
+  EXPECT_EQ(pre[0], 0u);
+  // Every node's subtree occupies [pos, pos + size).
+  for (std::uint32_t v = 0; v < t.num_nodes(); ++v) {
+    const auto begin = t.preorder_index(v);
+    const auto size = t.subtree_size(v);
+    std::set<std::uint32_t> range(pre.begin() + begin,
+                                  pre.begin() + begin + size);
+    std::set<std::uint32_t> expected{v};
+    for (std::uint32_t d : t.descendants(v)) expected.insert(d);
+    EXPECT_EQ(range, expected) << "node " << v;
+  }
+}
+
+TEST(IncentiveTree, SubtreeSizes) {
+  const auto t = example_tree();
+  EXPECT_EQ(t.subtree_size(0), 6u);
+  EXPECT_EQ(t.subtree_size(1), 4u);
+  EXPECT_EQ(t.subtree_size(4), 2u);
+  EXPECT_EQ(t.subtree_size(5), 1u);
+}
+
+TEST(IncentiveTree, DescendantsMatchDefinition) {
+  const auto t = example_tree();
+  auto d1 = t.descendants(1);
+  std::sort(d1.begin(), d1.end());
+  EXPECT_EQ(d1, (std::vector<std::uint32_t>{3, 4, 5}));
+  EXPECT_TRUE(t.descendants(2).empty());
+}
+
+TEST(IncentiveTree, IsAncestor) {
+  const auto t = example_tree();
+  EXPECT_TRUE(t.is_ancestor(0, 5));
+  EXPECT_TRUE(t.is_ancestor(1, 5));
+  EXPECT_TRUE(t.is_ancestor(4, 5));
+  EXPECT_FALSE(t.is_ancestor(5, 4));
+  EXPECT_FALSE(t.is_ancestor(2, 3));
+  EXPECT_FALSE(t.is_ancestor(3, 3));
+}
+
+TEST(IncentiveTree, ForwardReferencingParentsAllowed) {
+  // Node 1's parent is node 3 — ids need not be topologically ordered.
+  const IncentiveTree t({0, 3, 0, 2});
+  EXPECT_EQ(t.depth(1), 3u);
+  EXPECT_EQ(t.depth(3), 2u);
+}
+
+TEST(IncentiveTree, RejectsCycles) {
+  // 1 -> 2 -> 1 cycle, disconnected from the root.
+  EXPECT_THROW(IncentiveTree({0, 2, 1}), CheckFailure);
+}
+
+TEST(IncentiveTree, RejectsSelfParentAndOutOfRange) {
+  EXPECT_THROW(IncentiveTree({0, 1}), CheckFailure);
+  EXPECT_THROW(IncentiveTree({0, 9}), CheckFailure);
+}
+
+TEST(IncentiveTree, ParticipantNodeConversion) {
+  EXPECT_EQ(node_of_participant(0), 1u);
+  EXPECT_EQ(participant_of_node(1), 0u);
+  EXPECT_EQ(participant_of_node(node_of_participant(41)), 41u);
+}
+
+TEST(Builders, FlatTreeAllDepthOne) {
+  const auto t = flat_tree(10);
+  EXPECT_EQ(t.num_participants(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(t.depth(node_of_participant(i)), 1u);
+  }
+}
+
+TEST(Builders, ChainTreeDepths) {
+  const auto t = chain_tree(5);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(t.depth(node_of_participant(i)), i + 1);
+  }
+  EXPECT_EQ(t.max_depth(), 5u);
+}
+
+TEST(Builders, RandomRecursiveTreeIsValidAndDeterministic) {
+  rng::Rng a(5);
+  rng::Rng b(5);
+  const auto ta = random_recursive_tree(200, 0.1, a);
+  const auto tb = random_recursive_tree(200, 0.1, b);
+  EXPECT_EQ(ta.parents(), tb.parents());
+  EXPECT_EQ(ta.num_participants(), 200u);
+}
+
+TEST(Builders, SpanningForestBfsStructure) {
+  // 0 -> 1 -> 3, 0 -> 2, 2 -> 3 (tie at 3 broken toward inviter 1: both
+  // invite in wave 2? No: 1 and 2 join in wave 1 from seed 0, then both
+  // could invite 3 — the smaller-index inviter 1 wins).
+  graph::Graph g(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  SpanningForestOptions opts;
+  opts.seeds = {0};
+  const auto res = build_spanning_forest(g, opts);
+  EXPECT_EQ(res.tree.num_participants(), 4u);
+  // Join order: 0, then {1,2}, then {3}.
+  EXPECT_EQ(res.graph_of[1], 0u);
+  EXPECT_EQ(res.graph_of[2], 1u);
+  EXPECT_EQ(res.graph_of[3], 2u);
+  EXPECT_EQ(res.graph_of[4], 3u);
+  EXPECT_EQ(res.tree.parent(res.node_of[3]), res.node_of[1]);  // 1 beat 2
+  EXPECT_EQ(res.tree.parent(res.node_of[1]), res.node_of[0]);
+  EXPECT_EQ(res.tree.parent(res.node_of[0]), 0u);
+}
+
+TEST(Builders, SpanningForestTieBreakSmallestInviter) {
+  // Seeds 0 and 1 both invite node 2 in the same wave; 0 must win.
+  graph::Graph g(3, {{0, 2}, {1, 2}});
+  SpanningForestOptions opts;
+  opts.seeds = {1, 0};  // deliberately unsorted
+  const auto res = build_spanning_forest(g, opts);
+  EXPECT_EQ(res.tree.parent(res.node_of[2]), res.node_of[0]);
+}
+
+TEST(Builders, SpanningForestRespectsMaxUsers) {
+  graph::Graph g(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  SpanningForestOptions opts;
+  opts.seeds = {0};
+  opts.max_users = 3;
+  opts.attach_unreached_to_root = false;
+  const auto res = build_spanning_forest(g, opts);
+  EXPECT_EQ(res.tree.num_participants(), 3u);
+  EXPECT_TRUE(res.joined[0]);
+  EXPECT_TRUE(res.joined[2]);
+  EXPECT_FALSE(res.joined[3]);
+}
+
+TEST(Builders, SpanningForestAttachesUnreachedToRoot) {
+  // Node 2 is unreachable from seed 0.
+  graph::Graph g(3, {{0, 1}});
+  SpanningForestOptions opts;
+  opts.seeds = {0};
+  opts.attach_unreached_to_root = true;
+  const auto res = build_spanning_forest(g, opts);
+  EXPECT_EQ(res.tree.num_participants(), 3u);
+  EXPECT_TRUE(res.joined[2]);
+  EXPECT_EQ(res.tree.parent(res.node_of[2]), 0u);
+  EXPECT_EQ(res.tree.depth(res.node_of[2]), 1u);
+}
+
+TEST(Builders, SpanningForestCoversBaGraph) {
+  rng::Rng rng(9);
+  const auto g = graph::barabasi_albert(1000, 3, rng);
+  SpanningForestOptions opts;
+  opts.seeds = {0, 1, 2, 3};
+  const auto res = build_spanning_forest(g, opts);
+  EXPECT_EQ(res.tree.num_participants(), 1000u);
+  // A scale-free graph explored from the seed clique should be shallow.
+  EXPECT_LT(res.tree.max_depth(), 30u);
+}
+
+TEST(Render, AsciiShowsStructure) {
+  const auto t = example_tree();
+  const std::string art = render_ascii(t);
+  EXPECT_NE(art.find("platform"), std::string::npos);
+  EXPECT_NE(art.find("P1"), std::string::npos);
+  EXPECT_NE(art.find("P5"), std::string::npos);
+  // P5 is nested under P4.
+  EXPECT_LT(art.find("P4"), art.find("P5"));
+}
+
+TEST(Render, TruncatesLargeTrees) {
+  const auto t = flat_tree(500);
+  const std::string art = render_ascii(t, {}, 10);
+  EXPECT_NE(art.find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rit::tree
