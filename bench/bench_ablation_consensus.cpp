@@ -97,5 +97,6 @@ int main(int argc, char** argv) {
          consensus.total_payment},
         {1.0, order.honest_mean, order.attack_mean, order.gain,
          order.total_payment}});
+  finish(opts);
   return 0;
 }

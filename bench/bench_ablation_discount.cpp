@@ -37,5 +37,6 @@ int main(int argc, char** argv) {
        {"base", "avg_utility", "total_payment", "premium",
         "premium/auction_total"},
        rows);
+  finish(opts);
   return 0;
 }

@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
        {"dropout_rate", "survivors", "success_rate", "avg_utility",
         "premium"},
        rows);
+  finish(opts);
   return 0;
 }

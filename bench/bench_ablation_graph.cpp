@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
        {"graph", "degree_tail", "tree_depth", "avg_utility", "premium",
         "total_payment"},
        rows);
+  finish(opts);
   return 0;
 }

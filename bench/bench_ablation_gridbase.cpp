@@ -53,5 +53,6 @@ int main(int argc, char** argv) {
        {"grid_base", "per_round_bound", "rounds/type", "success_rate",
         "avg_utility", "total_payment"},
        rows);
+  finish(opts);
   return 0;
 }

@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
        {"H", "theoretical_rounds/type", "theoretical_success_rate",
         "completion_achieved_bound"},
        rows);
+  finish(opts);
   return 0;
 }

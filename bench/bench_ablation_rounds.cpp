@@ -65,5 +65,6 @@ int main(int argc, char** argv) {
   }
   emit("Ablation — round budget, friendly regime (2 types, K_max=4)",
        friendly, header, run_regime(opts, /*paper_regime=*/false));
+  finish(opts);
   return 0;
 }

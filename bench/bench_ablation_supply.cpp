@@ -77,5 +77,6 @@ int main(int argc, char** argv) {
        {"supply_multiple", "users_recruited", "success_rate", "avg_utility",
         "payment_per_task"},
        rows);
+  finish(opts);
   return 0;
 }

@@ -23,5 +23,6 @@ int main(int argc, char** argv) {
        rows);
   emit_svg("Fig. 6(a): avg user utility vs users", opts, header, rows,
            {1, 2});
+  finish(opts);
   return 0;
 }

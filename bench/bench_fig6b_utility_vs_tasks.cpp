@@ -22,5 +22,6 @@ int main(int argc, char** argv) {
        rows);
   emit_svg("Fig. 6(b): avg user utility vs tasks per type", opts, header,
            rows, {1, 2});
+  finish(opts);
   return 0;
 }

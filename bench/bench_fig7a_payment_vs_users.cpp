@@ -20,5 +20,6 @@ int main(int argc, char** argv) {
                                         "RIT", "premium", "success_rate"};
   emit("Fig. 7(a) — total payment vs number of users", opts, header, rows, 2);
   emit_svg("Fig. 7(a): total payment vs users", opts, header, rows, {1, 2});
+  finish(opts);
   return 0;
 }

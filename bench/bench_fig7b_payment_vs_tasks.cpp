@@ -20,5 +20,6 @@ int main(int argc, char** argv) {
   emit("Fig. 7(b) — total payment vs tasks per type", opts, header, rows, 2);
   emit_svg("Fig. 7(b): total payment vs tasks per type", opts, header, rows,
            {1, 2});
+  finish(opts);
   return 0;
 }

@@ -19,5 +19,6 @@ int main(int argc, char** argv) {
   emit("Fig. 8(a) — running time (ms) vs number of users", opts, header,
        rows);
   emit_svg("Fig. 8(a): running time vs users", opts, header, rows, {1, 2});
+  finish(opts);
   return 0;
 }

@@ -19,5 +19,6 @@ int main(int argc, char** argv) {
        rows);
   emit_svg("Fig. 8(b): running time vs tasks per type", opts, header, rows,
            {1, 2});
+  finish(opts);
   return 0;
 }

@@ -65,5 +65,6 @@ int main(int argc, char** argv) {
        header, rows);
   emit_svg("Fig. 9: sybil attacker utility vs identities", opts, header,
            rows, {1, 3, 5, 7});
+  finish(opts);
   return 0;
 }

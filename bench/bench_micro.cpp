@@ -1,15 +1,27 @@
 // Micro-benchmarks (google-benchmark) for the hot paths: consensus
 // rounding, one CRA round, Extract, the payment phase (fast vs reference),
-// and the substrate generators.
+// the substrate generators, and the tracer's own overhead (baseline vs
+// idle-span vs active-span — the idle pair is the <2% guarantee from
+// docs/observability.md).
+//
+// Besides the google-benchmark flags, accepts --trace-out=PATH,
+// --metrics-out=PATH and --json=PATH (summary, default
+// bench_results/BENCH_micro.json, "none" disables). Tracing is off by
+// default here so span recording cannot perturb the numbers; --trace-out
+// turns it on.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_support.h"
 #include "core/cra.h"
 #include "core/extract.h"
 #include "core/payment.h"
 #include "core/rit.h"
 #include "graph/generators.h"
+#include "obs/obs.h"
 #include "rng/rng.h"
 #include "tree/builders.h"
 
@@ -147,6 +159,85 @@ void BM_FullRit(benchmark::State& state) {
 }
 BENCHMARK(BM_FullRit)->Arg(5000)->Arg(20000);
 
+// --- Tracer overhead -------------------------------------------------------
+// A fixed arithmetic payload (~100-200 ns) bracketed three ways. Comparing
+// BM_TracerIdleSpan against BM_TracerBaseline measures the cost of an
+// instrumented-but-idle span (one relaxed atomic load): the <2% overhead
+// guarantee. BM_TracerActiveSpan shows the full recording cost.
+
+double overhead_payload(std::uint64_t& x) {
+  double acc = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    x = x * 2862933555777941757ULL + 3037000493ULL;
+    acc += static_cast<double>(x >> 40);
+  }
+  return acc;
+}
+
+void BM_TracerBaseline(benchmark::State& state) {
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overhead_payload(x));
+  }
+}
+BENCHMARK(BM_TracerBaseline);
+
+void BM_TracerIdleSpan(benchmark::State& state) {
+  const bool was_active = rit::obs::tracing_active();
+  rit::obs::stop_tracing();
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    RIT_TRACE_SPAN("micro.payload");
+    benchmark::DoNotOptimize(overhead_payload(x));
+  }
+  if (was_active) rit::obs::detail::g_active.store(true);
+}
+BENCHMARK(BM_TracerIdleSpan);
+
+void BM_TracerActiveSpan(benchmark::State& state) {
+  const bool was_active = rit::obs::tracing_active();
+  rit::obs::start_tracing();
+  std::uint64_t x = 1;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    RIT_TRACE_SPAN("micro.payload");
+    benchmark::DoNotOptimize(overhead_payload(x));
+    // Recycle the buffer well before the capacity cap so the benchmark keeps
+    // measuring the record path, not the overflow-drop path.
+    if (++n % 65536 == 0) rit::obs::clear_trace();
+  }
+  rit::obs::clear_trace();
+  if (!was_active) rit::obs::stop_tracing();
+}
+BENCHMARK(BM_TracerActiveSpan);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
+
+  rit::bench::BenchOptions opts;
+  opts.name = "micro";
+  opts.summary_path = "bench_results/BENCH_micro.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      opts.trace_path = arg.substr(std::strlen("--trace-out="));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      opts.metrics_path = arg.substr(std::strlen("--metrics-out="));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opts.summary_path = arg.substr(std::strlen("--json="));
+      if (opts.summary_path == "none") opts.summary_path.clear();
+    } else {
+      std::fprintf(stderr, "unrecognized flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  opts.start_ns = rit::obs::trace_now_ns();
+  if (!opts.trace_path.empty()) rit::obs::start_tracing();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  rit::bench::finish(opts);
+  return 0;
+}

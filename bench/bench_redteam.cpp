@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
        {"config", "honest", "best_attack", "gain", "slack",
         "best_identities", "best_ask"},
        rows);
+  finish(opts);
   return 0;
 }

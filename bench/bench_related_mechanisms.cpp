@@ -109,5 +109,6 @@ int main(int argc, char** argv) {
         {2.0, pay_kth.mean(), util_kth.mean(), eff_kth.mean(), 0.0, 0.0},
         {3.0, pay_naive.mean(), util_naive.mean(), eff_kth.mean(), 1.0,
          0.0}});
+  finish(opts);
   return 0;
 }

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "cli/svg_chart.h"
 #include "common/check.h"
+#include "common/format_util.h"
+#include "common/log.h"
+#include "obs/obs.h"
+#include "obs/trace_export.h"
 
 namespace rit::bench {
 
@@ -14,6 +19,7 @@ BenchOptions parse_options(int argc, char** argv, const std::string& name,
                            std::uint64_t default_trials) {
   cli::Args args(argc, argv);
   BenchOptions opts;
+  opts.name = name;
   opts.trials = args.get_u64("trials", default_trials);
   opts.scale = args.get_double("scale", 10.0);
   opts.points = static_cast<std::uint32_t>(args.get_u64("points", 5));
@@ -25,10 +31,27 @@ BenchOptions parse_options(int argc, char** argv, const std::string& name,
   const std::string csv =
       args.get_string("csv", "bench_results/" + name + ".csv");
   opts.csv_path = csv == "none" ? "" : csv;
+  opts.trace_path = args.get_string("trace-out", "");
+  opts.metrics_path = args.get_string("metrics-out", "");
+  const std::string summary =
+      args.get_string("json", "bench_results/BENCH_" + name + ".json");
+  opts.summary_path = summary == "none" ? "" : summary;
+  if (args.get_bool("json-logs", false)) {
+    log::set_format(log::Format::kJson);
+  }
+  // Benches are interactive tools: surface info-level progress (the default
+  // sink level is warn, tuned for library use).
+  log::set_level(log::Level::kInfo);
   args.finish();
   RIT_CHECK_MSG(opts.scale >= 1.0, "--scale must be >= 1");
   RIT_CHECK_MSG(opts.points >= 2, "--points must be >= 2");
   RIT_CHECK_MSG(opts.trials >= 1, "--trials must be >= 1");
+
+  // Record every span from here on; finish() turns this into the per-phase
+  // breakdown. When the build has RIT_OBS_ENABLED=0 the trace simply stays
+  // empty and finish() reports that instrumentation is compiled out.
+  obs::start_tracing();
+  opts.start_ns = obs::trace_now_ns();
   return opts;
 }
 
@@ -109,6 +132,106 @@ void emit_svg(const std::string& title, const BenchOptions& opts,
   p.replace_extension(".svg");
   cli::write_line_chart(p.string(), series, chart);
   std::cout << "svg: " << p.string() << "\n\n";
+}
+
+namespace {
+
+void write_summary_json(const BenchOptions& opts, double wall_ms,
+                        const std::vector<obs::PhaseStat>& phases,
+                        const obs::MetricsSnapshot& metrics) {
+  const std::filesystem::path p(opts.summary_path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(opts.summary_path);
+  RIT_CHECK_MSG(out.good(),
+                "cannot open summary output file " << opts.summary_path);
+  out << "{\n";
+  out << "  \"bench\": \"" << json_escape(opts.name) << "\",\n";
+  out << "  \"options\": {\"trials\": " << opts.trials
+      << ", \"scale\": " << opts.scale << ", \"points\": " << opts.points
+      << ", \"seed\": " << opts.seed << ", \"graph\": \""
+      << sim::to_string(opts.graph) << "\", \"budget\": \""
+      << (opts.theoretical ? "theoretical" : "run-to-completion")
+      << "\"},\n";
+  out << "  \"wall_ms\": " << format_double(wall_ms, 3) << ",\n";
+  out << "  \"dropped_spans\": " << obs::dropped_spans() << ",\n";
+  out << "  \"phases\": [";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const obs::PhaseStat& ph = phases[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << json_escape(ph.name)
+        << "\", \"count\": " << ph.count << ", \"total_ms\": "
+        << format_double(ph.total_ms, 3) << ", \"self_ms\": "
+        << format_double(ph.self_ms, 3) << "}";
+  }
+  out << (phases.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"metrics\": " << metrics.to_json();
+  out << "}\n";
+}
+
+}  // namespace
+
+void finish(const BenchOptions& opts) {
+  const double wall_ms =
+      static_cast<double>(obs::trace_now_ns() - opts.start_ns) / 1e6;
+  obs::stop_tracing();
+  const std::vector<obs::TraceEvent> events = obs::collect_trace();
+  const std::vector<obs::PhaseStat> phases = obs::phase_breakdown(events);
+  const obs::MetricsSnapshot metrics = obs::Registry::global().snapshot();
+
+  if (phases.empty()) {
+    std::cout << "(no spans recorded"
+#if !RIT_OBS_ENABLED
+              << "; observability compiled out (RIT_OBS_ENABLED=0)"
+#endif
+              << ")\n";
+  } else {
+    double instrumented_ms = 0.0;
+    for (const obs::PhaseStat& ph : phases) instrumented_ms += ph.self_ms;
+    std::cout << "=== per-phase breakdown — " << opts.name << " ===\n";
+    cli::Table table({"phase", "count", "total_ms", "self_ms", "self_%"});
+    for (const obs::PhaseStat& ph : phases) {
+      table.add_row({ph.name, std::to_string(ph.count),
+                     format_double(ph.total_ms, 3),
+                     format_double(ph.self_ms, 3),
+                     format_double(instrumented_ms > 0.0
+                                       ? 100.0 * ph.self_ms / instrumented_ms
+                                       : 0.0,
+                                   1)});
+    }
+    table.print(std::cout);
+    std::cout << "phases sum to " << format_double(instrumented_ms, 1)
+              << " ms of " << format_double(wall_ms, 1)
+              << " ms end-to-end ("
+              << format_double(wall_ms > 0.0
+                                   ? 100.0 * instrumented_ms / wall_ms
+                                   : 0.0,
+                               1)
+              << "% coverage)";
+    if (obs::dropped_spans() > 0) {
+      std::cout << "; " << obs::dropped_spans()
+                << " spans dropped (buffer full — raise "
+                   "obs::set_trace_capacity)";
+    }
+    std::cout << "\n";
+  }
+
+  if (!opts.trace_path.empty()) {
+    obs::write_chrome_trace(opts.trace_path, events);
+    std::cout << "trace: " << opts.trace_path
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!opts.metrics_path.empty()) {
+    obs::write_metrics_json(opts.metrics_path, metrics);
+    std::cout << "metrics: " << opts.metrics_path << "\n";
+  }
+  if (!opts.summary_path.empty()) {
+    write_summary_json(opts, wall_ms, phases, metrics);
+    std::cout << "summary: " << opts.summary_path << "\n";
+  }
+  std::cout << "\n";
 }
 
 }  // namespace rit::bench

@@ -11,6 +11,16 @@
 //                 "none" disables)
 //   --theoretical use the paper's literal round budget instead of
 //                 run-to-completion (see DESIGN.md ambiguity #3)
+//
+// Observability (see docs/observability.md):
+//   --trace-out=PATH    write a Chrome-trace / Perfetto JSON of every span
+//   --metrics-out=PATH  write the global metrics registry as JSON
+//   --json=PATH         machine-readable run summary (phase breakdown +
+//                       metrics; default bench_results/BENCH_<name>.json,
+//                       "none" disables)
+//   --json-logs         switch rit::log to the structured JSON line format
+//
+// Every bench prints a per-phase timing breakdown table at exit (finish()).
 #pragma once
 
 #include <cstdint>
@@ -36,6 +46,17 @@ struct BenchOptions {
   bool paper_ratio{false};
   /// ablation_rounds only: use the paper's K_max = 20 regime (--paper-kmax).
   bool paper_kmax{false};
+
+  /// Bench name (set by parse_options; keys the default output paths).
+  std::string name;
+  /// Chrome-trace JSON output path (--trace-out, empty = disabled).
+  std::string trace_path;
+  /// Metrics registry JSON output path (--metrics-out, empty = disabled).
+  std::string metrics_path;
+  /// Machine-readable run summary path (--json, empty = disabled).
+  std::string summary_path;
+  /// Steady-clock ns at parse_options; finish() measures end-to-end from it.
+  std::uint64_t start_ns{0};
 };
 
 /// Parses the standard flags; `name` picks the default CSV path.
@@ -66,5 +87,11 @@ void emit_svg(const std::string& title, const BenchOptions& opts,
               const std::vector<std::string>& header,
               const std::vector<std::vector<double>>& rows,
               const std::vector<std::size_t>& series_columns);
+
+/// End-of-run observability report: stops tracing, prints the per-phase
+/// timing breakdown (self time, i.e. phases are disjoint and sum to the
+/// instrumented wall time), and writes the --trace-out / --metrics-out /
+/// --json artifacts that were requested. Call once at the end of main().
+void finish(const BenchOptions& opts);
 
 }  // namespace rit::bench

@@ -1,7 +1,8 @@
 #include "figure_sweeps.h"
 
-#include <cstdio>
+#include <string>
 
+#include "common/log.h"
 #include "sim/runner.h"
 
 namespace rit::bench {
@@ -40,9 +41,12 @@ std::vector<SweepPoint> run_sweep(const BenchOptions& opts,
       s.num_users = scaled(kPaperUsersFixed, opts.scale, 100);
       s.tasks_per_type = scaled(x, opts.scale, 10);
     }
-    std::fprintf(stderr, "  sweep point %s=%u (n=%u, m_i=%u)...\n",
-                 sweep_is_users ? "n" : "m_i", x, s.num_users,
-                 s.tasks_per_type);
+    // Through rit::log (not raw stderr) so --json-logs reshapes these too.
+    const log::Field fields[] = {
+        {sweep_is_users ? "n" : "m_i", std::to_string(x)},
+        {"users", std::to_string(s.num_users)},
+        {"tasks_per_type", std::to_string(s.tasks_per_type)}};
+    log::emit(log::Level::kInfo, "sweep point", fields);
     out.push_back(SweepPoint{x, sim::run_many(s, opts.trials)});
   }
   return out;

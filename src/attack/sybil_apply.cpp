@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace rit::attack {
 
@@ -24,6 +25,9 @@ double AttackedInstance::attacker_utility(
 AttackedInstance apply_sybil(const tree::IncentiveTree& tree,
                              std::span<const core::Ask> asks,
                              const SybilPlan& plan) {
+  RIT_TRACE_SPAN("attack.apply_sybil");
+  RIT_COUNTER_INC("attack.sybil_attempts");
+  RIT_COUNTER_ADD("attack.sybil_identities", plan.delta());
   validate_plan(tree, asks, plan, asks[plan.victim].quantity);
   const std::uint32_t n = static_cast<std::uint32_t>(asks.size());
   const std::uint32_t delta = plan.delta();

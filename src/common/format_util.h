@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rit {
@@ -21,5 +22,9 @@ std::string pad_left(const std::string& s, std::size_t width);
 
 /// Right-pads `s` with spaces to at least `width` characters.
 std::string pad_right(const std::string& s, std::size_t width);
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters). Does not add the surrounding quotes.
+std::string json_escape(std::string_view s);
 
 }  // namespace rit

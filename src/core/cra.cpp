@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace rit::core {
 
@@ -34,6 +35,7 @@ std::uint64_t consensus_round_down(std::uint64_t count, double y,
 
 CraOutcome run_cra(std::span<const double> asks, const CraParams& params,
                    rng::Rng& rng) {
+  RIT_COUNTER_INC("cra.rounds");
   CraOutcome out;
   out.won.assign(asks.size(), false);
   if (asks.empty() || params.q == 0) return out;
@@ -65,38 +67,49 @@ CraOutcome run_cra(std::span<const double> asks, const CraParams& params,
     for (std::size_t i : keep) out.won[order[i]] = true;
     out.num_winners = params.q;
     out.clearing_price = price;
+    RIT_COUNTER_ADD("cra.winners", out.num_winners);
     return out;
   }
 
-  // Step 1: Bernoulli(1/(q+m_i)) sample; s = min sampled value.
-  const double sample_p = 1.0 / static_cast<double>(budget);
-  double s = std::numeric_limits<double>::infinity();
-  bool sampled_any = false;
-  for (double v : asks) {
-    if (rng.bernoulli(sample_p)) {
-      sampled_any = true;
-      s = std::min(s, v);
+  // Phase 1 of the CRA round: threshold sampling plus consensus rounding of
+  // the below-threshold count (steps 1-2 of the paper's Algorithm 2).
+  std::uint64_t n_s = 0;
+  {
+    RIT_TRACE_SPAN("cra.phase1");
+    // Step 1: Bernoulli(1/(q+m_i)) sample; s = min sampled value.
+    const double sample_p = 1.0 / static_cast<double>(budget);
+    double s = std::numeric_limits<double>::infinity();
+    bool sampled_any = false;
+    for (double v : asks) {
+      if (rng.bernoulli(sample_p)) {
+        sampled_any = true;
+        s = std::min(s, v);
+      }
     }
-  }
-  if (!sampled_any) {
-    if (params.empty_sample == EmptySamplePolicy::kNoWinners) return out;
-    // kAllAsks: act as if the threshold sits at the top of the book — every
-    // ask is at or below it, and it is still a finite, IR-safe price.
-    s = *std::max_element(asks.begin(), asks.end());
-  }
-  out.sample_min = s;
+    if (!sampled_any) {
+      if (params.empty_sample == EmptySamplePolicy::kNoWinners) return out;
+      // kAllAsks: act as if the threshold sits at the top of the book —
+      // every ask is at or below it, and it is still a finite, IR-safe
+      // price.
+      s = *std::max_element(asks.begin(), asks.end());
+    }
+    out.sample_min = s;
 
-  // Step 2: consensus-round the count of asks <= s.
-  const double y = rng.uniform01();
-  std::uint64_t raw = 0;
-  for (double v : asks) {
-    if (v <= s) ++raw;
+    // Step 2: consensus-round the count of asks <= s.
+    const double y = rng.uniform01();
+    std::uint64_t raw = 0;
+    for (double v : asks) {
+      if (v <= s) ++raw;
+    }
+    out.raw_count = raw;
+    n_s = consensus_round_down(raw, y, params.consensus_grid_base);
+    out.consensus_count = n_s;
   }
-  out.raw_count = raw;
-  const std::uint64_t n_s =
-      consensus_round_down(raw, y, params.consensus_grid_base);
-  out.consensus_count = n_s;
   if (n_s == 0) return out;
+  const double s = out.sample_min;
+
+  // Phase 2 of the CRA round: winner selection and pricing (steps 3-5).
+  RIT_TRACE_SPAN("cra.phase2");
 
   // Sorted order of asks by value, with ties shuffled uniformly: equal asks
   // must be treated equally ("anonymity"), otherwise "the smallest n asks"
@@ -153,6 +166,7 @@ CraOutcome run_cra(std::span<const double> asks, const CraParams& params,
   }
   out.num_winners = static_cast<std::uint32_t>(chosen.size());
   out.clearing_price = chosen.empty() ? 0.0 : price;
+  RIT_COUNTER_ADD("cra.winners", out.num_winners);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace rit::core {
 
@@ -50,6 +51,7 @@ std::vector<double> tree_payments(const tree::IncentiveTree& tree,
                                   std::span<const TaskType> types,
                                   std::span<const double> auction_payments,
                                   double discount_base) {
+  RIT_TRACE_SPAN("payment.extract");
   validate_inputs(tree, types, auction_payments, discount_base);
   const std::uint32_t n = tree.num_participants();
   std::vector<double> p(auction_payments.begin(), auction_payments.end());

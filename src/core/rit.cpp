@@ -7,6 +7,7 @@
 #include "core/cra.h"
 #include "core/extract.h"
 #include "core/payment.h"
+#include "obs/obs.h"
 
 namespace rit::core {
 
@@ -74,6 +75,8 @@ double RitResult::total_auction_payment() const {
 
 RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
                             const RitConfig& config, rng::Rng& rng) {
+  RIT_TRACE_SPAN("rit.auction_phase");
+  RIT_COUNTER_INC("rit.auctions_run");
   validate_asks(job, asks);
   RIT_CHECK_MSG(config.h > 0.0 && config.h < 1.0,
                 "H must lie in (0,1), got " << config.h);
@@ -114,7 +117,10 @@ RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
     while (q > 0) {
       if (!to_completion && info.rounds_used >= info.budget.max_rounds) break;
       if (to_completion && stalled >= config.stall_round_limit) break;
-      const ExtractedAsks alpha = extract_remaining(type, asks, remaining);
+      const ExtractedAsks alpha = [&] {
+        RIT_TRACE_SPAN("rit.extract");
+        return extract_remaining(type, asks, remaining);
+      }();
       if (alpha.empty()) break;  // nobody left who can serve this type
       CraParams params;
       params.q = q;

@@ -1,0 +1,111 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "common/check.h"
+
+namespace rit::obs {
+
+namespace {
+
+std::string format_us(std::uint64_t ns) {
+  // Microseconds with fixed 3-decimal precision: Chrome's "ts"/"dur" unit.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    out += e.name;  // span names are identifier-like literals; no escaping
+    out += "\",\"cat\":\"rit\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += format_us(e.begin_ns);
+    out += ",\"dur\":";
+    out += format_us(e.end_ns - e.begin_ns);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  RIT_CHECK_MSG(out.good(), "cannot open trace output file " << path);
+  out << chrome_trace_json(events);
+}
+
+std::vector<PhaseStat> phase_breakdown(std::vector<TraceEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+              return a.end_ns > b.end_ns;  // parents before children
+            });
+
+  // One sweep per thread with an open-span stack: a span's self time is its
+  // duration minus the durations of its direct children.
+  std::map<std::string, PhaseStat> by_name;
+  std::vector<std::size_t> stack;  // indices into `events`
+  std::vector<std::uint64_t> child_ns(events.size(), 0);
+  std::uint32_t current_tid = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i == 0 || e.tid != current_tid) {
+      stack.clear();
+      current_tid = e.tid;
+    }
+    while (!stack.empty() && events[stack.back()].end_ns <= e.begin_ns) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      child_ns[stack.back()] += e.end_ns - e.begin_ns;
+    }
+    stack.push_back(i);
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const std::uint64_t dur = e.end_ns - e.begin_ns;
+    PhaseStat& s = by_name[e.name];
+    if (s.name.empty()) s.name = e.name;
+    s.count += 1;
+    s.total_ms += static_cast<double>(dur) / 1e6;
+    // Clamp: a child that out-lives its parent by clock granularity must not
+    // drive self time negative.
+    s.self_ms +=
+        static_cast<double>(dur > child_ns[i] ? dur - child_ns[i] : 0) / 1e6;
+  }
+
+  std::vector<PhaseStat> out;
+  out.reserve(by_name.size());
+  for (auto& [_, stat] : by_name) out.push_back(std::move(stat));
+  std::sort(out.begin(), out.end(), [](const PhaseStat& a, const PhaseStat& b) {
+    if (a.self_ms != b.self_ms) return a.self_ms > b.self_ms;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+}  // namespace rit::obs

@@ -1,0 +1,36 @@
+// Chrome-trace / Perfetto export and per-phase summaries for the span
+// tracer. The JSON uses "X" (complete) events with microsecond timestamps,
+// the object-wrapped form `{"traceEvents": [...]}` that both
+// chrome://tracing and https://ui.perfetto.dev load directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace rit::obs {
+
+/// Serializes `events` as Chrome-trace JSON (deterministic for a given
+/// event vector: events are emitted in input order).
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// Writes chrome_trace_json() to `path`, creating parent directories.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+/// Aggregate view of one span name across a trace.
+struct PhaseStat {
+  std::string name;
+  std::uint64_t count{0};
+  double total_ms{0.0};  ///< inclusive wall time (children included)
+  double self_ms{0.0};   ///< exclusive wall time (children subtracted)
+};
+
+/// Per-name totals with self time computed from span nesting (spans are
+/// RAII-scoped, so per-thread events nest properly). The sum of `self_ms`
+/// over all phases equals the total instrumented wall time — this is what
+/// the bench breakdown tables print. Sorted by self_ms descending.
+std::vector<PhaseStat> phase_breakdown(std::vector<TraceEvent> events);
+
+}  // namespace rit::obs

@@ -1,0 +1,33 @@
+#include "sim/progress.h"
+
+#include <chrono>
+#include <utility>
+
+namespace rit::sim {
+
+namespace {
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ProgressThrottle::ProgressThrottle(std::uint64_t min_interval_ns,
+                                   std::function<std::uint64_t()> now_ns)
+    : min_interval_ns_(min_interval_ns), now_ns_(std::move(now_ns)) {
+  if (!now_ns_) now_ns_ = steady_now_ns;
+}
+
+bool ProgressThrottle::should_fire(bool is_final) {
+  const std::uint64_t now = now_ns_();
+  if (is_final || !fired_before_ || now - last_fire_ns_ >= min_interval_ns_) {
+    fired_before_ = true;
+    last_fire_ns_ = now;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rit::sim

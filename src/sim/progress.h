@@ -1,0 +1,35 @@
+// Rate limiter for progress callbacks: a bench running trials=1000 on a
+// fast scenario would otherwise invoke its stderr reporter a thousand times
+// in a few hundred milliseconds. The throttle lets at most one invocation
+// through per interval (default 100 ms), and always lets the final one
+// through so "1000/1000" is printed.
+//
+// The clock is injectable so tests can drive it deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace rit::sim {
+
+class ProgressThrottle {
+ public:
+  /// `now_ns` supplies monotonic nanoseconds; the default uses the tracer's
+  /// steady clock. `min_interval_ns` is the minimum gap between accepted
+  /// firings.
+  explicit ProgressThrottle(std::uint64_t min_interval_ns = 100'000'000,
+                            std::function<std::uint64_t()> now_ns = {});
+
+  /// True when the callback should fire now: the first call, any call at
+  /// least the interval after the last accepted one, and always when
+  /// `is_final` is set. Updates internal state on acceptance.
+  bool should_fire(bool is_final = false);
+
+ private:
+  std::uint64_t min_interval_ns_;
+  std::function<std::uint64_t()> now_ns_;
+  bool fired_before_{false};
+  std::uint64_t last_fire_ns_{0};
+};
+
+}  // namespace rit::sim

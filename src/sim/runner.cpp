@@ -5,6 +5,8 @@
 
 #include "core/payment.h"
 #include "core/rit.h"
+#include "obs/obs.h"
+#include "sim/progress.h"
 #include "stats/timer.h"
 
 namespace rit::sim {
@@ -18,6 +20,7 @@ constexpr std::uint64_t kMechanismComponent = 3;
 }  // namespace
 
 TrialInstance make_instance(const Scenario& scenario, std::uint64_t trial) {
+  RIT_TRACE_SPAN("sim.make_instance");
   rng::Rng graph_rng(scenario.trial_seed(trial, kGraphComponent));
   rng::Rng pop_rng(scenario.trial_seed(trial, kPopulationComponent));
   rng::Rng job_rng(scenario.trial_seed(trial, kJobComponent));
@@ -33,6 +36,8 @@ TrialInstance make_instance(const Scenario& scenario, std::uint64_t trial) {
 }
 
 TrialMetrics run_trial(const Scenario& scenario, const TrialInstance& inst) {
+  RIT_TRACE_SPAN("sim.trial");
+  RIT_COUNTER_INC("sim.trials_run");
   TrialMetrics m;
   const auto& asks = inst.population.truthful_asks;
   const auto& costs = inst.population.costs;
@@ -87,9 +92,14 @@ AggregateMetrics run_many(
     const Scenario& scenario, std::uint64_t trials,
     const std::function<void(std::uint64_t, std::uint64_t)>& progress) {
   AggregateMetrics agg;
+  // Throttled so a trials=1000 sweep does not spam its reporter: at most
+  // one invocation per 100 ms, plus the final one.
+  ProgressThrottle throttle;
   for (std::uint64_t t = 0; t < trials; ++t) {
     agg.add(run_trial(scenario, t));
-    if (progress) progress(t + 1, trials);
+    if (progress && throttle.should_fire(t + 1 == trials)) {
+      progress(t + 1, trials);
+    }
   }
   return agg;
 }
@@ -122,18 +132,28 @@ AggregateMetrics run_many_parallel(const Scenario& scenario,
 
   // Strided partition: worker w takes trials w, w+threads, w+2*threads...
   // Each worker aggregates locally; merging in worker order afterwards
-  // keeps the result independent of scheduling.
+  // keeps the result independent of scheduling. The per-worker metrics
+  // registries follow the same discipline: snapshot each, merge in
+  // thread-index order, then fold the combined snapshot into the global
+  // registry once.
   std::vector<AggregateMetrics> partial(threads);
+  std::vector<obs::Registry> worker_metrics(threads);
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (unsigned w = 0; w < threads; ++w) {
     workers.emplace_back([&, w]() {
+      obs::Stat& trial_ms = worker_metrics[w].stat("sim.trial_ms");
       for (std::uint64_t t = w; t < trials; t += threads) {
+        obs::StatTimer timed(trial_ms);
         partial[w].add(run_trial(scenario, t));
       }
     });
   }
   for (auto& worker : workers) worker.join();
+
+  obs::MetricsSnapshot merged;
+  for (const obs::Registry& r : worker_metrics) merged.merge(r.snapshot());
+  obs::Registry::global().absorb(merged);
 
   AggregateMetrics agg;
   for (const AggregateMetrics& p : partial) {

@@ -4,11 +4,13 @@
 
 #include "common/check.h"
 #include "graph/generators.h"
+#include "obs/obs.h"
 #include "tree/builders.h"
 
 namespace rit::sim {
 
 Population generate_population(const Scenario& scenario, rng::Rng& rng) {
+  RIT_TRACE_SPAN("population.generate");
   RIT_CHECK(scenario.num_users > 0);
   RIT_CHECK(scenario.num_types > 0);
   RIT_CHECK(scenario.k_max >= 1);
@@ -29,6 +31,7 @@ Population generate_population(const Scenario& scenario, rng::Rng& rng) {
 }
 
 core::Job generate_job(const Scenario& scenario, rng::Rng& rng) {
+  RIT_TRACE_SPAN("job.generate");
   std::vector<std::uint32_t> demand(scenario.num_types);
   if (scenario.demand_hi > 0) {
     RIT_CHECK(scenario.demand_lo < scenario.demand_hi);
@@ -44,6 +47,7 @@ core::Job generate_job(const Scenario& scenario, rng::Rng& rng) {
 }
 
 graph::Graph generate_graph(const Scenario& scenario, rng::Rng& rng) {
+  RIT_TRACE_SPAN("graph.generate");
   const std::uint32_t n = scenario.num_users;
   switch (scenario.graph) {
     case GraphKind::kBarabasiAlbert:

@@ -31,6 +31,18 @@ void Histogram::add(double x) {
   ++buckets_[idx];
 }
 
+void Histogram::merge(const Histogram& other) {
+  RIT_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
+                    buckets_.size() == other.buckets_.size(),
+                "histogram merge requires identical shape");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::bucket_lo(std::size_t i) const {
   RIT_CHECK(i < buckets_.size());
   return lo_ + width_ * static_cast<double>(i);

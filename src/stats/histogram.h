@@ -20,6 +20,14 @@ class Histogram {
 
   void add(double x);
 
+  /// Bucket-wise accumulation of `other` into this histogram. Requires an
+  /// identical shape (lo, hi, bucket_count) — the metrics registry merges
+  /// per-thread snapshots this way, and mixing shapes would silently bin
+  /// values wrong.
+  void merge(const Histogram& other);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   std::size_t count() const { return total_; }
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }

@@ -2,6 +2,9 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+
+#include "stats/online_stats.h"
 
 namespace rit::stats {
 
@@ -10,6 +13,14 @@ class Timer {
   Timer() : start_(Clock::now()) {}
 
   void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last reset, in nanoseconds.
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
   /// Elapsed time since construction / last reset, in milliseconds.
   double elapsed_ms() const {
@@ -23,6 +34,21 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII timer that adds its elapsed milliseconds into an OnlineStats when it
+/// goes out of scope — the aggregate-only fallback the tracer offers when
+/// recording every individual span would be too heavy.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(OnlineStats& sink) : sink_(sink) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_.add(timer_.elapsed_ms()); }
+
+ private:
+  OnlineStats& sink_;
+  Timer timer_;
 };
 
 }  // namespace rit::stats

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace rit::tree {
 
 SpanningForestResult build_spanning_forest(const graph::Graph& g,
                                            const SpanningForestOptions& opts) {
+  RIT_TRACE_SPAN("tree.build");
   RIT_CHECK_MSG(!opts.seeds.empty(), "spanning forest needs at least one seed");
   const std::uint32_t n = g.num_nodes();
   const std::uint32_t cap = opts.max_users.value_or(n);
@@ -93,6 +96,7 @@ SpanningForestResult build_spanning_forest(const graph::Graph& g,
 
 IncentiveTree random_recursive_tree(std::uint32_t num_participants,
                                     double root_prob, rng::Rng& rng) {
+  RIT_TRACE_SPAN("tree.build");
   RIT_CHECK(root_prob >= 0.0 && root_prob <= 1.0);
   std::vector<std::uint32_t> parents(num_participants + 1, 0);
   for (std::uint32_t i = 0; i < num_participants; ++i) {

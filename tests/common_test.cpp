@@ -85,5 +85,64 @@ TEST(Log, LevelGate) {
   log::set_level(prev);
 }
 
+// Compile test for the dangling-else hazard: the macro must be usable as the
+// body of an unbraced if inside an outer if/else without capturing the else.
+// With the old `if (...) ; else stream` expansion this refused to compile
+// (-Werror=dangling-else) and, worse, would have bound the else to the
+// macro's hidden if.
+TEST(Log, MacroIsDanglingElseSafe) {
+  const auto prev = log::level();
+  log::set_level(log::Level::kOff);
+  bool else_branch_taken = false;
+  if (false)
+    RIT_LOG_INFO << "then-branch";
+  else
+    else_branch_taken = true;
+  EXPECT_TRUE(else_branch_taken);
+
+  // Also valid as the sole statement of an unbraced loop/if.
+  for (int i = 0; i < 2; ++i) RIT_LOG_DEBUG << "loop body " << i;
+  log::set_level(prev);
+}
+
+TEST(Log, JsonFormatEmitsStructuredLines) {
+  const auto prev_level = log::level();
+  const auto prev_format = log::format();
+  log::set_level(log::Level::kInfo);
+  log::set_format(log::Format::kJson);
+  testing::internal::CaptureStderr();
+  const log::Field fields[] = {{"bench", "fig8a"}, {"trials", "3"}};
+  log::emit(log::Level::kWarn, "sweep \"done\"", fields);
+  const std::string line = testing::internal::GetCapturedStderr();
+  log::set_format(prev_format);
+  log::set_level(prev_level);
+
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"msg\":\"sweep \\\"done\\\"\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"bench\":\"fig8a\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"trials\":\"3\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos) << line;
+}
+
+TEST(Log, TextFormatKeepsHistoricalShapeAndAppendsFields) {
+  const auto prev_level = log::level();
+  log::set_level(log::Level::kInfo);
+  testing::internal::CaptureStderr();
+  const log::Field fields[] = {{"k", "v"}};
+  log::emit(log::Level::kInfo, "hello", fields);
+  const std::string line = testing::internal::GetCapturedStderr();
+  log::set_level(prev_level);
+  EXPECT_EQ(line, "[INFO ] hello k=v\n");
+}
+
+TEST(FormatUtil, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
 }  // namespace
 }  // namespace rit

@@ -1,0 +1,51 @@
+// Compile-and-run check for the disabled observability configuration: this
+// translation unit is built with RIT_OBS_ENABLED=0 (see tests/CMakeLists.txt)
+// so RIT_TRACE_SPAN / RIT_COUNTER_* must expand to no-ops that still parse in
+// every position instrumented code uses them — including as the body of an
+// unbraced if. The binary links the normally-built rit_obs, mirroring a
+// mixed build where only some TUs disable instrumentation.
+#include <cstdio>
+
+#include "obs/obs.h"
+
+#if RIT_OBS_ENABLED
+#error "this test must be compiled with RIT_OBS_ENABLED=0"
+#endif
+
+namespace {
+
+int instrumented_work(int n) {
+  RIT_TRACE_SPAN("off.work");
+  RIT_COUNTER_INC("off.calls");
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    RIT_TRACE_SPAN("off.iter");
+    acc += i;
+  }
+  if (n > 0) RIT_COUNTER_ADD("off.items", static_cast<std::uint64_t>(n));
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  rit::obs::start_tracing();
+  const int got = instrumented_work(10);
+  rit::obs::stop_tracing();
+  if (got != 45) {
+    std::fprintf(stderr, "instrumented_work miscomputed: %d\n", got);
+    return 1;
+  }
+  // Macros compiled away: nothing may have been recorded even while the
+  // tracer was active, and the macro counters never reached the registry.
+  if (!rit::obs::collect_trace().empty()) {
+    std::fprintf(stderr, "spans recorded despite RIT_OBS_ENABLED=0\n");
+    return 1;
+  }
+  if (rit::obs::Registry::global().counter("off.calls").value() != 0) {
+    std::fprintf(stderr, "counter bumped despite RIT_OBS_ENABLED=0\n");
+    return 1;
+  }
+  std::puts("ok: observability macros compile away under RIT_OBS_ENABLED=0");
+  return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "sim/metrics.h"
+#include "sim/progress.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
 #include "sim/workload.h"
@@ -182,13 +183,20 @@ TEST(Runner, PairedSeriesShareTheAuctionOutcome) {
 TEST(Runner, RunManyAggregates) {
   const Scenario s = small_scenario();
   std::uint64_t calls = 0;
+  std::uint64_t last_done = 0;
   const AggregateMetrics agg = run_many(
       s, 4, [&](std::uint64_t done, std::uint64_t total) {
         ++calls;
+        last_done = done;
         EXPECT_LE(done, total);
       });
   EXPECT_EQ(agg.trials, 4u);
-  EXPECT_EQ(calls, 4u);
+  // Progress is rate-limited (sim/progress.h): anywhere from one callback
+  // (fast trials, all but the final throttled) to one per trial, and the
+  // final "4/4" always gets through.
+  EXPECT_GE(calls, 1u);
+  EXPECT_LE(calls, 4u);
+  EXPECT_EQ(last_done, 4u);
   EXPECT_EQ(agg.avg_utility_rit.count(), 4u);
   EXPECT_GE(agg.success_rate(), 0.0);
   EXPECT_LE(agg.success_rate(), 1.0);
@@ -228,6 +236,38 @@ TEST(Runner, ParallelHandlesEdgeThreadCounts) {
   EXPECT_EQ(more_threads_than_trials.trials, 2u);
   const AggregateMetrics zero = run_many_parallel(s, 0, 4);
   EXPECT_EQ(zero.trials, 0u);
+}
+
+TEST(ProgressThrottle, FakeClockDrivesAcceptance) {
+  std::uint64_t now = 0;
+  ProgressThrottle throttle(100'000'000, [&now] { return now; });
+
+  EXPECT_TRUE(throttle.should_fire());  // first call always fires
+  now += 50'000'000;
+  EXPECT_FALSE(throttle.should_fire());  // only 50 ms since last accepted
+  now += 49'999'999;
+  EXPECT_FALSE(throttle.should_fire());  // 99.999999 ms: still under
+  now += 1;
+  EXPECT_TRUE(throttle.should_fire());  // exactly 100 ms: fires
+  EXPECT_FALSE(throttle.should_fire());  // same instant again: throttled
+}
+
+TEST(ProgressThrottle, FinalAlwaysFires) {
+  std::uint64_t now = 0;
+  ProgressThrottle throttle(100'000'000, [&now] { return now; });
+  EXPECT_TRUE(throttle.should_fire());
+  EXPECT_TRUE(throttle.should_fire(/*is_final=*/true));  // zero gap, but final
+}
+
+TEST(ProgressThrottle, AcceptanceResetsTheWindow) {
+  std::uint64_t now = 0;
+  ProgressThrottle throttle(100'000'000, [&now] { return now; });
+  EXPECT_TRUE(throttle.should_fire());
+  now += 250'000'000;
+  EXPECT_TRUE(throttle.should_fire());  // long gap fires...
+  now += 99'999'999;
+  // ...and the window restarts at the accepted firing, not at the last ask.
+  EXPECT_FALSE(throttle.should_fire());
 }
 
 TEST(Metrics, AggregateCountsSuccesses) {

@@ -215,5 +215,57 @@ TEST(Timer, MeasuresElapsedTimeMonotonically) {
   EXPECT_LE(t.elapsed_ms(), b + 1000.0);  // sanity: reset went backwards
 }
 
+TEST(Timer, ElapsedNsAgreesWithElapsedMs) {
+  Timer t;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 1e-9;
+  const std::uint64_t ns = t.elapsed_ns();
+  const double ms = t.elapsed_ms();
+  EXPECT_GT(ms, 0.0) << sink;
+  // ns was read first, so it must not exceed the later ms reading.
+  EXPECT_LE(static_cast<double>(ns) / 1e6, ms);
+  // ...but the two readings bracket the same interval: within 100ms slack.
+  EXPECT_GE(static_cast<double>(ns) / 1e6, ms - 100.0);
+}
+
+TEST(ScopedTimer, ReportsIntoOnlineStatsOnDestruction) {
+  OnlineStats sink;
+  {
+    ScopedTimer timed(sink);
+    EXPECT_EQ(sink.count(), 0u);  // nothing reported until scope exit
+    double burn = 0.0;
+    for (int i = 0; i < 10000; ++i) burn += i * 1e-9;
+    EXPECT_GE(burn, 0.0);
+  }
+  EXPECT_EQ(sink.count(), 1u);
+  EXPECT_GE(sink.mean(), 0.0);
+  {
+    ScopedTimer timed(sink);
+  }
+  EXPECT_EQ(sink.count(), 2u);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(-1.0);  // underflow
+  b.add(1.5);
+  b.add(9.9);
+  b.add(25.0);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5u);
+  EXPECT_EQ(a.bucket(0), 2u);  // 1.0 and 1.5
+  EXPECT_EQ(a.bucket(4), 1u);  // 9.9
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(Histogram, MergeRejectsShapeMismatch) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 6);
+  EXPECT_THROW(a.merge(b), CheckFailure);
+}
+
 }  // namespace
 }  // namespace rit::stats
