@@ -16,7 +16,9 @@
 #include "attack/sybil_apply.h"
 #include "attack/sybil_plan.h"
 #include "bench_support.h"
+#include "common/parallel.h"
 #include "core/rit.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "stats/online_stats.h"
 
@@ -33,40 +35,55 @@ struct ModeResult {
 };
 
 ModeResult run_mode(const sim::Scenario& base, core::PriceMode mode,
-                    std::uint64_t trials) {
+                    std::uint64_t trials, unsigned threads) {
   sim::Scenario s = base;
   s.mechanism.price_mode = mode;
+  struct Worker {
+    stats::OnlineStats honest;
+    stats::OnlineStats attack_stats;
+    stats::OnlineStats payment;
+    core::RitWorkspace ws;
+  };
+  std::vector<Worker> workers(rit::resolve_threads(threads, trials));
+  sim::parallel_trials(
+      trials, workers, [&](Worker& wk, std::uint64_t trial) {
+        sim::TrialInstance inst = sim::make_instance(s, trial);
+        // The attacker: a cheap high-capacity user.
+        const std::uint32_t attacker = 7 % inst.population.size();
+        inst.population.truthful_asks[attacker] =
+            core::Ask{inst.population.truthful_asks[attacker].type, 6, 1.0};
+        inst.population.costs[attacker] = 1.0;
+
+        {
+          rng::Rng rng(inst.mechanism_seed);
+          const auto r =
+              core::run_rit(inst.job, inst.population.truthful_asks,
+                            inst.tree, s.mechanism, rng, wk.ws);
+          wk.honest.add(r.utility_of(attacker, 1.0));
+          wk.payment.add(r.total_payment());
+        }
+        {
+          attack::SybilPlan plan;
+          plan.victim = attacker;
+          plan.identities = {{3, 1.0, attack::kOriginalParent}, {3, 9.0, 1}};
+          const auto kids =
+              inst.tree.children(tree::node_of_participant(attacker));
+          plan.child_assignment.assign(kids.size(), 2);
+          const auto attacked = attack::apply_sybil(
+              inst.tree, inst.population.truthful_asks, plan);
+          rng::Rng rng(inst.mechanism_seed);
+          const auto r = core::run_rit(inst.job, attacked.asks, attacked.tree,
+                                       s.mechanism, rng, wk.ws);
+          wk.attack_stats.add(attacked.attacker_utility(r, 1.0));
+        }
+      });
   stats::OnlineStats honest;
   stats::OnlineStats attack_stats;
   stats::OnlineStats payment;
-  for (std::uint64_t trial = 0; trial < trials; ++trial) {
-    sim::TrialInstance inst = sim::make_instance(s, trial);
-    // The attacker: a cheap high-capacity user.
-    const std::uint32_t attacker = 7 % inst.population.size();
-    inst.population.truthful_asks[attacker] =
-        core::Ask{inst.population.truthful_asks[attacker].type, 6, 1.0};
-    inst.population.costs[attacker] = 1.0;
-
-    {
-      rng::Rng rng(inst.mechanism_seed);
-      const auto r = core::run_rit(inst.job, inst.population.truthful_asks,
-                                   inst.tree, s.mechanism, rng);
-      honest.add(r.utility_of(attacker, 1.0));
-      payment.add(r.total_payment());
-    }
-    {
-      attack::SybilPlan plan;
-      plan.victim = attacker;
-      plan.identities = {{3, 1.0, attack::kOriginalParent}, {3, 9.0, 1}};
-      const auto kids = inst.tree.children(tree::node_of_participant(attacker));
-      plan.child_assignment.assign(kids.size(), 2);
-      const auto attacked = attack::apply_sybil(
-          inst.tree, inst.population.truthful_asks, plan);
-      rng::Rng rng(inst.mechanism_seed);
-      const auto r = core::run_rit(inst.job, attacked.asks, attacked.tree,
-                                   s.mechanism, rng);
-      attack_stats.add(attacked.attacker_utility(r, 1.0));
-    }
+  for (const Worker& wk : workers) {
+    honest.merge(wk.honest);
+    attack_stats.merge(wk.attack_stats);
+    payment.merge(wk.payment);
   }
   return ModeResult{honest.mean(), attack_stats.mean(),
                     attack_stats.mean() - honest.mean(), payment.mean()};
@@ -85,9 +102,9 @@ int main(int argc, char** argv) {
   apply_options(opts, s);
 
   const ModeResult consensus =
-      run_mode(s, core::PriceMode::kConsensus, opts.trials);
+      run_mode(s, core::PriceMode::kConsensus, opts.trials, opts.threads);
   const ModeResult order =
-      run_mode(s, core::PriceMode::kOrderStatistic, opts.trials);
+      run_mode(s, core::PriceMode::kOrderStatistic, opts.trials, opts.threads);
 
   emit("Ablation — consensus rounding vs deterministic order-statistic price",
        opts,

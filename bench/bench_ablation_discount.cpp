@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
     s.tasks_per_type = scaled(2000, opts.scale, 10);
     apply_options(opts, s);
     s.mechanism.discount_base = base;
-    const sim::AggregateMetrics agg = sim::run_many(s, opts.trials);
+    const sim::AggregateMetrics agg =
+        sim::run_many_parallel(s, opts.trials, opts.threads);
     const double ratio =
         agg.total_payment_auction.mean() > 0.0
             ? agg.solicitation_premium.mean() /

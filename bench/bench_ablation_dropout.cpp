@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "bench_support.h"
+#include "common/parallel.h"
 #include "core/rit.h"
 #include "sim/failures.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "stats/online_stats.h"
 
@@ -27,30 +29,46 @@ int main(int argc, char** argv) {
 
   std::vector<std::vector<double>> rows;
   for (const double rate : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+    struct Worker {
+      std::uint64_t successes{0};
+      stats::OnlineStats utility;
+      stats::OnlineStats premium;
+      stats::OnlineStats survivors;
+      core::RitWorkspace ws;
+    };
+    std::vector<Worker> workers(rit::resolve_threads(opts.threads, opts.trials));
+    sim::parallel_trials(
+        opts.trials, workers, [&](Worker& wk, std::uint64_t trial) {
+          const sim::TrialInstance inst = sim::make_instance(s, trial);
+          rng::Rng drop_rng(inst.mechanism_seed ^ 0xd20);
+          const sim::DropoutResult dropped = sim::random_dropout(
+              inst.tree, inst.population.truthful_asks, rate, drop_rng);
+          wk.survivors.add(static_cast<double>(dropped.asks.size()));
+          rng::Rng rng(inst.mechanism_seed);
+          const core::RitResult r = core::run_rit(
+              inst.job, dropped.asks, dropped.tree, s.mechanism, rng, wk.ws);
+          if (!r.success) return;
+          ++wk.successes;
+          double total = 0.0;
+          for (std::uint32_t i = 0; i < dropped.asks.size(); ++i) {
+            total += r.utility_of(
+                i, inst.population.costs[dropped.original_of[i]]);
+          }
+          wk.utility.add(dropped.asks.empty()
+                             ? 0.0
+                             : total / static_cast<double>(
+                                           dropped.asks.size()));
+          wk.premium.add(r.total_payment() - r.total_auction_payment());
+        });
     std::uint64_t successes = 0;
     stats::OnlineStats utility;
     stats::OnlineStats premium;
     stats::OnlineStats survivors;
-    for (std::uint64_t trial = 0; trial < opts.trials; ++trial) {
-      const sim::TrialInstance inst = sim::make_instance(s, trial);
-      rng::Rng drop_rng(inst.mechanism_seed ^ 0xd20);
-      const sim::DropoutResult dropped = sim::random_dropout(
-          inst.tree, inst.population.truthful_asks, rate, drop_rng);
-      survivors.add(static_cast<double>(dropped.asks.size()));
-      rng::Rng rng(inst.mechanism_seed);
-      const core::RitResult r =
-          core::run_rit(inst.job, dropped.asks, dropped.tree, s.mechanism, rng);
-      if (!r.success) continue;
-      ++successes;
-      double total = 0.0;
-      for (std::uint32_t i = 0; i < dropped.asks.size(); ++i) {
-        total += r.utility_of(i,
-                              inst.population.costs[dropped.original_of[i]]);
-      }
-      utility.add(dropped.asks.empty()
-                      ? 0.0
-                      : total / static_cast<double>(dropped.asks.size()));
-      premium.add(r.total_payment() - r.total_auction_payment());
+    for (const Worker& wk : workers) {
+      successes += wk.successes;
+      utility.merge(wk.utility);
+      premium.merge(wk.premium);
+      survivors.merge(wk.survivors);
     }
     rows.push_back({rate, survivors.mean(),
                     static_cast<double>(successes) /

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "bench_support.h"
+#include "common/parallel.h"
 #include "graph/metrics.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "sim/workload.h"
 #include "stats/online_stats.h"
@@ -31,16 +33,27 @@ int main(int argc, char** argv) {
     apply_options(opts, s);
     s.graph = kind;
 
+    struct Worker {
+      stats::OnlineStats depth;
+      stats::OnlineStats tail;  // out-degree max/mean: the hub-iness proxy
+    };
+    std::vector<Worker> workers(rit::resolve_threads(opts.threads, opts.trials));
+    sim::parallel_trials(
+        opts.trials, workers, [&](Worker& wk, std::uint64_t t) {
+          const sim::TrialInstance inst = sim::make_instance(s, t);
+          wk.depth.add(static_cast<double>(inst.tree.max_depth()));
+          rng::Rng graph_rng(s.trial_seed(t, 0));
+          const graph::Graph g = sim::generate_graph(s, graph_rng);
+          wk.tail.add(graph::out_degree_stats(g).max_over_mean);
+        });
     stats::OnlineStats depth;
-    stats::OnlineStats tail;  // out-degree max/mean: the hub-iness proxy
-    for (std::uint64_t t = 0; t < opts.trials; ++t) {
-      const sim::TrialInstance inst = sim::make_instance(s, t);
-      depth.add(static_cast<double>(inst.tree.max_depth()));
-      rng::Rng graph_rng(s.trial_seed(t, 0));
-      const graph::Graph g = sim::generate_graph(s, graph_rng);
-      tail.add(graph::out_degree_stats(g).max_over_mean);
+    stats::OnlineStats tail;
+    for (const Worker& wk : workers) {
+      depth.merge(wk.depth);
+      tail.merge(wk.tail);
     }
-    const sim::AggregateMetrics agg = sim::run_many(s, opts.trials);
+    const sim::AggregateMetrics agg =
+        sim::run_many_parallel(s, opts.trials, opts.threads);
     rows.push_back({static_cast<double>(kind_index), tail.mean(),
                     depth.mean(), agg.avg_utility_rit.mean(),
                     agg.solicitation_premium.mean(),

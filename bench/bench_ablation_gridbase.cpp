@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "bench_support.h"
+#include "common/parallel.h"
 #include "core/rit.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "stats/online_stats.h"
 
@@ -30,28 +32,41 @@ int main(int argc, char** argv) {
     apply_options(opts, s);
     s.mechanism.consensus_log_base = base;
 
+    struct Worker {
+      stats::OnlineStats rounds;
+      stats::OnlineStats bound;
+      core::RitWorkspace ws;
+    };
+    std::vector<Worker> workers(rit::resolve_threads(opts.threads, opts.trials));
+    sim::parallel_trials(
+        opts.trials, workers, [&](Worker& wk, std::uint64_t trial) {
+          const sim::TrialInstance inst = sim::make_instance(s, trial);
+          rng::Rng rng(inst.mechanism_seed);
+          const core::RitResult r =
+              core::run_rit(inst.job, inst.population.truthful_asks, inst.tree,
+                            s.mechanism, rng, wk.ws);
+          double total_rounds = 0.0;
+          for (const auto& info : r.type_info) {
+            total_rounds += info.rounds_used;
+            wk.bound.add(info.budget.per_round_bound);
+          }
+          wk.rounds.add(total_rounds / static_cast<double>(r.type_info.size()));
+        });
     stats::OnlineStats rounds;
     stats::OnlineStats bound;
-    for (std::uint64_t trial = 0; trial < opts.trials; ++trial) {
-      const sim::TrialInstance inst = sim::make_instance(s, trial);
-      rng::Rng rng(inst.mechanism_seed);
-      const core::RitResult r =
-          core::run_rit(inst.job, inst.population.truthful_asks, inst.tree,
-                        s.mechanism, rng);
-      double total_rounds = 0.0;
-      for (const auto& info : r.type_info) {
-        total_rounds += info.rounds_used;
-        bound.add(info.budget.per_round_bound);
-      }
-      rounds.add(total_rounds / static_cast<double>(r.type_info.size()));
+    for (const Worker& wk : workers) {
+      rounds.merge(wk.rounds);
+      bound.merge(wk.bound);
     }
-    const sim::AggregateMetrics agg = sim::run_many(s, opts.trials);
+    const sim::AggregateMetrics agg =
+        sim::run_many_parallel(s, opts.trials, opts.threads);
     rows.push_back({base, bound.mean(), rounds.mean(), agg.success_rate(),
-                    agg.avg_utility_rit.mean(), agg.total_payment_rit.mean()});
+                    agg.avg_utility_rit.mean(), agg.total_payment_rit.mean(),
+                    agg.degraded_rate()});
   }
   emit("Ablation — consensus grid base c (paper: 2)", opts,
        {"grid_base", "per_round_bound", "rounds/type", "success_rate",
-        "avg_utility", "total_payment"},
+        "avg_utility", "total_payment", "degraded_rate"},
        rows);
   finish(opts);
   return 0;

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "bench_support.h"
+#include "common/parallel.h"
 #include "core/rit.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "stats/online_stats.h"
 
@@ -33,34 +35,47 @@ int main(int argc, char** argv) {
     // Theoretical-budget success rate.
     sim::Scenario theo = s;
     theo.mechanism.round_budget_policy = core::RoundBudgetPolicy::kTheoretical;
-    const sim::AggregateMetrics agg_theo = sim::run_many(theo, opts.trials);
+    const sim::AggregateMetrics agg_theo =
+        sim::run_many_parallel(theo, opts.trials, opts.threads);
 
     // Run-to-completion achieved bound: measure on fresh instances.
     sim::Scenario comp = s;
     comp.mechanism.round_budget_policy =
         core::RoundBudgetPolicy::kRunToCompletion;
+    struct Worker {
+      stats::OnlineStats achieved;
+      stats::OnlineStats budget_rounds;
+      core::RitWorkspace ws;
+    };
+    std::vector<Worker> workers(rit::resolve_threads(opts.threads, opts.trials));
+    sim::parallel_trials(
+        opts.trials, workers, [&](Worker& wk, std::uint64_t t) {
+          const sim::TrialInstance inst = sim::make_instance(comp, t);
+          rng::Rng rng(inst.mechanism_seed);
+          const core::RitResult r =
+              core::run_rit(inst.job, inst.population.truthful_asks, inst.tree,
+                            comp.mechanism, rng, wk.ws);
+          wk.achieved.add(r.achieved_probability);
+          double rounds = 0.0;
+          for (const auto& info : r.type_info) {
+            rounds += info.budget.max_rounds;
+          }
+          wk.budget_rounds.add(rounds /
+                               static_cast<double>(r.type_info.size()));
+        });
     stats::OnlineStats achieved;
     stats::OnlineStats budget_rounds;
-    for (std::uint64_t t = 0; t < opts.trials; ++t) {
-      const sim::TrialInstance inst = sim::make_instance(comp, t);
-      rng::Rng rng(inst.mechanism_seed);
-      const core::RitResult r =
-          core::run_rit(inst.job, inst.population.truthful_asks, inst.tree,
-                        comp.mechanism, rng);
-      achieved.add(r.achieved_probability);
-      double rounds = 0.0;
-      for (const auto& info : r.type_info) {
-        rounds += info.budget.max_rounds;
-      }
-      budget_rounds.add(rounds / static_cast<double>(r.type_info.size()));
+    for (const Worker& wk : workers) {
+      achieved.merge(wk.achieved);
+      budget_rounds.merge(wk.budget_rounds);
     }
 
     rows.push_back({h, budget_rounds.mean(), agg_theo.success_rate(),
-                    achieved.mean()});
+                    achieved.mean(), agg_theo.degraded_rate()});
   }
   emit("Ablation — H sweep", opts,
        {"H", "theoretical_rounds/type", "theoretical_success_rate",
-        "completion_achieved_bound"},
+        "completion_achieved_bound", "theoretical_degraded_rate"},
        rows);
   finish(opts);
   return 0;

@@ -40,12 +40,15 @@ std::vector<std::vector<double>> run_regime(const BenchOptions& opts,
     comp.mechanism.round_budget_policy =
         core::RoundBudgetPolicy::kRunToCompletion;
 
-    const sim::AggregateMetrics at = sim::run_many(theo, opts.trials);
-    const sim::AggregateMetrics ac = sim::run_many(comp, opts.trials);
+    const sim::AggregateMetrics at =
+        sim::run_many_parallel(theo, opts.trials, opts.threads);
+    const sim::AggregateMetrics ac =
+        sim::run_many_parallel(comp, opts.trials, opts.threads);
     rows.push_back({static_cast<double>(users_paper), at.success_rate(),
                     ac.success_rate(), at.avg_utility_rit.mean(),
                     ac.avg_utility_rit.mean(), at.total_payment_rit.mean(),
-                    ac.total_payment_rit.mean()});
+                    ac.total_payment_rit.mean(), at.degraded_rate(),
+                    ac.degraded_rate()});
   }
   return rows;
 }
@@ -55,8 +58,9 @@ std::vector<std::vector<double>> run_regime(const BenchOptions& opts,
 int main(int argc, char** argv) {
   const BenchOptions opts = parse_options(argc, argv, "ablation_rounds", 3);
   const std::vector<std::string> header{
-      "users(paper)", "succ_theo", "succ_comp", "util_theo",
-      "util_comp",    "pay_theo",  "pay_comp"};
+      "users(paper)", "succ_theo", "succ_comp",     "util_theo",
+      "util_comp",    "pay_theo",  "pay_comp",      "degr_theo",
+      "degr_comp"};
   emit("Ablation — round budget, paper regime (m=10 types, K_max=20)", opts,
        header, run_regime(opts, /*paper_regime=*/true));
   BenchOptions friendly = opts;

@@ -14,10 +14,12 @@ int main(int argc, char** argv) {
                     p.metrics.avg_utility_auction.mean(),
                     p.metrics.avg_utility_rit.mean(),
                     p.metrics.avg_utility_rit.ci95_half_width(),
-                    p.metrics.success_rate()});
+                    p.metrics.success_rate(),
+                    p.metrics.tasks_allocated.mean()});
   }
-  const std::vector<std::string> header{"m_i(paper)", "auction_phase",
-                                        "RIT", "RIT_ci95", "success_rate"};
+  const std::vector<std::string> header{"m_i(paper)",    "auction_phase",
+                                        "RIT",           "RIT_ci95",
+                                        "success_rate",  "tasks_alloc"};
   emit("Fig. 6(b) — average user utility vs tasks per type", opts, header,
        rows);
   emit_svg("Fig. 6(b): avg user utility vs tasks per type", opts, header,

@@ -11,10 +11,13 @@ int main(int argc, char** argv) {
     rows.push_back({static_cast<double>(p.x),
                     p.metrics.runtime_auction_ms.mean(),
                     p.metrics.runtime_rit_ms.mean(),
+                    p.metrics.runtime_rit_ms.min(),
+                    p.metrics.runtime_rit_ms.max(),
                     p.metrics.runtime_rit_ms.ci95_half_width()});
   }
   const std::vector<std::string> header{"m_i(paper)", "auction_phase_ms",
-                                        "RIT_ms", "RIT_ci95"};
+                                        "RIT_ms", "RIT_min_ms", "RIT_max_ms",
+                                        "RIT_ci95"};
   emit("Fig. 8(b) — running time (ms) vs tasks per type", opts, header,
        rows);
   emit_svg("Fig. 8(b): running time vs tasks per type", opts, header, rows,

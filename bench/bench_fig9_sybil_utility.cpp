@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
 
   sim::SybilExperimentConfig config;
   config.trials = opts.trials;
+  config.threads = opts.threads;
 
   std::vector<std::vector<double>> rows;
   for (const sim::SybilSeriesPoint& point : sim::run_sybil_experiment(s, config)) {

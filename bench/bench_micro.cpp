@@ -11,7 +11,10 @@
 // turns it on.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -24,6 +27,46 @@
 #include "obs/obs.h"
 #include "rng/rng.h"
 #include "tree/builders.h"
+
+// --- Heap-allocation counter ----------------------------------------------
+// Replacing the global (non-aligned) operator new/delete pair lets the
+// BM_CraRound* arms report heap allocations per round as a hard number
+// instead of inferring them from timing. The throwing forms below are the
+// funnel every other default form (nothrow, array) reaches, so one counter
+// covers them all; the aligned forms are left alone (they stay internally
+// paired, and nothing on the CRA path is over-aligned).
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// GCC pairs a replaced operator new with the replacement delete, then warns
+// that std::free does not match — but malloc/free is exactly the pair used.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
@@ -47,20 +90,60 @@ void BM_ConsensusRoundDown(benchmark::State& state) {
 }
 BENCHMARK(BM_ConsensusRoundDown);
 
-void BM_CraRound(benchmark::State& state) {
+// Baseline vs workspace arms of the CRA round: identical draws and results
+// (cra_test pins that); the heap_allocs_per_round counter is the point.
+// The baseline's convenience overload rebuilds its order/chosen/sampling
+// buffers every round; the workspace arm reuses them and must report ~0 at
+// steady state.
+void BM_CraRoundBaseline(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto asks = make_asks(n, 2);
   rng::Rng rng(3);
   core::CraParams params;
   params.q = static_cast<std::uint32_t>(n / 8 + 1);
   params.m_i = static_cast<std::uint32_t>(n / 8 + 1);
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::run_cra(asks, params, rng));
   }
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  state.counters["heap_allocs_per_round"] = benchmark::Counter(
+      state.iterations() > 0
+          ? static_cast<double>(after - before) /
+                static_cast<double>(state.iterations())
+          : 0.0);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_CraRound)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_CraRoundBaseline)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CraRoundWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto asks = make_asks(n, 2);
+  rng::Rng rng(3);
+  core::CraParams params;
+  params.q = static_cast<std::uint32_t>(n / 8 + 1);
+  params.m_i = static_cast<std::uint32_t>(n / 8 + 1);
+  core::CraWorkspace ws;
+  core::CraOutcome out;
+  // One warm-up round grows every scratch buffer to its high-water mark;
+  // from then on the hot path must not touch the heap.
+  core::run_cra(asks, params, rng, ws, out);
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    core::run_cra(asks, params, rng, ws, out);
+    benchmark::DoNotOptimize(out.num_winners);
+  }
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  state.counters["heap_allocs_per_round"] = benchmark::Counter(
+      state.iterations() > 0
+          ? static_cast<double>(after - before) /
+                static_cast<double>(state.iterations())
+          : 0.0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CraRoundWorkspace)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_Extract(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -158,6 +241,31 @@ void BM_FullRit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullRit)->Arg(5000)->Arg(20000);
+
+// Same mechanism runs, but with per-thread scratch reuse (the path every
+// sweep now takes). The delta against BM_FullRit is the allocator time the
+// workspaces save per trial.
+void BM_FullRitWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  rng::Rng setup(8);
+  std::vector<core::Ask> asks;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    asks.push_back(core::Ask{
+        TaskType{static_cast<std::uint32_t>(setup.uniform_index(10))},
+        static_cast<std::uint32_t>(setup.uniform_int(1, 20)),
+        setup.uniform_real_left_open(0.0, 10.0)});
+  }
+  const auto t = tree::random_recursive_tree(n, 0.05, setup);
+  const core::Job job = core::Job::uniform(10, n / 20);
+  core::RitConfig cfg;
+  cfg.round_budget_policy = core::RoundBudgetPolicy::kRunToCompletion;
+  rng::Rng rng(9);
+  core::RitWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_rit(job, asks, t, cfg, rng, ws));
+  }
+}
+BENCHMARK(BM_FullRitWorkspace)->Arg(5000)->Arg(20000);
 
 // --- Tracer overhead -------------------------------------------------------
 // A fixed arithmetic payload (~100-200 ns) bracketed three ways. Comparing

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
 
   attack::SearchSpace space;
   space.trials = opts.trials;
+  space.threads = opts.threads;
 
   std::vector<std::vector<double>> rows;
   int config_index = 0;

@@ -18,7 +18,9 @@
 #include "core/efficiency.h"
 #include "baselines/naive_combo.h"
 #include "bench_support.h"
+#include "common/parallel.h"
 #include "core/rit.h"
+#include "sim/parallel.h"
 #include "sim/runner.h"
 #include "stats/online_stats.h"
 
@@ -35,6 +37,74 @@ int main(int argc, char** argv) {
   s.k_max = 8;
   apply_options(opts, s);
 
+  struct Worker {
+    stats::OnlineStats pay_rit;
+    stats::OnlineStats pay_auction;
+    stats::OnlineStats pay_kth;
+    stats::OnlineStats pay_naive;
+    stats::OnlineStats util_rit;
+    stats::OnlineStats util_auction;
+    stats::OnlineStats util_kth;
+    stats::OnlineStats util_naive;
+    stats::OnlineStats eff_rit;
+    stats::OnlineStats eff_kth;
+    core::RitWorkspace ws;
+  };
+  std::vector<Worker> workers(rit::resolve_threads(opts.threads, opts.trials));
+  sim::parallel_trials(
+      opts.trials, workers, [&](Worker& wk, std::uint64_t trial) {
+        const sim::TrialInstance inst = sim::make_instance(s, trial);
+        const auto& asks = inst.population.truthful_asks;
+        const auto& costs = inst.population.costs;
+        const double n = static_cast<double>(asks.size());
+
+        {
+          rng::Rng rng(inst.mechanism_seed);
+          const core::RitResult r = core::run_rit(inst.job, asks, inst.tree,
+                                                  s.mechanism, rng, wk.ws);
+          if (r.success) {
+            wk.pay_rit.add(r.total_payment());
+            wk.pay_auction.add(r.total_auction_payment());
+            double u_full = 0.0;
+            double u_auct = 0.0;
+            for (std::uint32_t j = 0; j < asks.size(); ++j) {
+              u_full += r.utility_of(j, costs[j]);
+              u_auct += r.auction_utility_of(j, costs[j]);
+            }
+            wk.util_rit.add(u_full / n);
+            wk.util_auction.add(u_auct / n);
+            wk.eff_rit.add(core::cost_efficiency(inst.job, asks, r.allocation));
+          }
+        }
+        {
+          const auto kth = baselines::multi_unit_kth_price(inst.job, asks);
+          if (kth.success) {
+            double pay = 0.0;
+            double u = 0.0;
+            for (std::uint32_t j = 0; j < asks.size(); ++j) {
+              pay += kth.auction_payment[j];
+              u += core::utility(kth.auction_payment[j], kth.allocation[j],
+                                 costs[j]);
+            }
+            wk.pay_kth.add(pay);
+            wk.util_kth.add(u / n);
+            wk.eff_kth.add(
+                core::cost_efficiency(inst.job, asks, kth.allocation));
+          }
+          const auto naive =
+              baselines::run_naive_combo(inst.job, asks, inst.tree);
+          if (naive.success) {
+            double pay = 0.0;
+            double u = 0.0;
+            for (std::uint32_t j = 0; j < asks.size(); ++j) {
+              pay += naive.payment[j];
+              u += naive.utility_of(j, costs[j]);
+            }
+            wk.pay_naive.add(pay);
+            wk.util_naive.add(u / n);
+          }
+        }
+      });
   stats::OnlineStats pay_rit;
   stats::OnlineStats pay_auction;
   stats::OnlineStats pay_kth;
@@ -45,57 +115,17 @@ int main(int argc, char** argv) {
   stats::OnlineStats util_naive;
   stats::OnlineStats eff_rit;
   stats::OnlineStats eff_kth;
-
-  for (std::uint64_t trial = 0; trial < opts.trials; ++trial) {
-    const sim::TrialInstance inst = sim::make_instance(s, trial);
-    const auto& asks = inst.population.truthful_asks;
-    const auto& costs = inst.population.costs;
-    const double n = static_cast<double>(asks.size());
-
-    {
-      rng::Rng rng(inst.mechanism_seed);
-      const core::RitResult r =
-          core::run_rit(inst.job, asks, inst.tree, s.mechanism, rng);
-      if (r.success) {
-        pay_rit.add(r.total_payment());
-        pay_auction.add(r.total_auction_payment());
-        double u_full = 0.0;
-        double u_auct = 0.0;
-        for (std::uint32_t j = 0; j < asks.size(); ++j) {
-          u_full += r.utility_of(j, costs[j]);
-          u_auct += r.auction_utility_of(j, costs[j]);
-        }
-        util_rit.add(u_full / n);
-        util_auction.add(u_auct / n);
-        eff_rit.add(core::cost_efficiency(inst.job, asks, r.allocation));
-      }
-    }
-    {
-      const auto kth = baselines::multi_unit_kth_price(inst.job, asks);
-      if (kth.success) {
-        double pay = 0.0;
-        double u = 0.0;
-        for (std::uint32_t j = 0; j < asks.size(); ++j) {
-          pay += kth.auction_payment[j];
-          u += core::utility(kth.auction_payment[j], kth.allocation[j],
-                             costs[j]);
-        }
-        pay_kth.add(pay);
-        util_kth.add(u / n);
-        eff_kth.add(core::cost_efficiency(inst.job, asks, kth.allocation));
-      }
-      const auto naive = baselines::run_naive_combo(inst.job, asks, inst.tree);
-      if (naive.success) {
-        double pay = 0.0;
-        double u = 0.0;
-        for (std::uint32_t j = 0; j < asks.size(); ++j) {
-          pay += naive.payment[j];
-          u += naive.utility_of(j, costs[j]);
-        }
-        pay_naive.add(pay);
-        util_naive.add(u / n);
-      }
-    }
+  for (const Worker& wk : workers) {
+    pay_rit.merge(wk.pay_rit);
+    pay_auction.merge(wk.pay_auction);
+    pay_kth.merge(wk.pay_kth);
+    pay_naive.merge(wk.pay_naive);
+    util_rit.merge(wk.util_rit);
+    util_auction.merge(wk.util_auction);
+    util_kth.merge(wk.util_kth);
+    util_naive.merge(wk.util_naive);
+    eff_rit.merge(wk.eff_rit);
+    eff_kth.merge(wk.eff_kth);
   }
 
   emit("Related mechanisms on identical instances "

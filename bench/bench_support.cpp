@@ -8,6 +8,7 @@
 
 #include "cli/svg_chart.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/format_util.h"
 #include "common/log.h"
 #include "obs/obs.h"
@@ -25,6 +26,7 @@ BenchOptions parse_options(int argc, char** argv, const std::string& name,
   opts.points = static_cast<std::uint32_t>(args.get_u64("points", 5));
   opts.seed = args.get_u64("seed", 42);
   opts.graph = sim::parse_graph_kind(args.get_string("graph", "ba"));
+  opts.threads = static_cast<unsigned>(args.get_u64("threads", 0));
   opts.theoretical = args.get_bool("theoretical", false);
   opts.paper_ratio = args.get_bool("paper-ratio", false);
   opts.paper_kmax = args.get_bool("paper-kmax", false);
@@ -93,6 +95,7 @@ void emit(const std::string& title, const BenchOptions& opts,
             << " graph=" << sim::to_string(opts.graph)
             << (opts.theoretical ? " budget=theoretical"
                                  : " budget=run-to-completion")
+            << " threads=" << rit::resolve_threads(opts.threads, opts.trials)
             << ")\n";
   cli::Table table(header);
   for (const auto& row : rows) table.add_numeric_row(row, precision);
@@ -154,7 +157,8 @@ void write_summary_json(const BenchOptions& opts, double wall_ms,
       << ", \"seed\": " << opts.seed << ", \"graph\": \""
       << sim::to_string(opts.graph) << "\", \"budget\": \""
       << (opts.theoretical ? "theoretical" : "run-to-completion")
-      << "\"},\n";
+      << "\", \"threads\": " << opts.threads << ", \"threads_resolved\": "
+      << rit::resolve_threads(opts.threads, opts.trials) << "},\n";
   out << "  \"wall_ms\": " << format_double(wall_ms, 3) << ",\n";
   out << "  \"dropped_spans\": " << obs::dropped_spans() << ",\n";
   out << "  \"phases\": [";

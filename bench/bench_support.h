@@ -7,6 +7,12 @@
 //   --points=P    sweep points between the paper's endpoints (default 5)
 //   --seed=X      base seed
 //   --graph=K     social graph family: ba|er|ws|star|path (default ba)
+//   --threads=N   worker threads for the trial fan-out (default 0 =
+//                 hardware concurrency; 1 = the exact serial path,
+//                 bit-for-bit). Trials are seeded independently and merged
+//                 in a fixed order, so counts/min/max/success rates are
+//                 identical for every N; means agree to ~1e-12 (Welford
+//                 merge-order rounding — see EXPERIMENTS.md)
 //   --csv=PATH    also dump the series as CSV (default bench_results/<name>.csv,
 //                 "none" disables)
 //   --theoretical use the paper's literal round budget instead of
@@ -40,6 +46,9 @@ struct BenchOptions {
   std::uint32_t points{5};
   std::uint64_t seed{42};
   sim::GraphKind graph{sim::GraphKind::kBarabasiAlbert};
+  /// Worker threads for the trial fan-out (0 = hardware concurrency,
+  /// 1 = exact serial path).
+  unsigned threads{0};
   std::string csv_path;  // empty = disabled
   bool theoretical{false};
   /// fig9 only: keep the paper's exact supply/demand ratio (--paper-ratio).

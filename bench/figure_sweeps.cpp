@@ -47,7 +47,14 @@ std::vector<SweepPoint> run_sweep(const BenchOptions& opts,
         {"users", std::to_string(s.num_users)},
         {"tasks_per_type", std::to_string(s.tasks_per_type)}};
     log::emit(log::Level::kInfo, "sweep point", fields);
-    out.push_back(SweepPoint{x, sim::run_many(s, opts.trials)});
+    out.push_back(SweepPoint{
+        x, sim::run_many_parallel(s, opts.trials, opts.threads,
+                                  [&](std::uint64_t done, std::uint64_t total) {
+                                    const log::Field pf[] = {
+                                        {"done", std::to_string(done)},
+                                        {"total", std::to_string(total)}};
+                                    log::emit(log::Level::kInfo, "progress", pf);
+                                  })});
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include "attack/bid_strategies.h"
 #include "attack/sybil_apply.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "stats/online_stats.h"
 
 namespace rit::attack {
@@ -66,7 +67,12 @@ SearchResult search_best_attack(const core::Job& job,
     result.honest_ci95 = honest.ci95_half_width();
   }
 
+  // Enumerate the candidate grid first, then fan the evaluations out over
+  // workers. Every candidate is scored entirely within one worker with its
+  // own seeded streams, and the results land at the candidate's grid index,
+  // so the outcome is bit-for-bit identical for every thread count.
   const std::uint32_t capability = asks[victim].quantity;
+  std::vector<AttackCandidate> candidates;
   for (const std::uint32_t delta : space.identity_counts) {
     if (delta > capability) continue;
     for (const double factor : space.ask_factors) {
@@ -77,12 +83,24 @@ SearchResult search_best_attack(const core::Job& job,
           delta == 1 ? std::vector<Topology>{Topology::kChain}
                      : space.topologies;
       for (const Topology topology : topologies) {
-        AttackCandidate candidate{delta, topology, ask_value};
+        candidates.push_back(AttackCandidate{delta, topology, ask_value});
+      }
+    }
+  }
+
+  result.entries.resize(candidates.size());
+  rit::parallel_for_strided(
+      candidates.size(),
+      rit::resolve_threads(space.threads, candidates.size()),
+      [&](std::uint64_t c, unsigned /*worker*/) {
+        const AttackCandidate& candidate = candidates[c];
+        const std::uint32_t delta = candidate.identities;
         stats::OnlineStats utility;
         for (std::uint64_t t = 0; t < space.trials; ++t) {
           const std::uint64_t seed = space.base_seed + t;
           if (delta == 1) {
-            const auto deviated = with_ask_value(asks, victim, ask_value);
+            const auto deviated =
+                with_ask_value(asks, victim, candidate.ask_value);
             rng::Rng rng(seed);
             const core::RitResult r =
                 core::run_rit(job, deviated, tree, config, rng);
@@ -98,11 +116,9 @@ SearchResult search_best_attack(const core::Job& job,
             utility.add(attacked.attacker_utility(r, cost));
           }
         }
-        result.entries.push_back(SearchEntry{candidate, utility.mean(),
-                                             utility.ci95_half_width()});
-      }
-    }
-  }
+        result.entries[c] = SearchEntry{candidate, utility.mean(),
+                                        utility.ci95_half_width()};
+      });
   RIT_CHECK_MSG(!result.entries.empty(),
                 "search space excluded every candidate (capability "
                     << capability << ")");

@@ -38,6 +38,11 @@ struct SearchSpace {
   /// Paired mechanism seeds per candidate.
   std::uint64_t trials{40};
   std::uint64_t base_seed{0xbadc0de};
+  /// Worker threads for the candidate fan-out (0 = hardware concurrency).
+  /// Every candidate is evaluated wholly inside one worker with its own
+  /// seeded streams, so the result is bit-for-bit identical for every
+  /// thread count; 1 (the default) runs inline.
+  unsigned threads{1};
 };
 
 struct SearchEntry {

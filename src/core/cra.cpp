@@ -33,12 +33,54 @@ std::uint64_t consensus_round_down(std::uint64_t count, double y,
   return static_cast<std::uint64_t>(std::floor(value));
 }
 
+namespace {
+
+// Ascending-value index order with ties first in index order, then shuffled
+// uniformly: equal asks must be treated equally ("anonymity"), otherwise
+// "the smallest n asks" would systematically favour whichever user Extract
+// happened to expand first. The index tie-break makes plain sort produce
+// exactly what stable_sort over values would — without stable_sort's
+// per-call temporary buffer, keeping the round allocation-free.
+void sorted_order_with_shuffled_ties(std::span<const double> asks,
+                                     std::vector<std::uint32_t>& order,
+                                     rng::Rng& rng) {
+  order.resize(asks.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (asks[a] != asks[b]) return asks[a] < asks[b];
+              return a < b;
+            });
+  for (std::size_t i = 0; i < order.size();) {
+    std::size_t j = i + 1;
+    while (j < order.size() && asks[order[j]] == asks[order[i]]) ++j;
+    if (j - i > 1) rng.shuffle(std::span<std::uint32_t>(&order[i], j - i));
+    i = j;
+  }
+}
+
+}  // namespace
+
 CraOutcome run_cra(std::span<const double> asks, const CraParams& params,
                    rng::Rng& rng) {
-  RIT_COUNTER_INC("cra.rounds");
+  CraWorkspace ws;
   CraOutcome out;
+  run_cra(asks, params, rng, ws, out);
+  return out;
+}
+
+void run_cra(std::span<const double> asks, const CraParams& params,
+             rng::Rng& rng, CraWorkspace& ws, CraOutcome& out) {
+  RIT_COUNTER_INC("cra.rounds");
+  // Reset the outcome in place: `won` keeps its capacity across rounds.
   out.won.assign(asks.size(), false);
-  if (asks.empty() || params.q == 0) return out;
+  out.clearing_price = 0.0;
+  out.num_winners = 0;
+  out.sample_min = 0.0;
+  out.raw_count = 0;
+  out.consensus_count = 0;
+  out.used_budget_price = false;
+  if (asks.empty() || params.q == 0) return;
   const std::uint64_t budget =
       static_cast<std::uint64_t>(params.q) + params.m_i;
   RIT_CHECK(budget > 0);
@@ -46,29 +88,19 @@ CraOutcome run_cra(std::span<const double> asks, const CraParams& params,
   if (params.price_mode == PriceMode::kOrderStatistic) {
     // Ablation arm: a plain (q+m_i+1)-st lowest price round. Needs at least
     // budget+1 asks to define the price; ties shuffled like the main path.
-    if (asks.size() < budget + 1) return out;
-    std::vector<std::uint32_t> order(asks.size());
-    std::iota(order.begin(), order.end(), 0u);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::uint32_t a, std::uint32_t b) {
-                       return asks[a] < asks[b];
-                     });
-    for (std::size_t i = 0; i < order.size();) {
-      std::size_t j = i + 1;
-      while (j < order.size() && asks[order[j]] == asks[order[i]]) ++j;
-      if (j - i > 1) rng.shuffle(std::span<std::uint32_t>(&order[i], j - i));
-      i = j;
-    }
-    const double price = asks[order[budget]];
+    if (asks.size() < budget + 1) return;
+    sorted_order_with_shuffled_ties(asks, ws.order, rng);
+    const double price = asks[ws.order[budget]];
     out.sample_min = price;
     out.raw_count = budget;
     out.consensus_count = budget;
-    auto keep = rng.sample_without_replacement(budget, params.q);
-    for (std::size_t i : keep) out.won[order[i]] = true;
+    rng.sample_without_replacement_into(budget, params.q, ws.sample_pool,
+                                        ws.sample_out);
+    for (std::size_t i : ws.sample_out) out.won[ws.order[i]] = true;
     out.num_winners = params.q;
     out.clearing_price = price;
     RIT_COUNTER_ADD("cra.winners", out.num_winners);
-    return out;
+    return;
   }
 
   // Phase 1 of the CRA round: threshold sampling plus consensus rounding of
@@ -87,7 +119,7 @@ CraOutcome run_cra(std::span<const double> asks, const CraParams& params,
       }
     }
     if (!sampled_any) {
-      if (params.empty_sample == EmptySamplePolicy::kNoWinners) return out;
+      if (params.empty_sample == EmptySamplePolicy::kNoWinners) return;
       // kAllAsks: act as if the threshold sits at the top of the book —
       // every ask is at or below it, and it is still a finite, IR-safe
       // price.
@@ -105,40 +137,25 @@ CraOutcome run_cra(std::span<const double> asks, const CraParams& params,
     n_s = consensus_round_down(raw, y, params.consensus_grid_base);
     out.consensus_count = n_s;
   }
-  if (n_s == 0) return out;
+  if (n_s == 0) return;
   const double s = out.sample_min;
 
   // Phase 2 of the CRA round: winner selection and pricing (steps 3-5).
   RIT_TRACE_SPAN("cra.phase2");
-
-  // Sorted order of asks by value, with ties shuffled uniformly: equal asks
-  // must be treated equally ("anonymity"), otherwise "the smallest n asks"
-  // would systematically favour whichever user Extract happened to expand
-  // first.
-  std::vector<std::uint32_t> order(asks.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return asks[a] < asks[b];
-                   });
-  for (std::size_t i = 0; i < order.size();) {
-    std::size_t j = i + 1;
-    while (j < order.size() && asks[order[j]] == asks[order[i]]) ++j;
-    if (j - i > 1) rng.shuffle(std::span<std::uint32_t>(&order[i], j - i));
-    i = j;
-  }
+  sorted_order_with_shuffled_ties(asks, ws.order, rng);
 
   // Step 3: potential winners, in ascending-value order.
-  std::vector<std::uint32_t> chosen;
+  std::vector<std::uint32_t>& chosen = ws.chosen;
+  chosen.clear();
   if (n_s <= budget) {
-    chosen.assign(order.begin(),
-                  order.begin() + static_cast<std::ptrdiff_t>(n_s));
+    chosen.assign(ws.order.begin(),
+                  ws.order.begin() + static_cast<std::ptrdiff_t>(n_s));
   } else {
     const double keep_p =
         static_cast<double>(budget) / (2.0 * static_cast<double>(n_s));
     chosen.reserve(n_s);
     for (std::uint64_t i = 0; i < n_s; ++i) {
-      if (rng.bernoulli(keep_p)) chosen.push_back(order[i]);
+      if (rng.bernoulli(keep_p)) chosen.push_back(ws.order[i]);
     }
   }
 
@@ -153,11 +170,12 @@ CraOutcome run_cra(std::span<const double> asks, const CraParams& params,
 
   // Step 5: if more than q survive, q winners uniformly at random.
   if (chosen.size() > params.q) {
-    auto keep = rng.sample_without_replacement(chosen.size(), params.q);
-    std::vector<std::uint32_t> winners;
-    winners.reserve(params.q);
-    for (std::size_t i : keep) winners.push_back(chosen[i]);
-    chosen = std::move(winners);
+    rng.sample_without_replacement_into(chosen.size(), params.q,
+                                        ws.sample_pool, ws.sample_out);
+    ws.winners.clear();
+    ws.winners.reserve(params.q);
+    for (std::size_t i : ws.sample_out) ws.winners.push_back(chosen[i]);
+    std::swap(chosen, ws.winners);
   }
 
   for (std::uint32_t w : chosen) {
@@ -167,7 +185,6 @@ CraOutcome run_cra(std::span<const double> asks, const CraParams& params,
   out.num_winners = static_cast<std::uint32_t>(chosen.size());
   out.clearing_price = chosen.empty() ? 0.0 : price;
   RIT_COUNTER_ADD("cra.winners", out.num_winners);
-  return out;
 }
 
 }  // namespace rit::core

@@ -69,10 +69,32 @@ struct CraOutcome {
   bool used_budget_price{false};
 };
 
+/// Reusable scratch for run_cra. RIT runs one CRA round per type per
+/// round-budget step, and a sweep runs millions of rounds; without reuse
+/// every round rebuilds the `order`/`chosen` vectors (plus the Fisher-Yates
+/// sampling pool) on the heap. Keep one workspace per thread and pass it to
+/// every round: at steady state (buffers grown to the population size) a
+/// round performs no heap allocation. Contents are scratch only — nothing
+/// in here carries state between rounds.
+struct CraWorkspace {
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> chosen;
+  std::vector<std::uint32_t> winners;
+  std::vector<std::size_t> sample_pool;
+  std::vector<std::size_t> sample_out;
+};
+
 /// Runs one CRA round over the unit-ask values `asks` (the alpha vector
 /// produced by Extract). Deterministic given `rng` state.
 CraOutcome run_cra(std::span<const double> asks, const CraParams& params,
                    rng::Rng& rng);
+
+/// Allocation-free form: identical draws and outcome, but all scratch lives
+/// in `ws` and the outcome is written into `out` (whose `won` vector is
+/// reused). The convenience overload above delegates to this with a fresh
+/// workspace.
+void run_cra(std::span<const double> asks, const CraParams& params,
+             rng::Rng& rng, CraWorkspace& ws, CraOutcome& out);
 
 /// The consensus rounding of Lemma 6.2 in isolation: the largest value
 /// base^(z+y) <= count (z integer), or 0 if count == 0 or every such value

@@ -3,9 +3,11 @@
 namespace rit::core {
 
 namespace {
-ExtractedAsks extract_impl(TaskType type, std::span<const Ask> asks,
-                           std::span<const std::uint32_t>* remaining) {
-  ExtractedAsks out;
+void extract_impl(TaskType type, std::span<const Ask> asks,
+                  std::span<const std::uint32_t>* remaining,
+                  ExtractedAsks& out) {
+  out.values.clear();
+  out.owner.clear();
   // Reserve pass keeps the expansion allocation-free in the hot loop.
   std::size_t total = 0;
   for (std::size_t j = 0; j < asks.size(); ++j) {
@@ -28,19 +30,28 @@ ExtractedAsks extract_impl(TaskType type, std::span<const Ask> asks,
       out.owner.push_back(static_cast<std::uint32_t>(j));
     }
   }
-  return out;
 }
 }  // namespace
 
 ExtractedAsks extract(TaskType type, std::span<const Ask> asks) {
-  return extract_impl(type, asks, nullptr);
+  ExtractedAsks out;
+  extract_impl(type, asks, nullptr, out);
+  return out;
 }
 
 ExtractedAsks extract_remaining(
     TaskType type, std::span<const Ask> asks,
     std::span<const std::uint32_t> remaining_quantity) {
+  ExtractedAsks out;
+  extract_remaining_into(type, asks, remaining_quantity, out);
+  return out;
+}
+
+void extract_remaining_into(TaskType type, std::span<const Ask> asks,
+                            std::span<const std::uint32_t> remaining_quantity,
+                            ExtractedAsks& out) {
   RIT_CHECK(remaining_quantity.size() == asks.size());
-  return extract_impl(type, asks, &remaining_quantity);
+  extract_impl(type, asks, &remaining_quantity, out);
 }
 
 }  // namespace rit::core

@@ -32,4 +32,12 @@ ExtractedAsks extract(TaskType type, std::span<const Ask> asks);
 ExtractedAsks extract_remaining(TaskType type, std::span<const Ask> asks,
                                 std::span<const std::uint32_t> remaining_quantity);
 
+/// Scratch-reusing form of extract_remaining: clears and refills `out`
+/// without releasing its buffers, so the per-round expansion in RIT's
+/// auction loop stops allocating once `out` has grown to the market size
+/// (keep one per thread — core::RitWorkspace does).
+void extract_remaining_into(TaskType type, std::span<const Ask> asks,
+                            std::span<const std::uint32_t> remaining_quantity,
+                            ExtractedAsks& out);
+
 }  // namespace rit::core

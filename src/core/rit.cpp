@@ -75,6 +75,13 @@ double RitResult::total_auction_payment() const {
 
 RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
                             const RitConfig& config, rng::Rng& rng) {
+  RitWorkspace ws;
+  return run_auction_phase(job, asks, config, rng, ws);
+}
+
+RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
+                            const RitConfig& config, rng::Rng& rng,
+                            RitWorkspace& ws) {
   RIT_TRACE_SPAN("rit.auction_phase");
   RIT_COUNTER_INC("rit.auctions_run");
   validate_asks(job, asks);
@@ -97,7 +104,8 @@ RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
   res.eta = std::pow(config.h, 1.0 / static_cast<double>(m));
 
   // k'_j: capability not yet consumed by earlier rounds.
-  std::vector<std::uint32_t> remaining(n);
+  std::vector<std::uint32_t>& remaining = ws.remaining;
+  remaining.resize(n);
   for (std::uint32_t j = 0; j < n; ++j) remaining[j] = asks[j].quantity;
 
   bool all_allocated = true;
@@ -117,10 +125,11 @@ RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
     while (q > 0) {
       if (!to_completion && info.rounds_used >= info.budget.max_rounds) break;
       if (to_completion && stalled >= config.stall_round_limit) break;
-      const ExtractedAsks alpha = [&] {
+      ExtractedAsks& alpha = ws.alpha;
+      {
         RIT_TRACE_SPAN("rit.extract");
-        return extract_remaining(type, asks, remaining);
-      }();
+        extract_remaining_into(type, asks, remaining, alpha);
+      }
       if (alpha.empty()) break;  // nobody left who can serve this type
       CraParams params;
       params.q = q;
@@ -128,7 +137,8 @@ RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
       params.empty_sample = config.empty_sample;
       params.price_mode = config.price_mode;
       params.consensus_grid_base = config.consensus_log_base;
-      const CraOutcome round = run_cra(alpha.values, params, rng);
+      run_cra(alpha.values, params, rng, ws.cra, ws.round);
+      const CraOutcome& round = ws.round;
       for (std::size_t w = 0; w < alpha.size(); ++w) {
         if (!round.won[w]) continue;
         const std::uint32_t owner = alpha.owner[w];
@@ -179,14 +189,22 @@ RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
 RitResult run_rit(const Job& job, std::span<const Ask> asks,
                   const tree::IncentiveTree& tree, const RitConfig& config,
                   rng::Rng& rng) {
+  RitWorkspace ws;
+  return run_rit(job, asks, tree, config, rng, ws);
+}
+
+RitResult run_rit(const Job& job, std::span<const Ask> asks,
+                  const tree::IncentiveTree& tree, const RitConfig& config,
+                  rng::Rng& rng, RitWorkspace& ws) {
   RIT_CHECK_MSG(tree.num_participants() == asks.size(),
                 "tree has " << tree.num_participants()
                             << " participants but " << asks.size()
                             << " asks were submitted");
-  RitResult res = run_auction_phase(job, asks, config, rng);
+  RitResult res = run_auction_phase(job, asks, config, rng, ws);
   if (!res.success) return res;  // fail closed: everything already zeroed
 
-  std::vector<TaskType> types(asks.size());
+  std::vector<TaskType>& types = ws.types;
+  types.resize(asks.size());
   for (std::size_t j = 0; j < asks.size(); ++j) types[j] = asks[j].type;
   res.payment = tree_payments(tree, types, res.auction_payment,
                               config.discount_base);

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/cra.h"
+#include "core/extract.h"
 #include "core/types.h"
 #include "rng/rng.h"
 #include "tree/incentive_tree.h"
@@ -113,6 +115,20 @@ struct RitResult {
   double total_auction_payment() const;
 };
 
+/// Reusable scratch for run_rit / run_auction_phase. One mechanism run
+/// executes many CRA rounds, and a sweep executes many mechanism runs;
+/// keeping one workspace per thread means the per-round buffers (extract's
+/// alpha vector, CRA's order/chosen scratch, the remaining-quantity vector)
+/// are heap-allocated once and then reused at their high-water capacity.
+/// Contents are scratch only — nothing carries state between runs.
+struct RitWorkspace {
+  CraWorkspace cra;
+  CraOutcome round;
+  ExtractedAsks alpha;
+  std::vector<std::uint32_t> remaining;
+  std::vector<TaskType> types;
+};
+
 /// Runs the complete mechanism. `asks[j]` is participant j's sealed bid;
 /// participant j sits at tree node j+1. Throws CheckFailure on malformed
 /// input (ask/tree size mismatch, unknown task types, zero quantities).
@@ -120,11 +136,23 @@ RitResult run_rit(const Job& job, std::span<const Ask> asks,
                   const tree::IncentiveTree& tree, const RitConfig& config,
                   rng::Rng& rng);
 
+/// Scratch-reusing form: identical draws and result, but all per-round
+/// buffers live in `ws`. The convenience overload above delegates to this
+/// with a fresh workspace.
+RitResult run_rit(const Job& job, std::span<const Ask> asks,
+                  const tree::IncentiveTree& tree, const RitConfig& config,
+                  rng::Rng& rng, RitWorkspace& ws);
+
 /// Runs only the auction phase (both result payment vectors are set to the
 /// auction payments). Used by baselines and by the Sec. 4 experiments that
 /// need a tree-free truthful auction; run_rit composes this with
 /// tree_payments().
 RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
                             const RitConfig& config, rng::Rng& rng);
+
+/// Scratch-reusing form of run_auction_phase (see RitWorkspace).
+RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
+                            const RitConfig& config, rng::Rng& rng,
+                            RitWorkspace& ws);
 
 }  // namespace rit::core

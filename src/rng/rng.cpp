@@ -58,17 +58,25 @@ double Rng::exponential(double mean) {
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
-  RIT_CHECK_MSG(k <= n, "cannot sample " << k << " from " << n);
-  std::vector<std::size_t> pool(n);
-  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  std::vector<std::size_t> pool;
   std::vector<std::size_t> out;
+  sample_without_replacement_into(n, k, pool, out);
+  return out;
+}
+
+void Rng::sample_without_replacement_into(std::size_t n, std::size_t k,
+                                          std::vector<std::size_t>& pool,
+                                          std::vector<std::size_t>& out) {
+  RIT_CHECK_MSG(k <= n, "cannot sample " << k << " from " << n);
+  pool.resize(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  out.clear();
   out.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
     std::size_t j = i + uniform_index(n - i);
     std::swap(pool[i], pool[j]);
     out.push_back(pool[i]);
   }
-  return out;
 }
 
 }  // namespace rit::rng

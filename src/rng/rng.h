@@ -83,6 +83,14 @@ class Rng {
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
 
+  /// Same draws, but fills caller-owned buffers: `pool` is the O(n)
+  /// Fisher-Yates scratch and `out` receives the k selected indices. At
+  /// steady state (buffers at capacity) the call is allocation-free, which
+  /// is what the CRA round hot path needs (core::CraWorkspace).
+  void sample_without_replacement_into(std::size_t n, std::size_t k,
+                                       std::vector<std::size_t>& pool,
+                                       std::vector<std::size_t>& out);
+
  private:
   Xoshiro256StarStar engine_;
   std::uint64_t seed_;

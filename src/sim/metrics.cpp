@@ -2,9 +2,21 @@
 
 namespace rit::sim {
 
+// Field-coverage guard for add()/merge(): AggregateMetrics must stay exactly
+// 8 OnlineStats + 3 counters. Adding a field without updating both folds
+// below would silently drop it from every sweep (the original
+// tasks_allocated/probability_degraded bug) — instead, this fires and points
+// here.
+static_assert(sizeof(AggregateMetrics) ==
+                  8 * sizeof(stats::OnlineStats) + 3 * sizeof(std::uint64_t),
+              "AggregateMetrics changed shape: update add() and merge() in "
+              "metrics.cpp (and this static_assert) so no field is dropped "
+              "from aggregation");
+
 void AggregateMetrics::add(const TrialMetrics& t) {
   ++trials;
   if (t.success) ++successes;
+  if (t.probability_degraded) ++degraded_trials;
   avg_utility_auction.add(t.avg_utility_auction);
   avg_utility_rit.add(t.avg_utility_rit);
   total_payment_auction.add(t.total_payment_auction);
@@ -12,6 +24,21 @@ void AggregateMetrics::add(const TrialMetrics& t) {
   runtime_auction_ms.add(t.runtime_auction_ms);
   runtime_rit_ms.add(t.runtime_rit_ms);
   solicitation_premium.add(t.solicitation_premium);
+  tasks_allocated.add(static_cast<double>(t.tasks_allocated));
+}
+
+void AggregateMetrics::merge(const AggregateMetrics& other) {
+  trials += other.trials;
+  successes += other.successes;
+  degraded_trials += other.degraded_trials;
+  avg_utility_auction.merge(other.avg_utility_auction);
+  avg_utility_rit.merge(other.avg_utility_rit);
+  total_payment_auction.merge(other.total_payment_auction);
+  total_payment_rit.merge(other.total_payment_rit);
+  runtime_auction_ms.merge(other.runtime_auction_ms);
+  runtime_rit_ms.merge(other.runtime_rit_ms);
+  solicitation_premium.merge(other.solicitation_premium);
+  tasks_allocated.merge(other.tasks_allocated);
 }
 
 }  // namespace rit::sim

@@ -35,13 +35,31 @@ struct AggregateMetrics {
   stats::OnlineStats runtime_auction_ms;
   stats::OnlineStats runtime_rit_ms;
   stats::OnlineStats solicitation_premium;
+  /// Tasks the full mechanism actually allocated per trial (0 on failure
+  /// under zero_on_failure — the stat shows how much work the fail-closed
+  /// rule throws away).
+  stats::OnlineStats tasks_allocated;
   std::uint64_t trials{0};
   std::uint64_t successes{0};
+  /// Trials whose truthfulness guarantee was degraded (RitResult::
+  /// probability_degraded): vacuous Lemma 6.2 bound, order-statistic
+  /// pricing, or a kRunToCompletion overrun of the H-budget.
+  std::uint64_t degraded_trials{0};
 
+  /// Folds one trial in (Welford update on every stat).
   void add(const TrialMetrics& t);
+  /// Folds a whole aggregate in (parallel combine). Covers every field;
+  /// a static_assert in metrics.cpp fails the build if a field is added
+  /// without extending add() and merge().
+  void merge(const AggregateMetrics& other);
   double success_rate() const {
     return trials == 0 ? 0.0
                        : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+  double degraded_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(degraded_trials) /
                              static_cast<double>(trials);
   }
 };

@@ -95,4 +95,29 @@ std::string markdown_report(const Scenario& scenario,
   return os.str();
 }
 
+std::string aggregate_markdown(const AggregateMetrics& agg) {
+  std::ostringstream os;
+  os << "## Aggregate over " << agg.trials << " trial(s)\n\n";
+  os << "- success rate: " << format_double(agg.success_rate(), 4) << " ("
+     << agg.successes << "/" << agg.trials << ")\n";
+  os << "- degraded-guarantee rate: " << format_double(agg.degraded_rate(), 4)
+     << " (" << agg.degraded_trials << "/" << agg.trials << ")\n\n";
+  os << "| metric | mean | min | max | ci95 |\n";
+  os << "|---|---|---|---|---|\n";
+  const auto row = [&os](const char* name, const stats::OnlineStats& s) {
+    os << "| " << name << " | " << format_double(s.mean(), 4) << " | "
+       << format_double(s.min(), 4) << " | " << format_double(s.max(), 4)
+       << " | " << format_double(s.ci95_half_width(), 4) << " |\n";
+  };
+  row("avg utility (auction)", agg.avg_utility_auction);
+  row("avg utility (RIT)", agg.avg_utility_rit);
+  row("total payment (auction)", agg.total_payment_auction);
+  row("total payment (RIT)", agg.total_payment_rit);
+  row("runtime auction (ms)", agg.runtime_auction_ms);
+  row("runtime RIT (ms)", agg.runtime_rit_ms);
+  row("solicitation premium", agg.solicitation_premium);
+  row("tasks allocated", agg.tasks_allocated);
+  return os.str();
+}
+
 }  // namespace rit::sim

@@ -23,4 +23,10 @@ std::string markdown_report(const Scenario& scenario,
                             const core::RitResult& result,
                             const ReportOptions& options = {});
 
+/// Renders a cross-trial aggregate as a markdown table — one row per
+/// tracked statistic (mean / min / max / 95% CI) plus the success and
+/// degraded-guarantee rates. Covers every AggregateMetrics field, including
+/// tasks_allocated and degraded_trials.
+std::string aggregate_markdown(const AggregateMetrics& agg);
+
 }  // namespace rit::sim

@@ -1,11 +1,10 @@
 #include "sim/runner.h"
 
-#include <algorithm>
-#include <thread>
-
+#include "common/parallel.h"
 #include "core/payment.h"
 #include "core/rit.h"
 #include "obs/obs.h"
+#include "sim/parallel.h"
 #include "sim/progress.h"
 #include "stats/timer.h"
 
@@ -36,6 +35,12 @@ TrialInstance make_instance(const Scenario& scenario, std::uint64_t trial) {
 }
 
 TrialMetrics run_trial(const Scenario& scenario, const TrialInstance& inst) {
+  core::RitWorkspace ws;
+  return run_trial(scenario, inst, ws);
+}
+
+TrialMetrics run_trial(const Scenario& scenario, const TrialInstance& inst,
+                       core::RitWorkspace& ws) {
   RIT_TRACE_SPAN("sim.trial");
   RIT_COUNTER_INC("sim.trials_run");
   TrialMetrics m;
@@ -50,7 +55,7 @@ TrialMetrics run_trial(const Scenario& scenario, const TrialInstance& inst) {
     rng::Rng rng(inst.mechanism_seed);
     stats::Timer timer;
     const core::RitResult auction =
-        core::run_auction_phase(inst.job, asks, scenario.mechanism, rng);
+        core::run_auction_phase(inst.job, asks, scenario.mechanism, rng, ws);
     m.runtime_auction_ms = timer.elapsed_ms();
     double total_utility = 0.0;
     for (std::uint32_t j = 0; j < inst.population.size(); ++j) {
@@ -65,7 +70,7 @@ TrialMetrics run_trial(const Scenario& scenario, const TrialInstance& inst) {
     rng::Rng rng(inst.mechanism_seed);
     stats::Timer timer;
     const core::RitResult full =
-        core::run_rit(inst.job, asks, inst.tree, scenario.mechanism, rng);
+        core::run_rit(inst.job, asks, inst.tree, scenario.mechanism, rng, ws);
     m.runtime_rit_ms = timer.elapsed_ms();
     m.success = full.success;
     m.probability_degraded = full.probability_degraded;
@@ -81,6 +86,8 @@ TrialMetrics run_trial(const Scenario& scenario, const TrialInstance& inst) {
     m.solicitation_premium =
         core::solicitation_premium(full.payment, full.auction_payment);
   }
+  RIT_COUNTER_ADD("sim.tasks_allocated", m.tasks_allocated);
+  if (m.probability_degraded) RIT_COUNTER_INC("sim.trials_degraded");
   return m;
 }
 
@@ -92,11 +99,12 @@ AggregateMetrics run_many(
     const Scenario& scenario, std::uint64_t trials,
     const std::function<void(std::uint64_t, std::uint64_t)>& progress) {
   AggregateMetrics agg;
+  core::RitWorkspace ws;
   // Throttled so a trials=1000 sweep does not spam its reporter: at most
   // one invocation per 100 ms, plus the final one.
   ProgressThrottle throttle;
   for (std::uint64_t t = 0; t < trials; ++t) {
-    agg.add(run_trial(scenario, t));
+    agg.add(run_trial(scenario, make_instance(scenario, t), ws));
     if (progress && throttle.should_fire(t + 1 == trials)) {
       progress(t + 1, trials);
     }
@@ -121,52 +129,38 @@ AggregateMetrics run_until_precision(const Scenario& scenario,
   return agg;
 }
 
-AggregateMetrics run_many_parallel(const Scenario& scenario,
-                                   std::uint64_t trials, unsigned threads) {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = static_cast<unsigned>(
-      std::min<std::uint64_t>(threads, std::max<std::uint64_t>(trials, 1)));
-  if (threads <= 1) return run_many(scenario, trials);
+AggregateMetrics run_many_parallel(
+    const Scenario& scenario, std::uint64_t trials, unsigned threads,
+    const std::function<void(std::uint64_t, std::uint64_t)>& progress) {
+  const unsigned resolved = rit::resolve_threads(threads, trials);
+  if (resolved <= 1) return run_many(scenario, trials, progress);
 
   // Strided partition: worker w takes trials w, w+threads, w+2*threads...
-  // Each worker aggregates locally; merging in worker order afterwards
-  // keeps the result independent of scheduling. The per-worker metrics
-  // registries follow the same discipline: snapshot each, merge in
-  // thread-index order, then fold the combined snapshot into the global
-  // registry once.
-  std::vector<AggregateMetrics> partial(threads);
-  std::vector<obs::Registry> worker_metrics(threads);
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned w = 0; w < threads; ++w) {
-    workers.emplace_back([&, w]() {
-      obs::Stat& trial_ms = worker_metrics[w].stat("sim.trial_ms");
-      for (std::uint64_t t = w; t < trials; t += threads) {
-        obs::StatTimer timed(trial_ms);
-        partial[w].add(run_trial(scenario, t));
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
+  // Each worker folds into its own context; merging the contexts in worker
+  // order afterwards keeps the result independent of scheduling. The
+  // per-worker metrics registries follow the same discipline: snapshot
+  // each, merge in thread-index order, then fold the combined snapshot into
+  // the global registry once.
+  struct WorkerContext {
+    AggregateMetrics agg;
+    obs::Registry metrics;
+    core::RitWorkspace ws;
+  };
+  std::vector<WorkerContext> contexts(resolved);
+  parallel_trials(
+      trials, contexts,
+      [&](WorkerContext& ctx, std::uint64_t t) {
+        obs::StatTimer timed(ctx.metrics.stat("sim.trial_ms"));
+        ctx.agg.add(run_trial(scenario, make_instance(scenario, t), ctx.ws));
+      },
+      progress);
 
   obs::MetricsSnapshot merged;
-  for (const obs::Registry& r : worker_metrics) merged.merge(r.snapshot());
+  for (const WorkerContext& ctx : contexts) merged.merge(ctx.metrics.snapshot());
   obs::Registry::global().absorb(merged);
 
   AggregateMetrics agg;
-  for (const AggregateMetrics& p : partial) {
-    agg.trials += p.trials;
-    agg.successes += p.successes;
-    agg.avg_utility_auction.merge(p.avg_utility_auction);
-    agg.avg_utility_rit.merge(p.avg_utility_rit);
-    agg.total_payment_auction.merge(p.total_payment_auction);
-    agg.total_payment_rit.merge(p.total_payment_rit);
-    agg.runtime_auction_ms.merge(p.runtime_auction_ms);
-    agg.runtime_rit_ms.merge(p.runtime_rit_ms);
-    agg.solicitation_premium.merge(p.solicitation_premium);
-  }
+  for (const WorkerContext& ctx : contexts) agg.merge(ctx.agg);
   return agg;
 }
 

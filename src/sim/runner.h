@@ -4,6 +4,7 @@
 
 #include <functional>
 
+#include "core/rit.h"
 #include "sim/metrics.h"
 #include "sim/scenario.h"
 #include "sim/workload.h"
@@ -29,6 +30,12 @@ TrialInstance make_instance(const Scenario& scenario, std::uint64_t trial);
 /// so the two series in Figs. 6-8 differ only by the payment phase).
 TrialMetrics run_trial(const Scenario& scenario, const TrialInstance& inst);
 
+/// Scratch-reusing form: identical results, but the mechanism's per-round
+/// buffers live in `ws` (keep one per thread — run_many and
+/// run_many_parallel do).
+TrialMetrics run_trial(const Scenario& scenario, const TrialInstance& inst,
+                       core::RitWorkspace& ws);
+
 /// Convenience: make_instance + run_trial.
 TrialMetrics run_trial(const Scenario& scenario, std::uint64_t trial);
 
@@ -51,9 +58,11 @@ AggregateMetrics run_until_precision(const Scenario& scenario,
 /// derives its own streams from (scenario.seed, trial) and shares nothing;
 /// per-thread aggregates are merged in thread-index order, so the result is
 /// deterministic and independent of scheduling (the merge order of Welford
-/// accumulators is fixed). threads == 0 picks hardware_concurrency().
-AggregateMetrics run_many_parallel(const Scenario& scenario,
-                                   std::uint64_t trials,
-                                   unsigned threads = 0);
+/// accumulators is fixed). threads == 0 picks hardware_concurrency();
+/// threads == 1 takes the exact serial run_many path (bit-for-bit).
+/// `progress`, when set, fires throttled and monotone from the workers.
+AggregateMetrics run_many_parallel(
+    const Scenario& scenario, std::uint64_t trials, unsigned threads = 0,
+    const std::function<void(std::uint64_t, std::uint64_t)>& progress = {});
 
 }  // namespace rit::sim

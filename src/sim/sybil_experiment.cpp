@@ -3,7 +3,9 @@
 #include "attack/sybil_apply.h"
 #include "attack/sybil_plan.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "core/rit.h"
+#include "sim/parallel.h"
 
 namespace rit::sim {
 
@@ -44,37 +46,54 @@ std::vector<SybilSeriesPoint> run_sybil_experiment(
     SybilSeriesPoint point;
     point.identities = delta;
     point.utility.resize(config.ask_values.size());
-    for (std::uint64_t trial = 0; trial < config.trials; ++trial) {
-      TrialInstance inst = make_instance(scenario, trial);
-      const std::uint32_t victim =
-          pick_and_upgrade_victim(scenario, inst, config);
 
-      // One random topology per (trial, delta), shared across ask values so
-      // the series are directly comparable. The ask value is patched into
-      // the plan afterwards.
-      rng::Rng plan_rng(inst.mechanism_seed ^ (delta * 2654435761ULL));
-      attack::SybilPlan plan = attack::random_plan(
-          inst.tree, inst.population.truthful_asks, victim, delta,
-          config.ask_values.front(), plan_rng);
+    struct Worker {
+      std::vector<stats::OnlineStats> utility;
+      stats::OnlineStats honest;
+      core::RitWorkspace ws;
+    };
+    std::vector<Worker> workers(
+        rit::resolve_threads(config.threads, config.trials));
+    for (Worker& wk : workers) wk.utility.resize(config.ask_values.size());
+    parallel_trials(
+        config.trials, workers, [&](Worker& wk, std::uint64_t trial) {
+          TrialInstance inst = make_instance(scenario, trial);
+          const std::uint32_t victim =
+              pick_and_upgrade_victim(scenario, inst, config);
 
+          // One random topology per (trial, delta), shared across ask
+          // values so the series are directly comparable. The ask value is
+          // patched into the plan afterwards.
+          rng::Rng plan_rng(inst.mechanism_seed ^ (delta * 2654435761ULL));
+          attack::SybilPlan plan = attack::random_plan(
+              inst.tree, inst.population.truthful_asks, victim, delta,
+              config.ask_values.front(), plan_rng);
+
+          for (std::size_t a = 0; a < config.ask_values.size(); ++a) {
+            for (auto& identity : plan.identities) {
+              identity.value = config.ask_values[a];
+            }
+            const attack::AttackedInstance attacked = attack::apply_sybil(
+                inst.tree, inst.population.truthful_asks, plan);
+            rng::Rng rng(inst.mechanism_seed);
+            const core::RitResult r =
+                core::run_rit(inst.job, attacked.asks, attacked.tree,
+                              scenario.mechanism, rng, wk.ws);
+            wk.utility[a].add(
+                attacked.attacker_utility(r, config.victim_cost));
+          }
+
+          rng::Rng rng(inst.mechanism_seed);
+          const core::RitResult honest_run =
+              core::run_rit(inst.job, inst.population.truthful_asks,
+                            inst.tree, scenario.mechanism, rng, wk.ws);
+          wk.honest.add(honest_run.utility_of(victim, config.victim_cost));
+        });
+    for (const Worker& wk : workers) {
       for (std::size_t a = 0; a < config.ask_values.size(); ++a) {
-        for (auto& identity : plan.identities) {
-          identity.value = config.ask_values[a];
-        }
-        const attack::AttackedInstance attacked = attack::apply_sybil(
-            inst.tree, inst.population.truthful_asks, plan);
-        rng::Rng rng(inst.mechanism_seed);
-        const core::RitResult r = core::run_rit(
-            inst.job, attacked.asks, attacked.tree, scenario.mechanism, rng);
-        point.utility[a].add(
-            attacked.attacker_utility(r, config.victim_cost));
+        point.utility[a].merge(wk.utility[a]);
       }
-
-      rng::Rng rng(inst.mechanism_seed);
-      const core::RitResult honest_run =
-          core::run_rit(inst.job, inst.population.truthful_asks, inst.tree,
-                        scenario.mechanism, rng);
-      point.honest.add(honest_run.utility_of(victim, config.victim_cost));
+      point.honest.merge(wk.honest);
     }
     out.push_back(std::move(point));
   }

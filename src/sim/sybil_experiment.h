@@ -25,6 +25,11 @@ struct SybilExperimentConfig {
   /// 6.25).
   std::vector<double> ask_values{5.5, 6.5, 6.25};
   std::uint64_t trials = 30;
+  /// Worker threads for the per-delta trial fan-out (0 = hardware
+  /// concurrency). Defaults to 1 — the exact serial path — so library
+  /// callers are unchanged unless they opt in; trials are independently
+  /// seeded and merged in worker order, so any value is deterministic.
+  unsigned threads = 1;
 };
 
 struct SybilSeriesPoint {

@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
 #include "common/check.h"
 #include "common/format_util.h"
 #include "common/ids.h"
 #include "common/log.h"
+#include "common/parallel.h"
 
 namespace rit {
 namespace {
@@ -134,6 +140,61 @@ TEST(Log, TextFormatKeepsHistoricalShapeAndAppendsFields) {
   const std::string line = testing::internal::GetCapturedStderr();
   log::set_level(prev_level);
   EXPECT_EQ(line, "[INFO ] hello k=v\n");
+}
+
+TEST(Parallel, ResolveThreadsClampsToItemsAndFloorsAtOne) {
+  EXPECT_EQ(resolve_threads(4, 100), 4u);
+  EXPECT_EQ(resolve_threads(8, 3), 3u);   // never more workers than items
+  EXPECT_EQ(resolve_threads(5, 0), 1u);   // zero items still resolves to 1
+  EXPECT_EQ(resolve_threads(1, 1000), 1u);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    EXPECT_EQ(resolve_threads(0, 1u << 20), hw);  // 0 = hardware concurrency
+  } else {
+    EXPECT_GE(resolve_threads(0, 1u << 20), 1u);
+  }
+}
+
+TEST(Parallel, StridedCoversEveryIndexExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+    SCOPED_TRACE(threads);
+    std::vector<std::atomic<std::uint32_t>> hits(97);
+    parallel_for_strided(hits.size(), threads,
+                         [&](std::uint64_t i, unsigned /*worker*/) {
+                           hits[i].fetch_add(1, std::memory_order_relaxed);
+                         });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1u);
+  }
+}
+
+TEST(Parallel, WorkerAssignmentIsTheStaticStride) {
+  // Worker identity is a pure function of (index, threads): worker == i % T.
+  // Deterministic merges downstream rely on exactly this partition.
+  const unsigned threads = 3;
+  std::vector<std::atomic<std::uint32_t>> owner(10);
+  parallel_for_strided(owner.size(), threads,
+                       [&](std::uint64_t i, unsigned worker) {
+                         owner[i].store(worker, std::memory_order_relaxed);
+                       });
+  for (std::size_t i = 0; i < owner.size(); ++i) {
+    EXPECT_EQ(owner[i].load(), i % threads);
+  }
+}
+
+TEST(Parallel, SingleThreadRunsInlineOnTheCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_inline = true;
+  parallel_for_strided(5, 1, [&](std::uint64_t, unsigned worker) {
+    EXPECT_EQ(worker, 0u);
+    all_inline = all_inline && (std::this_thread::get_id() == caller);
+  });
+  EXPECT_TRUE(all_inline);
+}
+
+TEST(Parallel, ZeroItemsNeverInvokesBody) {
+  parallel_for_strided(0, 4, [](std::uint64_t, unsigned) {
+    FAIL() << "body must not run for zero items";
+  });
 }
 
 TEST(FormatUtil, JsonEscape) {

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "core/cra.h"
@@ -208,6 +209,30 @@ TEST(Cra, DeterministicGivenRngState) {
   const CraOutcome ob = run_cra(asks, {.q = 10, .m_i = 20}, b);
   EXPECT_EQ(oa.won, ob.won);
   EXPECT_EQ(oa.clearing_price, ob.clearing_price);
+}
+
+TEST(Cra, WorkspaceOverloadMatchesAllocatingOverload) {
+  // Same rng state in, bit-identical outcome out — including when the
+  // workspace is reused across rounds of different sizes, so stale capacity
+  // can never leak into the result.
+  std::vector<double> asks;
+  for (int i = 0; i < 150; ++i) asks.push_back(0.5 + 0.02 * i);
+  CraWorkspace ws;
+  CraOutcome reused;
+  for (const std::uint32_t n : {150u, 40u, 150u, 7u}) {
+    const auto view = std::span<const double>(asks).first(n);
+    const CraParams params{.q = n / 3 + 1, .m_i = n / 2 + 1};
+    rng::Rng a(21);
+    rng::Rng b(21);
+    const CraOutcome fresh = run_cra(view, params, a);
+    run_cra(view, params, b, ws, reused);
+    EXPECT_EQ(reused.won, fresh.won);
+    EXPECT_EQ(reused.num_winners, fresh.num_winners);
+    EXPECT_EQ(reused.clearing_price, fresh.clearing_price);
+    EXPECT_EQ(reused.raw_count, fresh.raw_count);
+    EXPECT_EQ(reused.consensus_count, fresh.consensus_count);
+    EXPECT_EQ(reused.sample_min, fresh.sample_min);
+  }
 }
 
 TEST(Cra, WinnersAreAmongTheCheapestRawCount) {

@@ -86,5 +86,37 @@ TEST(Report, SizeMismatchRejected) {
   EXPECT_THROW(markdown_report(f.scenario, f.instance, wrong), CheckFailure);
 }
 
+TEST(Report, AggregateMarkdownCoversEveryStatistic) {
+  AggregateMetrics agg;
+  TrialMetrics ok;
+  ok.success = true;
+  ok.avg_utility_rit = 1.5;
+  ok.total_payment_rit = 120.0;
+  ok.tasks_allocated = 60;
+  TrialMetrics degraded;
+  degraded.success = false;
+  degraded.probability_degraded = true;
+  agg.add(ok);
+  agg.add(degraded);
+
+  const std::string md = aggregate_markdown(agg);
+  EXPECT_NE(md.find("## Aggregate over 2 trial(s)"), std::string::npos) << md;
+  EXPECT_NE(md.find("success rate"), std::string::npos) << md;
+  EXPECT_NE(md.find("degraded-guarantee rate"), std::string::npos) << md;
+  // One table row per tracked statistic, the two recovered fields included.
+  for (const char* row :
+       {"avg utility (auction)", "avg utility (RIT)", "total payment (auction)",
+        "total payment (RIT)", "runtime auction (ms)", "runtime RIT (ms)",
+        "solicitation premium", "tasks allocated"}) {
+    EXPECT_NE(md.find(row), std::string::npos) << "missing row: " << row;
+  }
+}
+
+TEST(Report, AggregateMarkdownHandlesZeroTrials) {
+  const AggregateMetrics empty;
+  const std::string md = aggregate_markdown(empty);
+  EXPECT_NE(md.find("## Aggregate over 0 trial(s)"), std::string::npos) << md;
+}
+
 }  // namespace
 }  // namespace rit::sim

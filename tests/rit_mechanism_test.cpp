@@ -264,6 +264,41 @@ TEST(Rit, SameSeedSameResult) {
   EXPECT_EQ(ra.success, rb.success);
 }
 
+TEST(Rit, WorkspaceOverloadMatchesAllocatingOverload) {
+  // The per-thread scratch reuse every sweep now relies on: same seed in,
+  // bit-identical result out, with one workspace reused across instances.
+  RitWorkspace ws;
+  for (const std::uint64_t seed : {13u, 14u, 15u}) {
+    ComfortableInstance inst(seed);
+    rng::Rng a(seed * 31);
+    rng::Rng b(seed * 31);
+    const RitResult fresh =
+        run_rit(inst.job, inst.asks, inst.tree, RitConfig{}, a);
+    const RitResult reused =
+        run_rit(inst.job, inst.asks, inst.tree, RitConfig{}, b, ws);
+    EXPECT_EQ(reused.success, fresh.success);
+    EXPECT_EQ(reused.allocation, fresh.allocation);
+    EXPECT_EQ(reused.auction_payment, fresh.auction_payment);
+    EXPECT_EQ(reused.payment, fresh.payment);
+    EXPECT_EQ(reused.probability_degraded, fresh.probability_degraded);
+    EXPECT_DOUBLE_EQ(reused.achieved_probability, fresh.achieved_probability);
+  }
+}
+
+TEST(Rit, AuctionPhaseWorkspaceOverloadMatches) {
+  ComfortableInstance inst(16);
+  RitWorkspace ws;
+  rng::Rng a(99);
+  rng::Rng b(99);
+  const RitResult fresh =
+      run_auction_phase(inst.job, inst.asks, RitConfig{}, a);
+  const RitResult reused =
+      run_auction_phase(inst.job, inst.asks, RitConfig{}, b, ws);
+  EXPECT_EQ(reused.success, fresh.success);
+  EXPECT_EQ(reused.allocation, fresh.allocation);
+  EXPECT_EQ(reused.payment, fresh.payment);
+}
+
 TEST(Rit, AuctionPhaseOfRunRitMatchesStandalone) {
   // run_rit must consume the random stream exactly like run_auction_phase,
   // so paired-seed experiments can split the two series.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -196,6 +197,31 @@ TEST(Rng, SampleWithoutReplacementFullSet) {
 TEST(Rng, SampleWithoutReplacementRejectsOverdraw) {
   Rng rng(59);
   EXPECT_THROW(rng.sample_without_replacement(3, 4), CheckFailure);
+}
+
+TEST(Rng, SampleWithoutReplacementIntoMatchesAllocatingForm) {
+  // The buffer-reusing form consumes the same draws and produces the same
+  // selection, including when the buffers are reused across differently
+  // sized requests (capacity must never leak into the result).
+  Rng a(67);
+  Rng b(67);
+  std::vector<std::size_t> pool;
+  std::vector<std::size_t> out;
+  const std::pair<std::size_t, std::size_t> requests[] = {
+      {100, 30}, {10, 10}, {100, 1}, {5, 0}};
+  for (const auto& [n, k] : requests) {
+    const auto fresh = a.sample_without_replacement(n, k);
+    b.sample_without_replacement_into(n, k, pool, out);
+    EXPECT_EQ(out, fresh) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementIntoRejectsOverdraw) {
+  Rng rng(71);
+  std::vector<std::size_t> pool;
+  std::vector<std::size_t> out;
+  EXPECT_THROW(rng.sample_without_replacement_into(3, 4, pool, out),
+               CheckFailure);
 }
 
 TEST(Rng, SampleWithoutReplacementIsUniform) {

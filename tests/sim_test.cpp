@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/check.h"
 #include "sim/metrics.h"
@@ -202,6 +204,88 @@ TEST(Runner, RunManyAggregates) {
   EXPECT_LE(agg.success_rate(), 1.0);
 }
 
+// The parallel runner sees the exact same per-trial samples as the serial
+// one; only the Welford merge order differs. So counts, minima, maxima and
+// the integer tallies must be bit-identical, and means agree to rounding.
+void expect_stat_equivalent(const stats::OnlineStats& parallel,
+                            const stats::OnlineStats& serial,
+                            const char* label) {
+  EXPECT_EQ(parallel.count(), serial.count()) << label;
+  if (serial.count() == 0) return;
+  EXPECT_DOUBLE_EQ(parallel.min(), serial.min()) << label;
+  EXPECT_DOUBLE_EQ(parallel.max(), serial.max()) << label;
+  EXPECT_NEAR(parallel.mean(), serial.mean(),
+              1e-9 * (1.0 + std::abs(serial.mean())))
+      << label;
+}
+
+void expect_aggregate_equivalent(const AggregateMetrics& parallel,
+                                 const AggregateMetrics& serial) {
+  EXPECT_EQ(parallel.trials, serial.trials);
+  EXPECT_EQ(parallel.successes, serial.successes);
+  EXPECT_EQ(parallel.degraded_trials, serial.degraded_trials);
+  expect_stat_equivalent(parallel.avg_utility_auction,
+                         serial.avg_utility_auction, "avg_utility_auction");
+  expect_stat_equivalent(parallel.avg_utility_rit, serial.avg_utility_rit,
+                         "avg_utility_rit");
+  expect_stat_equivalent(parallel.total_payment_auction,
+                         serial.total_payment_auction,
+                         "total_payment_auction");
+  expect_stat_equivalent(parallel.total_payment_rit, serial.total_payment_rit,
+                         "total_payment_rit");
+  expect_stat_equivalent(parallel.solicitation_premium,
+                         serial.solicitation_premium, "solicitation_premium");
+  expect_stat_equivalent(parallel.tasks_allocated, serial.tasks_allocated,
+                         "tasks_allocated");
+  // Runtimes are wall-clock measurements, not derived from the seeds —
+  // sample counts must still line up even though the values differ.
+  EXPECT_EQ(parallel.runtime_auction_ms.count(),
+            serial.runtime_auction_ms.count());
+  EXPECT_EQ(parallel.runtime_rit_ms.count(), serial.runtime_rit_ms.count());
+}
+
+TEST(Runner, ParallelMatchesSerialOnEveryFieldForManyThreadCounts) {
+  const Scenario s = small_scenario();
+  const AggregateMetrics serial = run_many(s, 9);
+  for (const unsigned threads : {2u, 3u, 8u}) {
+    SCOPED_TRACE(threads);
+    expect_aggregate_equivalent(run_many_parallel(s, 9, threads), serial);
+  }
+}
+
+TEST(Runner, ParallelProgressIsMonotoneAndReachesTotal) {
+  const Scenario s = small_scenario();
+  std::vector<std::uint64_t> reported;
+  run_many_parallel(s, 7, 3,
+                    [&](std::uint64_t done, std::uint64_t total) {
+                      EXPECT_EQ(total, 7u);
+                      reported.push_back(done);
+                    });
+  ASSERT_FALSE(reported.empty());
+  for (std::size_t i = 1; i < reported.size(); ++i) {
+    EXPECT_LT(reported[i - 1], reported[i]);
+  }
+  EXPECT_EQ(reported.back(), 7u);
+}
+
+TEST(Runner, WorkspaceTrialMatchesConvenienceOverload) {
+  const Scenario s = small_scenario();
+  core::RitWorkspace ws;
+  for (std::uint64_t t = 0; t < 3; ++t) {  // reuse ws across trials
+    const TrialInstance inst = make_instance(s, t);
+    const TrialMetrics fresh = run_trial(s, inst);
+    const TrialMetrics reused = run_trial(s, inst, ws);
+    EXPECT_EQ(reused.success, fresh.success);
+    EXPECT_EQ(reused.tasks_allocated, fresh.tasks_allocated);
+    EXPECT_EQ(reused.probability_degraded, fresh.probability_degraded);
+    EXPECT_DOUBLE_EQ(reused.avg_utility_rit, fresh.avg_utility_rit);
+    EXPECT_DOUBLE_EQ(reused.total_payment_rit, fresh.total_payment_rit);
+    EXPECT_DOUBLE_EQ(reused.total_payment_auction,
+                     fresh.total_payment_auction);
+    EXPECT_DOUBLE_EQ(reused.solicitation_premium, fresh.solicitation_premium);
+  }
+}
+
 TEST(Runner, ParallelMatchesSerial) {
   const Scenario s = small_scenario();
   const AggregateMetrics serial = run_many(s, 6);
@@ -282,6 +366,82 @@ TEST(Metrics, AggregateCountsSuccesses) {
   EXPECT_EQ(agg.trials, 3u);
   EXPECT_EQ(agg.successes, 2u);
   EXPECT_NEAR(agg.success_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, AddFoldsTasksAllocatedAndDegradedTrials) {
+  // The two fields add() used to drop silently.
+  AggregateMetrics agg;
+  TrialMetrics a;
+  a.tasks_allocated = 40;
+  a.probability_degraded = true;
+  TrialMetrics b;
+  b.tasks_allocated = 60;
+  b.probability_degraded = false;
+  agg.add(a);
+  agg.add(b);
+  EXPECT_EQ(agg.tasks_allocated.count(), 2u);
+  EXPECT_DOUBLE_EQ(agg.tasks_allocated.mean(), 50.0);
+  EXPECT_DOUBLE_EQ(agg.tasks_allocated.min(), 40.0);
+  EXPECT_DOUBLE_EQ(agg.tasks_allocated.max(), 60.0);
+  EXPECT_EQ(agg.degraded_trials, 1u);
+  EXPECT_NEAR(agg.degraded_rate(), 0.5, 1e-12);
+}
+
+TEST(Metrics, MergeCoversEveryField) {
+  // Split a trial set between two aggregates, merge, and require the result
+  // to match folding them all into one — field by field. Together with the
+  // sizeof static_assert in metrics.cpp this keeps merge() from silently
+  // ignoring a newly added member.
+  std::vector<TrialMetrics> trials(6);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    TrialMetrics& t = trials[i];
+    const auto x = static_cast<double>(i + 1);
+    t.success = (i % 2) == 0;
+    t.avg_utility_auction = 0.5 * x;
+    t.avg_utility_rit = 0.75 * x;
+    t.total_payment_auction = 10.0 * x;
+    t.total_payment_rit = 12.0 * x;
+    t.runtime_auction_ms = 0.1 * x;
+    t.runtime_rit_ms = 0.2 * x;
+    t.solicitation_premium = 2.0 * x;
+    t.tasks_allocated = 10 * (i + 1);
+    t.probability_degraded = (i % 3) == 0;
+  }
+  AggregateMetrics whole;
+  AggregateMetrics left;
+  AggregateMetrics right;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    whole.add(trials[i]);
+    (i < 4 ? left : right).add(trials[i]);
+  }
+  left.merge(right);
+  expect_aggregate_equivalent(left, whole);
+  expect_stat_equivalent(left.runtime_rit_ms, whole.runtime_rit_ms,
+                         "runtime_rit_ms");
+  expect_stat_equivalent(left.runtime_auction_ms, whole.runtime_auction_ms,
+                         "runtime_auction_ms");
+  // ci95 needs the merged M2, not just mean/min/max.
+  EXPECT_NEAR(left.avg_utility_rit.ci95_half_width(),
+              whole.avg_utility_rit.ci95_half_width(), 1e-9);
+}
+
+TEST(Metrics, MergeWithEmptySidesIsIdentity) {
+  TrialMetrics t;
+  t.tasks_allocated = 3;
+  t.probability_degraded = true;
+  AggregateMetrics filled;
+  filled.add(t);
+
+  AggregateMetrics left;
+  left.merge(filled);  // empty.merge(filled)
+  EXPECT_EQ(left.trials, 1u);
+  EXPECT_EQ(left.degraded_trials, 1u);
+  EXPECT_EQ(left.tasks_allocated.count(), 1u);
+
+  AggregateMetrics empty;
+  filled.merge(empty);  // filled.merge(empty)
+  EXPECT_EQ(filled.trials, 1u);
+  EXPECT_EQ(filled.tasks_allocated.count(), 1u);
 }
 
 }  // namespace
