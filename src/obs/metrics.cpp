@@ -19,6 +19,16 @@ std::string json_number(double v) {
 
 }  // namespace
 
+// Field-coverage guard for merge(): MetricsSnapshot must stay exactly four
+// maps (counters, gauges, stats, histograms). A fifth family added without
+// extending merge() would be silently dropped from worker-snapshot folds —
+// this fires and points here instead.
+static_assert(sizeof(MetricsSnapshot) ==
+                  4 * sizeof(std::map<std::string, double>),
+              "MetricsSnapshot changed shape: update merge() and to_json() "
+              "in metrics.cpp (and this static_assert) so no field is "
+              "dropped from worker-snapshot folds");
+
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, v] : other.counters) counters[name] += v;
   for (const auto& [name, v] : other.gauges) gauges[name] = v;

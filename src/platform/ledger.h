@@ -10,8 +10,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/rit.h"
@@ -64,7 +64,10 @@ class Ledger {
             const char* memo);
 
   std::vector<Transaction> transactions_;
-  std::unordered_map<AccountId, double> balances_;
+  // Ordered so the conservation sum in balanced() and any future statement
+  // emission iterate in account order — hash order would make the float
+  // accumulation (and thus reports) nondeterministic across runs.
+  std::map<AccountId, double> balances_;
   double outflow_{0.0};
   std::uint64_t next_id_{1};
 };

@@ -31,6 +31,17 @@ void Histogram::add(double x) {
   ++buckets_[idx];
 }
 
+// Field-coverage guard for merge(): Histogram must stay exactly three edge
+// doubles, the bucket vector, and three counters. A new field added without
+// extending merge() would be silently dropped when per-thread histograms
+// combine — this fires and points here instead.
+static_assert(sizeof(Histogram) == 3 * sizeof(double) +
+                                       sizeof(std::vector<std::size_t>) +
+                                       3 * sizeof(std::size_t),
+              "Histogram changed shape: update merge() in histogram.cpp "
+              "(and this static_assert) so no field is dropped when "
+              "per-thread histograms combine");
+
 void Histogram::merge(const Histogram& other) {
   RIT_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ &&
                     buckets_.size() == other.buckets_.size(),

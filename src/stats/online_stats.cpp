@@ -5,6 +5,16 @@
 
 namespace rit::stats {
 
+// Field-coverage guard for merge(): OnlineStats must stay exactly one count
+// plus four doubles (mean, m2, min, max). Adding a field without extending
+// merge() would silently drop it from every parallel combine — this fires
+// and points here instead.
+static_assert(sizeof(OnlineStats) ==
+                  sizeof(std::size_t) + 4 * sizeof(double),
+              "OnlineStats changed shape: update add() and merge() in "
+              "online_stats.cpp (and this static_assert) so no field is "
+              "dropped from parallel combines");
+
 void OnlineStats::add(double x) {
   ++n_;
   const double delta = x - mean_;

@@ -1,0 +1,10 @@
+// Fixture: allowlisted merge (e.g. a view type with no owned fields).
+struct RoundMetrics {
+  double utility{0.0};
+  unsigned long trials{0};
+  // rit-lint: allow(merge-coverage-guard)
+  void merge(const RoundMetrics& other) {
+    utility += other.utility;
+    trials += other.trials;
+  }
+};

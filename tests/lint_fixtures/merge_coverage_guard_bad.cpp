@@ -1,0 +1,9 @@
+// Fixture: a self-merge with no sizeof coverage guard anywhere.
+struct RoundMetrics {
+  double utility{0.0};
+  unsigned long trials{0};
+  void merge(const RoundMetrics& other) {
+    utility += other.utility;
+    trials += other.trials;
+  }
+};

@@ -1,0 +1,2 @@
+# Fixture: allowlisted flag (e.g. an opt-in benchmark-only config).
+add_compile_options(-ffast-math)  # rit-lint: allow(no-fast-math)

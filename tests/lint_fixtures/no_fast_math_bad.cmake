@@ -1,0 +1,2 @@
+# Fixture: fast-math flags break float reproducibility.
+add_compile_options(-ffast-math)

@@ -1,0 +1,3 @@
+// Fixture: file-scope allow (e.g. an x87-specific probe).
+// rit-lint: allow-file(no-long-double)
+long double accumulate_payment(long double a, long double b) { return a + b; }

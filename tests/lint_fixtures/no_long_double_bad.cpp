@@ -1,0 +1,2 @@
+// Fixture: long double metrics are not portable across ABIs.
+long double accumulate_payment(long double a, long double b) { return a + b; }

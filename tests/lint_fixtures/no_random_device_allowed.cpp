@@ -1,0 +1,8 @@
+// Fixture: file-scope allow covers every occurrence in the file.
+// rit-lint: allow-file(no-random-device)
+#include <random>
+
+unsigned seed_from_entropy() {
+  std::random_device rd;
+  return rd();
+}

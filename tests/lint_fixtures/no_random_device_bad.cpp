@@ -1,0 +1,7 @@
+// Fixture: entropy sources outside src/rng/ must be flagged.
+#include <random>
+
+unsigned seed_from_entropy() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,8 @@
+// Fixture: allow on the preceding line shields the declaration.
+#include <random>
+
+int draw(std::mt19937_64& eng) {  // rit-lint: allow(no-std-engine)
+  // rit-lint: allow(no-std-distribution)
+  std::uniform_int_distribution<int> dist(0, 9);
+  return dist(eng);
+}

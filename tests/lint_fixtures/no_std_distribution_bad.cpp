@@ -1,0 +1,7 @@
+// Fixture: <random> distributions are unspecified across stdlibs.
+#include <random>
+
+int draw(std::mt19937_64& eng) {  // rit-lint: allow(no-std-engine)
+  std::uniform_int_distribution<int> dist(0, 9);
+  return dist(eng);
+}

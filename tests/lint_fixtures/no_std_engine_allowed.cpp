@@ -1,0 +1,5 @@
+// Fixture: file-scope allow (e.g. a cross-validation harness).
+// rit-lint: allow-file(no-std-engine)
+#include <random>
+
+std::mt19937_64 make_engine() { return std::mt19937_64{42}; }

@@ -1,0 +1,4 @@
+// Fixture: std engines duplicate the repo-wide rng::Rng stream.
+#include <random>
+
+std::mt19937_64 make_engine() { return std::mt19937_64{42}; }

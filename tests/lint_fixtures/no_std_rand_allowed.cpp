@@ -1,0 +1,4 @@
+// Fixture: the allowlist directive suppresses the finding on its line.
+#include <cstdlib>
+
+int roll_die() { return std::rand() % 6; }  // rit-lint: allow(no-std-rand)

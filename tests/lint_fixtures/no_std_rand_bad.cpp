@@ -1,0 +1,4 @@
+// Fixture: libc PRNG in simulation code must be flagged.
+#include <cstdlib>
+
+int roll_die() { return std::rand() % 6; }

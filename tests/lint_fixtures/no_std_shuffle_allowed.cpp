@@ -1,0 +1,8 @@
+// Fixture: allowlisted shuffle (e.g. a non-result-affecting demo).
+#include <algorithm>
+#include <random>
+#include <vector>
+
+void scramble(std::vector<int>& v, std::mt19937_64& eng) {  // rit-lint: allow(no-std-engine)
+  std::shuffle(v.begin(), v.end(), eng);  // rit-lint: allow(no-std-shuffle)
+}

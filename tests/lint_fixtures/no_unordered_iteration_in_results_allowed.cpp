@@ -1,0 +1,14 @@
+// Fixture: allowlisted iteration (order-insensitive fold, e.g. max).
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+
+void write_balances(const std::unordered_map<std::uint64_t, double>& balances,
+                    std::ostream& out) {
+  double top = 0.0;
+  // rit-lint: allow(no-unordered-iteration-in-results)
+  for (const auto& [account, balance] : balances) {
+    top = balance > top ? balance : top;
+  }
+  out << top;
+}

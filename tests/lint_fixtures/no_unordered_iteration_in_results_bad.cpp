@@ -1,0 +1,11 @@
+// Fixture: hash-order iteration feeding a report stream.
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+
+void write_balances(const std::unordered_map<std::uint64_t, double>& balances,
+                    std::ostream& out) {
+  double total = 0.0;
+  for (const auto& [account, balance] : balances) total += balance;
+  out << total;
+}

@@ -1,0 +1,8 @@
+// Fixture: an allowlisted timestamp (e.g. a log header, not a result).
+#include <chrono>
+#include <ostream>
+
+void write_report(std::ostream& out) {
+  // rit-lint: allow(no-wallclock-in-results)
+  out << std::chrono::system_clock::now().time_since_epoch().count();
+}

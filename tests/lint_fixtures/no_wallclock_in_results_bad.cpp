@@ -1,0 +1,7 @@
+// Fixture: wall-clock stamp flowing into a report stream.
+#include <chrono>
+#include <ostream>
+
+void write_report(std::ostream& out) {
+  out << std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,305 @@
+// Self-tests for the rit_lint engine (ctest -L lint).
+//
+// Every rule is exercised twice from fixtures under tests/lint_fixtures/:
+// a *_bad file that must produce findings for exactly that rule, and a
+// *_allowed file — the same violation plus a `// rit-lint: allow(...)`
+// directive — that must scan clean. On top of the fixtures, the engine's
+// lexical machinery (comment/string stripping, word boundaries, cross-file
+// pairing) is pinned down directly so a refactor cannot quietly widen or
+// narrow a rule.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linter.h"
+
+namespace {
+
+using rit::lint::Finding;
+using rit::lint::SourceFile;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path =
+      std::string(RITCS_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Scans a fixture under a repo-plausible path (some rules are scoped to
+// src/-relative locations or result-path files).
+std::vector<Finding> scan_fixture(const std::string& name,
+                                  const std::string& as_path) {
+  return rit::lint::scan_file(SourceFile{as_path, read_fixture(name)});
+}
+
+struct FixtureCase {
+  const char* rule;
+  const char* bad;
+  const char* allowed;
+  const char* as_path;  // path the fixture pretends to live at
+};
+
+const FixtureCase kFixtures[] = {
+    {"no-std-rand", "no_std_rand_bad.cpp", "no_std_rand_allowed.cpp",
+     "src/sim/scratch.cpp"},
+    {"no-random-device", "no_random_device_bad.cpp",
+     "no_random_device_allowed.cpp", "src/sim/scratch.cpp"},
+    {"no-std-distribution", "no_std_distribution_bad.cpp",
+     "no_std_distribution_allowed.cpp", "src/sim/scratch.cpp"},
+    {"no-std-engine", "no_std_engine_bad.cpp", "no_std_engine_allowed.cpp",
+     "src/sim/scratch.cpp"},
+    {"no-std-shuffle", "no_std_shuffle_bad.cpp",
+     "no_std_shuffle_allowed.cpp", "src/sim/scratch.cpp"},
+    {"no-wallclock-in-results", "no_wallclock_in_results_bad.cpp",
+     "no_wallclock_in_results_allowed.cpp", "src/sim/scratch.cpp"},
+    {"no-fast-math", "no_fast_math_bad.cmake", "no_fast_math_allowed.cmake",
+     "src/CMakeLists.txt"},
+    {"no-long-double", "no_long_double_bad.cpp",
+     "no_long_double_allowed.cpp", "src/sim/scratch.cpp"},
+    {"no-unordered-iteration-in-results",
+     "no_unordered_iteration_in_results_bad.cpp",
+     "no_unordered_iteration_in_results_allowed.cpp",
+     "src/sim/scratch.cpp"},
+    {"merge-coverage-guard", "merge_coverage_guard_bad.cpp",
+     "merge_coverage_guard_allowed.cpp", "src/sim/scratch.cpp"},
+};
+
+TEST(LintFixtures, EveryRuleHasABadFixtureThatFires) {
+  for (const FixtureCase& fc : kFixtures) {
+    SCOPED_TRACE(fc.bad);
+    const std::vector<Finding> findings = scan_fixture(fc.bad, fc.as_path);
+    ASSERT_FALSE(findings.empty())
+        << "bad fixture produced no findings for rule " << fc.rule;
+    for (const Finding& f : findings) {
+      EXPECT_EQ(f.rule, fc.rule);
+      EXPECT_GT(f.line, 0u);
+    }
+  }
+}
+
+TEST(LintFixtures, EveryRuleHasAnAllowlistedFixtureThatIsClean) {
+  for (const FixtureCase& fc : kFixtures) {
+    SCOPED_TRACE(fc.allowed);
+    const std::vector<Finding> findings =
+        scan_fixture(fc.allowed, fc.as_path);
+    EXPECT_TRUE(findings.empty())
+        << "allowlisted fixture still fires: " << findings[0].rule << " at "
+        << findings[0].file << ":" << findings[0].line;
+  }
+}
+
+TEST(LintFixtures, RuleListCoversEveryFixture) {
+  std::set<std::string> ids;
+  for (const rit::lint::RuleInfo& info : rit::lint::rule_infos()) {
+    ids.insert(info.id);
+  }
+  EXPECT_EQ(ids.size(), std::size(kFixtures));
+  for (const FixtureCase& fc : kFixtures) {
+    EXPECT_EQ(ids.count(fc.rule), 1u) << fc.rule;
+  }
+}
+
+// --- Lexical machinery -----------------------------------------------------
+
+TEST(LintStrip, RemovesCommentsAndStringsButKeepsLineStructure) {
+  const std::string src =
+      "int a; // std::rand() in a comment\n"
+      "const char* s = \"std::rand()\";\n"
+      "/* block std::rand()\n"
+      "   more */ int b;\n";
+  const std::string stripped = rit::lint::strip_comments_and_strings(src);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(LintStrip, RawStringsAndCharLiterals) {
+  const std::string src =
+      "auto re = R\"(std::rand\\b)\";\n"
+      "char c = 'r';\n"
+      "int keep = 1;\n";
+  const std::string stripped = rit::lint::strip_comments_and_strings(src);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_NE(stripped.find("int keep = 1;"), std::string::npos);
+}
+
+TEST(LintScan, TokensInCommentsAndStringsDoNotFire) {
+  const SourceFile f{"src/sim/scratch.cpp",
+                     "// mentions std::rand and mt19937 in prose\n"
+                     "const char* kDoc = \"never call srand()\";\n"};
+  EXPECT_TRUE(rit::lint::scan_file(f).empty());
+}
+
+TEST(LintScan, WordBoundariesHold) {
+  // "grand(", "operand(", "steady_clock" must not trip rand/wallclock
+  // rules; std::ostream marks the file as a result path on purpose.
+  const SourceFile f{"src/sim/scratch.cpp",
+                     "#include <ostream>\n"
+                     "void grand(std::ostream& out);\n"
+                     "int operand(int x);\n"
+                     "void t() { auto n = std::chrono::steady_clock::now(); "
+                     "(void)n; }\n"};
+  EXPECT_TRUE(rit::lint::scan_file(f).empty());
+}
+
+TEST(LintScan, RandomDeviceAllowedInsideRngDir) {
+  const std::string body =
+      "#include <random>\nstd::random_device entropy_probe;\n";
+  EXPECT_TRUE(
+      rit::lint::scan_file(SourceFile{"src/rng/entropy.cpp", body}).empty());
+  EXPECT_FALSE(
+      rit::lint::scan_file(SourceFile{"src/sim/entropy.cpp", body}).empty());
+}
+
+// --- Structural rules ------------------------------------------------------
+
+TEST(LintUnordered, LookupOnlyUseIsClean) {
+  // edge_list_io-style: unordered_map as a remap table, never iterated.
+  const SourceFile f{
+      "src/graph/scratch_io.cpp",
+      "#include <ostream>\n"
+      "#include <unordered_map>\n"
+      "void remap_write(std::ostream& out) {\n"
+      "  std::unordered_map<int, int> remap;\n"
+      "  remap[1] = 2;\n"
+      "  out << remap[1];\n"
+      "}\n"};
+  EXPECT_TRUE(rit::lint::scan_file(f).empty());
+}
+
+TEST(LintUnordered, IterationOutsideResultPathIsClean) {
+  // No ostream marker, no result-ish path component: hash-order iteration
+  // is only banned where it can leak into emitted results.
+  const SourceFile f{
+      "src/core/scratch.cpp",
+      "#include <unordered_map>\n"
+      "int sum_keys() {\n"
+      "  std::unordered_map<int, int> m;\n"
+      "  int s = 0;\n"
+      "  for (const auto& [k, v] : m) s += k;\n"
+      "  return s;\n"
+      "}\n"};
+  EXPECT_TRUE(rit::lint::scan_file(f).empty());
+}
+
+TEST(LintUnordered, CppSeesDeclarationsFromSameStemHeader) {
+  // The Ledger shape: member declared in the header, hash-order float
+  // accumulation in the .cpp.
+  const SourceFile hdr{"src/platform/scratch.h",
+                       "#include <unordered_map>\n"
+                       "class Book {\n"
+                       "  std::unordered_map<int, double> balances_;\n"
+                       "  double total() const;\n"
+                       "};\n"};
+  const SourceFile cpp{
+      "src/platform/scratch.cpp",
+      "#include <ostream>\n"
+      "void Book::statement(std::ostream& out) const { out << total(); }\n"
+      "double Book::total() const {\n"
+      "  double t = 0.0;\n"
+      "  for (const auto& [a, b] : balances_) t += b;\n"
+      "  return t;\n"
+      "}\n"};
+  const std::vector<Finding> findings = rit::lint::scan({hdr, cpp});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-unordered-iteration-in-results");
+  EXPECT_EQ(findings[0].file, "src/platform/scratch.cpp");
+  EXPECT_EQ(findings[0].line, 5u);
+}
+
+TEST(LintMergeGuard, GuardInSiblingFileSatisfiesHeaderDefinition) {
+  const SourceFile hdr{"src/stats/scratch.h",
+                       "struct Acc {\n"
+                       "  double sum{0.0};\n"
+                       "  void merge(const Acc& other);\n"
+                       "};\n"};
+  const SourceFile cpp{"src/stats/scratch.cpp",
+                       "static_assert(sizeof(Acc) == sizeof(double),\n"
+                       "              \"update merge()\");\n"
+                       "void Acc::merge(const Acc& other) { sum += "
+                       "other.sum; }\n"};
+  EXPECT_TRUE(rit::lint::scan({hdr, cpp}).empty());
+  // Without the guard file, both the declaration and the out-of-line
+  // definition are reported.
+  EXPECT_FALSE(rit::lint::scan({hdr}).empty());
+}
+
+TEST(LintMergeGuard, CrossTypeFoldsCarryNoObligation) {
+  // Stat::merge_in(const OnlineStats&) and friends: not a self-merge.
+  const SourceFile f{"src/obs/scratch.h",
+                     "struct Stat {\n"
+                     "  void merge_in(const OnlineStats& other);\n"
+                     "};\n"};
+  EXPECT_TRUE(rit::lint::scan_file(f).empty());
+}
+
+// --- Directives ------------------------------------------------------------
+
+TEST(LintAllow, DirectiveCoversItsLineAndTheNext) {
+  const std::string line_after =
+      "// rit-lint: allow(no-std-rand)\n"
+      "int x = std::rand();\n";
+  EXPECT_TRUE(
+      rit::lint::scan_file(SourceFile{"src/a.cpp", line_after}).empty());
+  const std::string two_below =
+      "// rit-lint: allow(no-std-rand)\n"
+      "int y = 0;\n"
+      "int x = std::rand();\n";
+  EXPECT_FALSE(
+      rit::lint::scan_file(SourceFile{"src/a.cpp", two_below}).empty());
+}
+
+TEST(LintAllow, CommaSeparatedRulesAndWildcard) {
+  const std::string multi =
+      "int x = std::rand();  // rit-lint: allow(no-std-rand, no-std-engine)\n"
+      "std::mt19937 eng;  // rit-lint: allow(*)\n";
+  EXPECT_TRUE(rit::lint::scan_file(SourceFile{"src/a.cpp", multi}).empty());
+}
+
+// --- Tree walk -------------------------------------------------------------
+
+TEST(LintTree, CollectsRepoSourcesDeterministically) {
+  const std::vector<SourceFile> files =
+      rit::lint::collect_tree(RITCS_SOURCE_DIR);
+  ASSERT_GT(files.size(), 100u);
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    EXPECT_LT(files[i - 1].path, files[i].path);
+  }
+  for (const SourceFile& f : files) {
+    EXPECT_EQ(f.path.find("lint_fixtures"), std::string::npos) << f.path;
+    EXPECT_EQ(f.path.find("tests/golden"), std::string::npos) << f.path;
+  }
+}
+
+TEST(LintTree, LiveTreeIsClean) {
+  const std::vector<Finding> findings =
+      rit::lint::scan(rit::lint::collect_tree(RITCS_SOURCE_DIR));
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+TEST(LintTree, SeededViolationIsCaught) {
+  // The acceptance smoke: drop a scratch file with std::rand into the scan
+  // set and the tree goes red.
+  std::vector<SourceFile> files = rit::lint::collect_tree(RITCS_SOURCE_DIR);
+  files.push_back(SourceFile{"src/sim/scratch_seeded.cpp",
+                             "#include <cstdlib>\n"
+                             "int noise() { return std::rand(); }\n"});
+  const std::vector<Finding> findings = rit::lint::scan(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-std-rand");
+  EXPECT_EQ(findings[0].file, "src/sim/scratch_seeded.cpp");
+}
+
+}  // namespace

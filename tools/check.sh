@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# The pre-merge gate: everything CI runs, runnable locally as one command.
+#
+#   tools/check.sh           # full gate (see legs below)
+#   tools/check.sh --fast    # main build + tests + lint only
+#
+# Legs, in order:
+#   1. format     tools/format.sh --check          (skipped: no clang-format)
+#   2. build      cmake -DRIT_WERROR=ON + full build (warning floor is
+#                 -Wall -Wextra -Wpedantic -Wshadow -Wconversion
+#                 -Wdouble-promotion, -Werror)
+#   3. tests      ctest over the full suite (includes `ctest -L lint`:
+#                 rit_lint rule fixtures + the live-tree scan + the
+#                 header self-sufficiency object library)
+#   4. lint       rit_lint --root . (explicit, so the finding list prints
+#                 even when invoked outside ctest)
+#   5. tidy       clang-tidy build via -DRIT_TIDY=ON (skipped: no clang-tidy)
+#   6. obs-off    RIT_OBS_ENABLED=OFF compile leg (tracing macros must
+#                 compile away cleanly)
+#   7. tsan       RIT_SANITIZE=thread build + ctest -L parallel (the
+#                 parallel sweep runner under TSan)
+#
+# Build trees live under build-check/ so the gate never disturbs your
+# incremental build/. Exits non-zero on the first failing leg.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --help|-h)
+      sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "check.sh: unknown argument '$arg'" >&2
+      exit 2
+      ;;
+  esac
+done
+
+JOBS="${RIT_CHECK_JOBS:-$(nproc)}"
+ROOT="$(pwd)"
+BUILD_ROOT="${RIT_CHECK_BUILD_DIR:-build-check}"
+
+step() { echo; echo "=== check.sh: $* ==="; }
+
+# --- 1. format (check-only; self-skips without clang-format) ---------------
+step "format check"
+tools/format.sh --check
+
+# --- 2. build with the full warning floor as errors ------------------------
+step "configure + build (RIT_WERROR=ON)"
+cmake -B "$BUILD_ROOT/main" -S . -DRIT_WERROR=ON
+cmake --build "$BUILD_ROOT/main" -j "$JOBS"
+
+# --- 3. full test suite ----------------------------------------------------
+step "ctest (full suite)"
+ctest --test-dir "$BUILD_ROOT/main" --output-on-failure -j "$JOBS"
+
+# --- 4. repo lint, explicitly ----------------------------------------------
+step "rit_lint (live tree)"
+"$BUILD_ROOT/main/tools/lint/rit_lint" --root "$ROOT"
+
+if [[ $FAST -eq 1 ]]; then
+  echo
+  echo "check.sh: --fast requested; skipping tidy / obs-off / tsan legs"
+  echo "check.sh: OK"
+  exit 0
+fi
+
+# --- 5. clang-tidy (skips with a notice when absent) -----------------------
+step "clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+  cmake -B "$BUILD_ROOT/tidy" -S . -DRIT_WERROR=ON -DRIT_TIDY=ON
+  cmake --build "$BUILD_ROOT/tidy" -j "$JOBS"
+else
+  echo "check.sh: no clang-tidy on PATH — leg skipped (install clang-tidy" \
+       "to enable; config is .clang-tidy at the repo root)"
+fi
+
+# --- 6. observability-off compile leg --------------------------------------
+step "RIT_OBS_ENABLED=OFF compile leg"
+cmake -B "$BUILD_ROOT/obsoff" -S . -DRIT_WERROR=ON -DRIT_OBS_ENABLED=OFF
+cmake --build "$BUILD_ROOT/obsoff" -j "$JOBS"
+
+# --- 7. TSan over the parallel runner --------------------------------------
+step "TSan build + ctest -L parallel"
+cmake -B "$BUILD_ROOT/tsan" -S . -DRIT_WERROR=ON -DRIT_SANITIZE=thread
+cmake --build "$BUILD_ROOT/tsan" -j "$JOBS"
+ctest --test-dir "$BUILD_ROOT/tsan" -L parallel --output-on-failure -j "$JOBS"
+
+echo
+echo "check.sh: OK"

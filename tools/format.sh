@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Formats (or with --check, verifies) the tree against .clang-format.
+#
+#   tools/format.sh --check [files...]   # CI mode: fail on drift, no edits
+#   tools/format.sh [files...]           # rewrite in place
+#
+# With no explicit files, every tracked C++ source is covered. The repo has
+# never been bulk-reformatted, so prefer passing just the files your change
+# touches. If no clang-format binary is installed the script reports a skip
+# and exits 0 — the formatting gate is advisory where the tool is absent
+# (the determinism gates in rit_lint never skip).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CHECK=0
+FILES=()
+for arg in "$@"; do
+  case "$arg" in
+    --check) CHECK=1 ;;
+    --help|-h)
+      sed -n '2,12p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *) FILES+=("$arg") ;;
+  esac
+done
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "$CLANG_FORMAT" ]]; then
+  for candidate in clang-format clang-format-18 clang-format-17 \
+                   clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      CLANG_FORMAT="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$CLANG_FORMAT" ]]; then
+  echo "format.sh: no clang-format on PATH — skipping (install clang-format" \
+       "or set CLANG_FORMAT=/path/to/binary to enable this gate)"
+  exit 0
+fi
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  mapfile -t FILES < <(git ls-files '*.cpp' '*.cc' '*.h' '*.hpp' \
+                         | grep -v '^tests/lint_fixtures/')
+fi
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "format.sh: nothing to format"
+  exit 0
+fi
+
+if [[ $CHECK -eq 1 ]]; then
+  "$CLANG_FORMAT" --dry-run --Werror "${FILES[@]}"
+  echo "format.sh: ${#FILES[@]} file(s) clean"
+else
+  "$CLANG_FORMAT" -i "${FILES[@]}"
+  echo "format.sh: formatted ${#FILES[@]} file(s)"
+fi

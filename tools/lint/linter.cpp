@@ -1,0 +1,751 @@
+#include "linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace rit::lint {
+namespace {
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Rule table. Token rules are pure data; the two structural rules
+// (no-unordered-iteration-in-results, merge-coverage-guard) are engine
+// checks registered at the bottom of rule_infos().
+// ---------------------------------------------------------------------------
+
+enum class FileClass { kCpp, kBuild };
+
+struct TokenRule {
+  const char* id;
+  const char* summary;
+  FileClass file_class;
+  // Word-bounded literal tokens: a match only counts when the characters
+  // adjacent to word-character token edges are non-word.
+  std::vector<const char*> tokens;
+  // ECMAScript regexes for patterns a literal token cannot express.
+  std::vector<const char*> regexes;
+  // Repo-relative path substrings exempt from this rule.
+  std::vector<const char*> path_excludes;
+  // Restrict to "result path" files: path names a report/serialization
+  // boundary, or the file mentions std::ostream / std::ofstream.
+  bool result_path_only{false};
+};
+
+const std::vector<TokenRule>& token_rules() {
+  static const std::vector<TokenRule> kRules = {
+      {"no-std-rand",
+       "libc/std PRNGs (std::rand, rand, srand, *rand48) are seeded "
+       "globally and unspecified across platforms; use rng::Rng",
+       FileClass::kCpp,
+       {"std::rand", "rand(", "srand", "rand_r", "drand48", "lrand48",
+        "mrand48", "random("},
+       {},
+       {}},
+      {"no-random-device",
+       "std::random_device is nondeterministic by design; only src/rng/ "
+       "may touch entropy sources",
+       FileClass::kCpp,
+       {"random_device"},
+       {},
+       {"src/rng/"}},
+      {"no-std-distribution",
+       "<random> distributions leave the mapping from engine output to "
+       "values unspecified — two standard libraries produce different "
+       "streams from the same seed; use the explicit samplers in rng::Rng",
+       FileClass::kCpp,
+       {},
+       {R"(\b\w+_distribution\b)"},
+       {}},
+      {"no-std-engine",
+       "std engines (mt19937, minstd_rand, ...) invite std::shuffle / "
+       "distribution use and duplicate the repo-wide rng::Rng stream",
+       FileClass::kCpp,
+       {"mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+        "default_random_engine", "ranlux24", "ranlux48", "knuth_b",
+        "mersenne_twister_engine", "linear_congruential_engine",
+        "subtract_with_carry_engine"},
+       {},
+       {"src/rng/"}},
+      {"no-std-shuffle",
+       "std::shuffle's permutation algorithm is implementation-defined "
+       "for a given engine; use rng-based shuffling "
+       "(rng::sample_without_replacement_into / Fisher-Yates over Rng)",
+       FileClass::kCpp,
+       {"std::shuffle", "random_shuffle"},
+       {},
+       {}},
+      {"no-wallclock-in-results",
+       "wall-clock reads (system_clock, std::time, localtime, ...) in a "
+       "result path make output depend on when it ran; results must be a "
+       "function of (config, seed) only — use stats::Timer / steady_clock "
+       "for durations",
+       FileClass::kCpp,
+       {"system_clock", "std::time", "time(nullptr)", "time(NULL)",
+        "gettimeofday", "localtime", "gmtime", "strftime", "asctime",
+        "ctime("},
+       {},
+       {},
+       /*result_path_only=*/true},
+      {"no-fast-math",
+       "-ffast-math / -Ofast license reassociation and FTZ, so the same "
+       "seed stops reproducing the same floats across compilers",
+       FileClass::kBuild,
+       {"-ffast-math", "-funsafe-math-optimizations", "-Ofast",
+        "/fp:fast", "-ffp-contract=fast"},
+       {},
+       {}},
+      {"no-long-double",
+       "long double is 80-bit on x86, 128-bit on aarch64, 64-bit on "
+       "MSVC — metrics computed with it are not portable; use double",
+       FileClass::kCpp,
+       {"long double"},
+       {},
+       {}},
+  };
+  return kRules;
+}
+
+// ---------------------------------------------------------------------------
+// Lexical preprocessing
+// ---------------------------------------------------------------------------
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& content) {
+  std::string out;
+  out.reserve(content.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  } state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+
+  const std::size_t n = content.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_word(content[i - 1]))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t paren = content.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_delim = ")" + content.substr(i + 2, paren - (i + 2)) + "\"";
+            state = State::kRawString;
+            for (std::size_t k = i; k <= paren; ++k) {
+              out += content[k] == '\n' ? '\n' : ' ';
+            }
+            i = paren;
+          } else {
+            out += c;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'' && i > 0 && !is_word(content[i - 1])) {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+          if (next == '\n') out.back() = '\n';
+        } else if (c == '"') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) out += ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Build files (cmake, sh) only have '#' line comments — but a '#' directive
+// line may itself carry a rit-lint allow, which is parsed from the raw
+// content, so stripping to spaces here is safe.
+std::string strip_hash_comments(const std::string& content) {
+  std::string out;
+  out.reserve(content.size());
+  bool in_comment = false;
+  for (char c : content) {
+    if (c == '\n') {
+      in_comment = false;
+      out += '\n';
+    } else if (c == '#') {
+      in_comment = true;
+      out += ' ';
+    } else {
+      out += in_comment ? ' ' : c;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// Collapses runs of whitespace so multi-space tokens ("long double")
+// match regardless of alignment.
+std::string normalize_ws(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  bool prev_space = false;
+  for (char c : line) {
+    const bool space = c == ' ' || c == '\t';
+    if (space) {
+      if (!prev_space) out += ' ';
+    } else {
+      out += c;
+    }
+    prev_space = space;
+  }
+  return out;
+}
+
+bool token_matches_at(const std::string& line, std::size_t pos,
+                      const std::string& token) {
+  if (line.compare(pos, token.size(), token) != 0) return false;
+  if (is_word(token.front()) && pos > 0 && is_word(line[pos - 1])) {
+    return false;
+  }
+  const std::size_t end = pos + token.size();
+  if (is_word(token.back()) && end < line.size() && is_word(line[end])) {
+    return false;
+  }
+  return true;
+}
+
+bool line_has_token(const std::string& line, const std::string& token) {
+  for (std::size_t pos = line.find(token); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    if (token_matches_at(line, pos, token)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist directives (parsed from RAW content, before stripping)
+// ---------------------------------------------------------------------------
+
+struct AllowSet {
+  std::set<std::string> file_rules;                     // allow-file(...)
+  std::map<std::size_t, std::set<std::string>> lines;   // line -> rules
+  bool allows(const std::string& rule, std::size_t line) const {
+    if (file_rules.count(rule) != 0 || file_rules.count("*") != 0) {
+      return true;
+    }
+    // A directive covers its own line and the line after it, so a
+    // standalone "// rit-lint: allow(x)" comment shields the next line.
+    for (std::size_t l = line > 1 ? line - 1 : line; l <= line; ++l) {
+      auto it = lines.find(l);
+      if (it != lines.end() &&
+          (it->second.count(rule) != 0 || it->second.count("*") != 0)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+void parse_rule_list(const std::string& text, std::set<std::string>* out) {
+  std::string cur;
+  for (char c : text) {
+    if (c == ',' || c == ' ' || c == '\t') {
+      if (!cur.empty()) out->insert(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out->insert(cur);
+}
+
+AllowSet parse_allows(const std::vector<std::string>& raw_lines) {
+  AllowSet allows;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    const std::size_t tag = line.find("rit-lint:");
+    if (tag == std::string::npos) continue;
+    const std::string rest = line.substr(tag + 9);
+    for (const auto& [kw, file_scope] :
+         {std::pair<const char*, bool>{"allow-file(", true},
+          std::pair<const char*, bool>{"allow(", false}}) {
+      std::size_t at = rest.find(kw);
+      if (at == std::string::npos) continue;
+      at += std::string(kw).size();
+      const std::size_t close = rest.find(')', at);
+      if (close == std::string::npos) continue;
+      const std::string list = rest.substr(at, close - at);
+      if (file_scope) {
+        parse_rule_list(list, &allows.file_rules);
+      } else {
+        parse_rule_list(list, &allows.lines[i + 1]);
+      }
+    }
+  }
+  return allows;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file preprocessed view
+// ---------------------------------------------------------------------------
+
+FileClass classify(const std::string& path) {
+  auto ends_with = [&](const char* suf) {
+    const std::string s(suf);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with("CMakeLists.txt") || ends_with(".cmake") ||
+      ends_with(".sh")) {
+    return FileClass::kBuild;
+  }
+  return FileClass::kCpp;
+}
+
+struct Prepped {
+  const SourceFile* src{nullptr};
+  FileClass file_class{FileClass::kCpp};
+  std::vector<std::string> lines;  // stripped + whitespace-normalized
+  AllowSet allows;
+  bool result_path{false};
+};
+
+const char* const kResultPathHints[] = {"report", "csv",    "json",
+                                        "_io",    "export", "render",
+                                        "statement", "svg", "table"};
+
+Prepped prep(const SourceFile& f) {
+  Prepped p;
+  p.src = &f;
+  p.file_class = classify(f.path);
+  p.allows = parse_allows(split_lines(f.content));
+  const std::string stripped = p.file_class == FileClass::kBuild
+                                   ? strip_hash_comments(f.content)
+                                   : strip_comments_and_strings(f.content);
+  for (const std::string& line : split_lines(stripped)) {
+    p.lines.push_back(normalize_ws(line));
+  }
+  for (const char* hint : kResultPathHints) {
+    if (f.path.find(hint) != std::string::npos) p.result_path = true;
+  }
+  if (!p.result_path) {
+    for (const std::string& line : p.lines) {
+      if (line_has_token(line, "std::ostream") ||
+          line_has_token(line, "std::ofstream")) {
+        p.result_path = true;
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+bool path_excluded(const std::string& path,
+                   const std::vector<const char*>& excludes) {
+  for (const char* sub : excludes) {
+    if (path.find(sub) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void emit(const Prepped& p, std::size_t line_no, const std::string& rule,
+          const std::string& message, std::vector<Finding>* out) {
+  if (p.allows.allows(rule, line_no)) return;
+  out->push_back(Finding{p.src->path, line_no, rule, message});
+}
+
+// ---------------------------------------------------------------------------
+// Token + regex rules
+// ---------------------------------------------------------------------------
+
+void run_token_rules(const Prepped& p, std::vector<Finding>* out) {
+  for (const TokenRule& rule : token_rules()) {
+    if (rule.file_class != p.file_class) continue;
+    if (rule.result_path_only && !p.result_path) continue;
+    if (path_excluded(p.src->path, rule.path_excludes)) continue;
+    std::vector<std::regex> regexes;
+    regexes.reserve(rule.regexes.size());
+    for (const char* r : rule.regexes) regexes.emplace_back(r);
+    for (std::size_t i = 0; i < p.lines.size(); ++i) {
+      const std::string& line = p.lines[i];
+      bool hit = false;
+      std::string what;
+      for (const char* token : rule.tokens) {
+        if (line_has_token(line, token)) {
+          hit = true;
+          what = token;
+          break;
+        }
+      }
+      if (!hit) {
+        for (std::size_t r = 0; r < regexes.size(); ++r) {
+          std::smatch m;
+          if (std::regex_search(line, m, regexes[r])) {
+            hit = true;
+            what = m.str(0);
+            break;
+          }
+        }
+      }
+      if (hit) {
+        emit(p, i + 1, rule.id, "'" + what + "': " + rule.summary, out);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural rule: no-unordered-iteration-in-results
+// ---------------------------------------------------------------------------
+
+// Identifiers declared with an unordered container type in `p` (handles
+// nested template args: std::unordered_map<K, std::vector<V>> name).
+std::set<std::string> unordered_idents(const Prepped& p) {
+  std::set<std::string> idents;
+  static const char* const kTypes[] = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (const std::string& line : p.lines) {
+    for (const char* type : kTypes) {
+      for (std::size_t pos = line.find(type); pos != std::string::npos;
+           pos = line.find(type, pos + 1)) {
+        if (!token_matches_at(line, pos, type)) continue;
+        std::size_t i = pos + std::string(type).size();
+        while (i < line.size() && line[i] == ' ') ++i;
+        if (i >= line.size() || line[i] != '<') continue;
+        int depth = 0;
+        for (; i < line.size(); ++i) {
+          if (line[i] == '<') ++depth;
+          if (line[i] == '>' && --depth == 0) break;
+        }
+        if (i >= line.size()) continue;  // declaration spans lines; punt
+        ++i;
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '&' || line[i] == '*')) {
+          ++i;
+        }
+        std::string name;
+        while (i < line.size() && is_word(line[i])) name += line[i++];
+        if (!name.empty() &&
+            std::isdigit(static_cast<unsigned char>(name[0])) == 0) {
+          idents.insert(name);
+        }
+      }
+    }
+  }
+  return idents;
+}
+
+// True when `line` range-iterates or begin()-iterates `ident`.
+bool iterates(const std::string& line, const std::string& ident) {
+  // for (... : ident)
+  if (line.find("for") != std::string::npos) {
+    for (std::size_t pos = line.find(ident); pos != std::string::npos;
+         pos = line.find(ident, pos + 1)) {
+      if (!token_matches_at(line, pos, ident)) continue;
+      std::size_t before = pos;
+      while (before > 0 && line[before - 1] == ' ') --before;
+      std::size_t after = pos + ident.size();
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (before > 0 && line[before - 1] == ':' &&
+          (before < 2 || line[before - 2] != ':') && after < line.size() &&
+          line[after] == ')') {
+        return true;
+      }
+    }
+  }
+  // ident.begin() / ident.cbegin() / ident.rbegin()
+  for (const char* b : {".begin(", ".cbegin(", ".rbegin("}) {
+    const std::string probe = ident + b;
+    if (line_has_token(line, probe)) return true;
+  }
+  return false;
+}
+
+// A .cpp sees declarations from its same-stem header (Ledger's balances_
+// lives in ledger.h; the hash-order iteration lived in ledger.cpp).
+std::string sibling_header(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return {};
+  const std::string ext = path.substr(dot);
+  if (ext != ".cpp" && ext != ".cc" && ext != ".cxx") return {};
+  return path.substr(0, dot) + ".h";
+}
+
+void run_unordered_iteration_rule(
+    const Prepped& p, const std::map<std::string, const Prepped*>& by_path,
+    std::vector<Finding>* out) {
+  static const char* kId = "no-unordered-iteration-in-results";
+  if (p.file_class != FileClass::kCpp || !p.result_path) return;
+  std::set<std::string> idents = unordered_idents(p);
+  const std::string hdr = sibling_header(p.src->path);
+  if (!hdr.empty()) {
+    auto it = by_path.find(hdr);
+    if (it != by_path.end()) {
+      std::set<std::string> inherited = unordered_idents(*it->second);
+      idents.insert(inherited.begin(), inherited.end());
+    }
+  }
+  if (idents.empty()) return;
+  for (std::size_t i = 0; i < p.lines.size(); ++i) {
+    for (const std::string& ident : idents) {
+      if (iterates(p.lines[i], ident)) {
+        emit(p, i + 1, kId,
+             "iterating unordered container '" + ident +
+                 "' in a result path: hash order differs between runs and "
+                 "platforms, so emitted reports / accumulated floats are "
+                 "nondeterministic; sort keys first or use std::map at the "
+                 "boundary",
+             out);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural rule: merge-coverage-guard
+// ---------------------------------------------------------------------------
+
+// A self-merge `void merge(const T&)` (incl. out-of-line `void T::merge`)
+// must be paired, somewhere in the tree, with a field-coverage guard:
+//   static_assert(sizeof(T) == ...)
+// Without it, adding a field to T silently drops it from aggregation —
+// the exact bug class AggregateMetrics hit before PR 2.
+struct MergeDef {
+  const Prepped* file;
+  std::size_t line;
+  std::string type;
+};
+
+void collect_merge_info(const Prepped& p, std::vector<MergeDef>* defs,
+                        std::set<std::string>* guarded) {
+  if (p.file_class != FileClass::kCpp) return;
+  static const std::regex kMergeRe(
+      R"(\bvoid\s+(?:(\w+)\s*::\s*)?merge\s*\(\s*const\s+(\w+)\s*&)");
+  static const std::regex kSizeofRe(R"(sizeof\s*\(\s*(\w+)\s*\))");
+  for (std::size_t i = 0; i < p.lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(p.lines[i], m, kMergeRe)) {
+      // Only self-merges: merge(const T&) inside T, or T::merge(const T&).
+      // Cross-type folds (e.g. Stat::merge_in(const OnlineStats&)) are a
+      // different shape and carry no field-coverage obligation here.
+      if (!m[1].matched || m[1].str() == m[2].str()) {
+        defs->push_back(MergeDef{&p, i + 1, m[2].str()});
+      }
+    }
+  }
+  // static_assert(sizeof(T) ...) may wrap across lines; search a window
+  // after each static_assert in the line-joined content.
+  std::string joined;
+  for (const std::string& line : p.lines) {
+    joined += line;
+    joined += '\n';
+  }
+  for (std::size_t at = joined.find("static_assert");
+       at != std::string::npos; at = joined.find("static_assert", at + 1)) {
+    const std::string window = joined.substr(at, 300);
+    auto begin = std::sregex_iterator(window.begin(), window.end(), kSizeofRe);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      guarded->insert((*it)[1].str());
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<RuleInfo> rule_infos() {
+  std::vector<RuleInfo> infos;
+  for (const TokenRule& r : token_rules()) {
+    infos.push_back(RuleInfo{r.id, r.summary});
+  }
+  infos.push_back(RuleInfo{
+      "no-unordered-iteration-in-results",
+      "iterating std::unordered_map/set while writing reports/CSV/JSON "
+      "(or summing into reported floats) leaks hash order into results; "
+      "sort keys first or use std::map at the boundary"});
+  infos.push_back(RuleInfo{
+      "merge-coverage-guard",
+      "a struct with a self-merge `void merge(const T&)` must carry a "
+      "static_assert(sizeof(T) == ...) field-coverage guard so a new "
+      "field cannot be silently dropped from aggregation"});
+  return infos;
+}
+
+std::vector<Finding> scan(const std::vector<SourceFile>& files) {
+  std::vector<Prepped> prepped;
+  prepped.reserve(files.size());
+  for (const SourceFile& f : files) prepped.push_back(prep(f));
+
+  std::map<std::string, const Prepped*> by_path;
+  for (const Prepped& p : prepped) by_path[p.src->path] = &p;
+
+  std::vector<Finding> findings;
+  std::vector<MergeDef> merge_defs;
+  std::set<std::string> guarded_types;
+  for (const Prepped& p : prepped) {
+    run_token_rules(p, &findings);
+    run_unordered_iteration_rule(p, by_path, &findings);
+    collect_merge_info(p, &merge_defs, &guarded_types);
+  }
+  for (const MergeDef& def : merge_defs) {
+    if (guarded_types.count(def.type) != 0) continue;
+    emit(*def.file, def.line, "merge-coverage-guard",
+         "'" + def.type + "::merge' has no static_assert(sizeof(" +
+             def.type +
+             ") == ...) coverage guard; add one next to the merge "
+             "definition so new fields cannot be dropped from aggregation",
+         &findings);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.rule == b.rule;
+                             }),
+                 findings.end());
+  return findings;
+}
+
+std::vector<Finding> scan_file(const SourceFile& file) {
+  return scan(std::vector<SourceFile>{file});
+}
+
+std::vector<SourceFile> collect_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  const fs::path base(root);
+
+  auto want = [](const std::string& rel) {
+    if (rel.find("tests/golden") != std::string::npos) return false;
+    if (rel.find("tests/lint_fixtures") != std::string::npos) return false;
+    auto ends_with = [&](const char* suf) {
+      const std::string s(suf);
+      return rel.size() >= s.size() &&
+             rel.compare(rel.size() - s.size(), s.size(), s) == 0;
+    };
+    return ends_with(".h") || ends_with(".hpp") || ends_with(".cpp") ||
+           ends_with(".cc") || ends_with(".cxx") ||
+           ends_with("CMakeLists.txt") || ends_with(".cmake") ||
+           ends_with(".sh");
+  };
+
+  auto add = [&](const fs::path& p) {
+    std::error_code ec;
+    const std::string rel = fs::relative(p, base, ec).generic_string();
+    if (ec || !want(rel)) return;
+    std::ifstream in(p, std::ios::binary);
+    if (!in.good()) return;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.push_back(SourceFile{rel, ss.str()});
+  };
+
+  for (const char* dir : {"src", "bench", "tests", "tools", "examples",
+                          "configs", "cmake"}) {
+    const fs::path sub = base / dir;
+    std::error_code ec;
+    if (!fs::is_directory(sub, ec)) continue;
+    for (fs::recursive_directory_iterator it(sub, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file(ec)) add(it->path());
+    }
+  }
+  const fs::path top_cmake = base / "CMakeLists.txt";
+  std::error_code ec;
+  if (fs::is_regular_file(top_cmake, ec)) add(top_cmake);
+
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+}  // namespace rit::lint

@@ -1,0 +1,80 @@
+// rit_lint: the repo-specific correctness linter.
+//
+// RIT's headline guarantees (truthfulness and sybil-proofness with
+// probability >= H) are only reproducible if every randomized path is
+// deterministic and portable. The compiler cannot enforce that — nothing
+// stops a contributor from reintroducing std::uniform_int_distribution
+// (stream differs between standard libraries), iterating an unordered_map
+// into a report (hash order differs between runs), or adding a metrics
+// field that merge() silently drops. This linter turns those conventions
+// into machine-checked invariants.
+//
+// The engine is deliberately lexical: it strips comments and string
+// literals, then matches word-bounded tokens and a few structural
+// patterns. That keeps rules declarative (see kRules in linter.cpp),
+// fast, and free of a compiler dependency — at the cost of heuristic
+// precision, which the allowlist escape hatch compensates for:
+//
+//   some_call();  // rit-lint: allow(<rule-id>)     (this line + the next)
+//   // rit-lint: allow-file(<rule-id>)              (whole file)
+//
+// Every rule has fixture-based self-tests under tests/lint_fixtures/
+// (ctest -L lint) and the live tree is scanned as a test, so a banned
+// pattern landing in src/ fails the suite.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rit::lint {
+
+/// One violation. `line` is 1-based; `rule` is the stable rule id used in
+/// allowlist directives.
+struct Finding {
+  std::string file;
+  std::size_t line{0};
+  std::string rule;
+  std::string message;
+};
+
+/// Static description of a rule (for --list-rules and the docs).
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// An in-memory file handed to the scanner. `path` should be
+/// repo-relative with forward slashes — path-scoped rules (e.g.
+/// no-random-device outside src/rng/) match against it.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// All rules the engine knows, in reporting order.
+std::vector<RuleInfo> rule_infos();
+
+/// Scans a set of files as one unit. Cross-file rules (merge-coverage-guard
+/// pairs a merge() definition with its static_assert guard, possibly in a
+/// sibling .cpp; unordered-iteration pairs a .cpp with declarations in its
+/// same-stem header) only see guards/declarations inside `files`, so pass
+/// the whole tree for a tree-level verdict.
+std::vector<Finding> scan(const std::vector<SourceFile>& files);
+
+/// Convenience: scans a single file in isolation (fixture self-tests).
+std::vector<Finding> scan_file(const SourceFile& file);
+
+/// Walks `root` and collects the scan set: *.h *.hpp *.cpp *.cc under
+/// src/ bench/ tests/ tools/ examples/, plus build files (CMakeLists.txt,
+/// *.cmake, *.sh) for the flag rules. Skips build trees, tests/golden/ and
+/// tests/lint_fixtures/ (fixtures intentionally violate rules). Paths in
+/// the result are repo-relative.
+std::vector<SourceFile> collect_tree(const std::string& root);
+
+/// Strips //, /* */ comments and "..."/'...' literals (incl. simple raw
+/// strings), preserving line structure, so rule tokens never match inside
+/// prose. Exposed for the self-tests.
+std::string strip_comments_and_strings(const std::string& content);
+
+}  // namespace rit::lint
