@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
     apply_options(opts, s);
     s.mechanism.discount_base = base;
     const sim::AggregateMetrics agg =
-        sim::run_many_parallel(s, opts.trials, opts.threads);
+        run_point(opts, s);
     const double ratio =
         agg.total_payment_auction.mean() > 0.0
             ? agg.solicitation_premium.mean() /

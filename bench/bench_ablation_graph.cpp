@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
       tail.merge(wk.tail);
     }
     const sim::AggregateMetrics agg =
-        sim::run_many_parallel(s, opts.trials, opts.threads);
+        run_point(opts, s);
     rows.push_back({static_cast<double>(kind_index), tail.mean(),
                     depth.mean(), agg.avg_utility_rit.mean(),
                     agg.solicitation_premium.mean(),

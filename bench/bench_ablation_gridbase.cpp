@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
       bound.merge(wk.bound);
     }
     const sim::AggregateMetrics agg =
-        sim::run_many_parallel(s, opts.trials, opts.threads);
+        run_point(opts, s);
     rows.push_back({base, bound.mean(), rounds.mean(), agg.success_rate(),
                     agg.avg_utility_rit.mean(), agg.total_payment_rit.mean(),
                     agg.degraded_rate()});

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     sim::Scenario theo = s;
     theo.mechanism.round_budget_policy = core::RoundBudgetPolicy::kTheoretical;
     const sim::AggregateMetrics agg_theo =
-        sim::run_many_parallel(theo, opts.trials, opts.threads);
+        run_point(opts, theo);
 
     // Run-to-completion achieved bound: measure on fresh instances.
     sim::Scenario comp = s;

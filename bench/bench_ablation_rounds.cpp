@@ -41,9 +41,9 @@ std::vector<std::vector<double>> run_regime(const BenchOptions& opts,
         core::RoundBudgetPolicy::kRunToCompletion;
 
     const sim::AggregateMetrics at =
-        sim::run_many_parallel(theo, opts.trials, opts.threads);
+        run_point(opts, theo);
     const sim::AggregateMetrics ac =
-        sim::run_many_parallel(comp, opts.trials, opts.threads);
+        run_point(opts, comp);
     rows.push_back({static_cast<double>(users_paper), at.success_rate(),
                     ac.success_rate(), at.avg_utility_rit.mean(),
                     ac.avg_utility_rit.mean(), at.total_payment_rit.mean(),

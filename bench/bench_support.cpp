@@ -8,11 +8,13 @@
 
 #include "cli/svg_chart.h"
 #include "common/check.h"
+#include "common/hash.h"
 #include "common/parallel.h"
 #include "common/format_util.h"
 #include "common/log.h"
 #include "obs/obs.h"
 #include "obs/trace_export.h"
+#include "sim/runner.h"
 
 namespace rit::bench {
 
@@ -35,6 +37,11 @@ BenchOptions parse_options(int argc, char** argv, const std::string& name,
   opts.csv_path = csv == "none" ? "" : csv;
   opts.trace_path = args.get_string("trace-out", "");
   opts.metrics_path = args.get_string("metrics-out", "");
+  opts.max_trial_failures = args.get_u64("max-trial-failures", 0);
+  opts.trial_timeout_ms = args.get_double("trial-timeout-ms", 0.0);
+  opts.checkpoint_path = args.get_string("checkpoint", "");
+  opts.checkpoint_every = args.get_u64("checkpoint-every", 0);
+  opts.resume = args.get_bool("resume", false);
   const std::string summary =
       args.get_string("json", "bench_results/BENCH_" + name + ".json");
   opts.summary_path = summary == "none" ? "" : summary;
@@ -48,6 +55,13 @@ BenchOptions parse_options(int argc, char** argv, const std::string& name,
   RIT_CHECK_MSG(opts.scale >= 1.0, "--scale must be >= 1");
   RIT_CHECK_MSG(opts.points >= 2, "--points must be >= 2");
   RIT_CHECK_MSG(opts.trials >= 1, "--trials must be >= 1");
+  RIT_CHECK_MSG(opts.checkpoint_path.empty() ? !opts.resume : true,
+                "--resume requires --checkpoint=PATH");
+  RIT_CHECK_MSG(opts.checkpoint_path.empty() ? opts.checkpoint_every == 0
+                                             : true,
+                "--checkpoint-every requires --checkpoint=PATH");
+  RIT_CHECK_MSG(opts.trial_timeout_ms >= 0.0,
+                "--trial-timeout-ms must be >= 0");
 
   // Record every span from here on; finish() turns this into the per-phase
   // breakdown. When the build has RIT_OBS_ENABLED=0 the trace simply stays
@@ -87,6 +101,66 @@ std::vector<std::uint32_t> linspace(std::uint32_t lo, std::uint32_t hi,
   return out;
 }
 
+namespace {
+
+/// Hash of every flag that shapes what a sweep computes. Binds a checkpoint
+/// file to this bench + configuration: resuming under any other flag set
+/// would silently mix incompatible partial results, so the session refuses.
+std::uint64_t sweep_config_hash(const BenchOptions& opts) {
+  std::string fp = opts.name;
+  const auto field = [&fp](const std::string& v) {
+    fp += '|';
+    fp += v;
+  };
+  field(std::to_string(opts.trials));
+  field(format_double(opts.scale, 6));
+  field(std::to_string(opts.points));
+  field(sim::to_string(opts.graph));
+  field(opts.theoretical ? "theoretical" : "run-to-completion");
+  field(opts.paper_ratio ? "paper-ratio" : "-");
+  field(opts.paper_kmax ? "paper-kmax" : "-");
+  field(std::to_string(opts.max_trial_failures));
+  field(format_double(opts.trial_timeout_ms, 6));
+  return fnv1a64(fp);
+}
+
+}  // namespace
+
+sim::AggregateMetrics run_point(
+    const BenchOptions& opts, const sim::Scenario& scenario,
+    const std::function<void(std::uint64_t, std::uint64_t)>& progress) {
+  const bool default_policy =
+      opts.max_trial_failures == 0 && opts.trial_timeout_ms == 0.0;
+  if (opts.checkpoint_path.empty() && default_policy) {
+    // The historical path, byte-identical (including the exact serial code
+    // for one thread).
+    return sim::run_many_parallel(scenario, opts.trials, opts.threads,
+                                  progress);
+  }
+  SweepState& sweep = *opts.sweep;
+  const unsigned resolved = rit::resolve_threads(opts.threads, opts.trials);
+  if (!opts.checkpoint_path.empty() && !sweep.session) {
+    sim::CheckpointSession::Params p;
+    p.path = opts.checkpoint_path;
+    p.config_hash = sweep_config_hash(opts);
+    p.seed = opts.seed;
+    p.threads = resolved;
+    p.trials = opts.trials;
+    p.every = opts.checkpoint_every;
+    p.resume = opts.resume;
+    sweep.session = std::make_unique<sim::CheckpointSession>(std::move(p));
+  }
+  sim::GuardPolicy policy;
+  policy.max_trial_failures = opts.max_trial_failures;
+  policy.trial_timeout_ms = opts.trial_timeout_ms;
+  sim::GuardedResult r =
+      sim::run_many_guarded(scenario, opts.trials, resolved, policy,
+                            sweep.session.get(), sweep.next_point, progress);
+  ++sweep.next_point;
+  sweep.faults.merge(r.faults);
+  return r.metrics;
+}
+
 void emit(const std::string& title, const BenchOptions& opts,
           const std::vector<std::string>& header,
           const std::vector<std::vector<double>>& rows, int precision) {
@@ -101,13 +175,9 @@ void emit(const std::string& title, const BenchOptions& opts,
   for (const auto& row : rows) table.add_numeric_row(row, precision);
   table.print(std::cout);
   if (!opts.csv_path.empty()) {
-    const std::filesystem::path p(opts.csv_path);
-    if (p.has_parent_path()) {
-      std::error_code ec;
-      std::filesystem::create_directories(p.parent_path(), ec);
-    }
     cli::CsvWriter csv(opts.csv_path, header);
     for (const auto& row : rows) csv.add_numeric_row(row, 6);
+    csv.close();  // atomic commit; throws (rather than logs) on failure
     std::cout << "csv: " << opts.csv_path << "\n";
   }
   std::cout << "\n";
@@ -220,6 +290,26 @@ void finish(const BenchOptions& opts) {
                    "obs::set_trace_capacity)";
     }
     std::cout << "\n";
+  }
+
+  // Quarantined-fault report: silent by default (no faults → no output, so
+  // default runs stay byte-identical), loud when anything was contained.
+  const sim::FaultLedger& faults = opts.sweep->faults;
+  if (!faults.empty()) {
+    std::cout << "=== quarantined faults — " << opts.name << " ===\n"
+              << faults.markdown();
+    if (!opts.csv_path.empty()) {
+      std::filesystem::path p(opts.csv_path);
+      p.replace_extension(".faults.csv");
+      cli::CsvWriter csv(p.string(),
+                         {"trial", "seed", "kind", "phase", "reason"});
+      for (const sim::TrialFault& f : faults.sorted_by_trial()) {
+        csv.add_row({std::to_string(f.trial), std::to_string(f.seed),
+                     sim::to_string(f.kind), f.phase, f.reason});
+      }
+      csv.close();
+      std::cout << "faults csv: " << p.string() << "\n";
+    }
   }
 
   if (!opts.trace_path.empty()) {

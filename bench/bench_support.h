@@ -18,6 +18,18 @@
 //   --theoretical use the paper's literal round budget instead of
 //                 run-to-completion (see DESIGN.md ambiguity #3)
 //
+// Robustness (see docs/robustness.md):
+//   --max-trial-failures=N  tolerate up to N faulted trials per sweep point
+//                           (quarantined into the fault ledger; default 0 =
+//                           the first fault aborts, the historical behavior)
+//   --trial-timeout-ms=T    post-hoc per-trial watchdog (0 = off)
+//   --checkpoint=PATH       durable sweep checkpoint, written atomically
+//   --checkpoint-every=K    also checkpoint every K trials within a point
+//                           (0 = only at point boundaries)
+//   --resume                resume from --checkpoint (refuses on any
+//                           config/seed/thread mismatch); resumed sweeps are
+//                           bit-identical to uninterrupted ones
+//
 // Observability (see docs/observability.md):
 //   --trace-out=PATH    write a Chrome-trace / Perfetto JSON of every span
 //   --metrics-out=PATH  write the global metrics registry as JSON
@@ -30,15 +42,27 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cli/args.h"
 #include "cli/csv.h"
 #include "cli/table.h"
+#include "sim/guarded.h"
+#include "sim/metrics.h"
 #include "sim/scenario.h"
 
 namespace rit::bench {
+
+/// Mutable per-sweep state shared by every copy of a BenchOptions: the
+/// lazily opened checkpoint session, the running grid-point index, and the
+/// accumulated fault ledger that finish() reports.
+struct SweepState {
+  std::unique_ptr<sim::CheckpointSession> session;
+  std::uint64_t next_point{0};
+  sim::FaultLedger faults;
+};
 
 struct BenchOptions {
   std::uint64_t trials{3};
@@ -66,6 +90,18 @@ struct BenchOptions {
   std::string summary_path;
   /// Steady-clock ns at parse_options; finish() measures end-to-end from it.
   std::uint64_t start_ns{0};
+
+  /// Fault tolerance (--max-trial-failures, --trial-timeout-ms); defaults
+  /// preserve the historical strict behavior.
+  std::uint64_t max_trial_failures{0};
+  double trial_timeout_ms{0.0};
+  /// Checkpoint/resume (--checkpoint, --checkpoint-every, --resume).
+  std::string checkpoint_path;  // empty = disabled
+  std::uint64_t checkpoint_every{0};
+  bool resume{false};
+
+  /// Shared across copies: run_point() advances it, finish() reports it.
+  std::shared_ptr<SweepState> sweep{std::make_shared<SweepState>()};
 };
 
 /// Parses the standard flags; `name` picks the default CSV path.
@@ -82,6 +118,18 @@ std::uint32_t scaled(std::uint64_t value, double scale,
 /// `points` integers evenly spaced over [lo, hi] (inclusive, deduplicated).
 std::vector<std::uint32_t> linspace(std::uint32_t lo, std::uint32_t hi,
                                     std::uint32_t points);
+
+/// Runs one sweep point (opts.trials trials of `scenario`) through the
+/// guarded engine, honoring the robustness flags: faults are quarantined
+/// within the failure budget, and with --checkpoint each point is durably
+/// saved (and skipped on --resume when already complete). With all
+/// robustness flags at their defaults this is exactly
+/// sim::run_many_parallel — byte-identical output. Every bench sweep loop
+/// calls this instead of run_many_parallel directly; points must be run in
+/// a fixed order for the checkpoint's point index to be meaningful.
+sim::AggregateMetrics run_point(
+    const BenchOptions& opts, const sim::Scenario& scenario,
+    const std::function<void(std::uint64_t, std::uint64_t)>& progress = {});
 
 /// Prints the table to stdout with a title banner; writes the CSV when
 /// enabled (creating the parent directory).

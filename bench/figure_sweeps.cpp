@@ -48,13 +48,13 @@ std::vector<SweepPoint> run_sweep(const BenchOptions& opts,
         {"tasks_per_type", std::to_string(s.tasks_per_type)}};
     log::emit(log::Level::kInfo, "sweep point", fields);
     out.push_back(SweepPoint{
-        x, sim::run_many_parallel(s, opts.trials, opts.threads,
-                                  [&](std::uint64_t done, std::uint64_t total) {
-                                    const log::Field pf[] = {
-                                        {"done", std::to_string(done)},
-                                        {"total", std::to_string(total)}};
-                                    log::emit(log::Level::kInfo, "progress", pf);
-                                  })});
+        x, run_point(opts, s,
+                     [&](std::uint64_t done, std::uint64_t total) {
+                       const log::Field pf[] = {
+                           {"done", std::to_string(done)},
+                           {"total", std::to_string(total)}};
+                       log::emit(log::Level::kInfo, "progress", pf);
+                     })});
   }
   return out;
 }

@@ -1,16 +1,29 @@
 #include "cli/csv.h"
 
+#include <exception>
+
+#include "common/atomic_file.h"
 #include "common/check.h"
 #include "common/format_util.h"
+#include "common/log.h"
 
 namespace rit::cli {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : path_(path), out_(path), columns_(header.size()) {
-  RIT_CHECK_MSG(out_.good(), "cannot open CSV file for writing: " << path);
+    : path_(path), columns_(header.size()) {
   RIT_CHECK(!header.empty());
   add_row(header);
+}
+
+CsvWriter::~CsvWriter() {
+  try {
+    close();
+  } catch (const std::exception& e) {
+    // A destructor must not throw; surface the failure instead of
+    // swallowing it silently. Callers that care should close() explicitly.
+    RIT_LOG_ERROR << "CSV write to '" << path_ << "' failed: " << e.what();
+  }
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
@@ -25,15 +38,15 @@ std::string CsvWriter::escape(const std::string& cell) {
 }
 
 void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  RIT_CHECK_MSG(!closed_, "CSV file already closed: " << path_);
   RIT_CHECK_MSG(cells.size() == columns_,
                 "CSV row has " << cells.size() << " cells, header has "
                                << columns_);
   for (std::size_t i = 0; i < cells.size(); ++i) {
-    if (i != 0) out_ << ',';
-    out_ << escape(cells[i]);
+    if (i != 0) buffer_ += ',';
+    buffer_ += escape(cells[i]);
   }
-  out_ << '\n';
-  out_.flush();
+  buffer_ += '\n';
 }
 
 void CsvWriter::add_numeric_row(const std::vector<double>& cells,
@@ -42,6 +55,12 @@ void CsvWriter::add_numeric_row(const std::vector<double>& cells,
   row.reserve(cells.size());
   for (double c : cells) row.push_back(format_double(c, precision));
   add_row(row);
+}
+
+void CsvWriter::close() {
+  if (closed_) return;
+  rit::write_file_atomic(path_, buffer_);
+  closed_ = true;
 }
 
 }  // namespace rit::cli

@@ -1,8 +1,12 @@
 // CSV writer: every bench also dumps its series as CSV so the figures can
 // be re-plotted with any external tool.
+//
+// Rows are buffered in memory and the whole file is committed through
+// rit::write_file_atomic on close(), so a crash mid-sweep never leaves a
+// half-written CSV behind — readers either see the previous complete file
+// or the new complete one.
 #pragma once
 
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -10,11 +14,25 @@ namespace rit::cli {
 
 class CsvWriter {
  public:
-  /// Opens `path` for writing and emits the header row. Throws on failure.
+  /// Remembers `path` and buffers the header row. The file itself is only
+  /// written by close() (or the destructor). Throws on an empty header.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Commits the buffered rows atomically (write temp, fsync, rename).
+  /// Best-effort, never throws: an explicit close() beforehand is the way
+  /// to observe failures.
+  ~CsvWriter();
 
   void add_row(const std::vector<std::string>& cells);
   void add_numeric_row(const std::vector<double>& cells, int precision = 6);
+
+  /// Atomically writes the buffered content to path(). Throws CheckFailure
+  /// on I/O failure. Idempotent: later calls after a success are no-ops,
+  /// and rows must not be added after a successful close.
+  void close();
 
   const std::string& path() const { return path_; }
 
@@ -22,8 +40,9 @@ class CsvWriter {
   static std::string escape(const std::string& cell);
 
   std::string path_;
-  std::ofstream out_;
+  std::string buffer_;
   std::size_t columns_;
+  bool closed_ = false;
 };
 
 }  // namespace rit::cli

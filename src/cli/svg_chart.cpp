@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
 #include <limits>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 #include "common/format_util.h"
 
@@ -202,9 +202,7 @@ std::string render_line_chart(const std::vector<Series>& series,
 void write_line_chart(const std::string& path,
                       const std::vector<Series>& series,
                       const ChartOptions& options) {
-  std::ofstream out(path);
-  RIT_CHECK_MSG(out.good(), "cannot open SVG file for writing: " << path);
-  out << render_line_chart(series, options);
+  rit::write_file_atomic(path, render_line_chart(series, options));
 }
 
 }  // namespace rit::cli

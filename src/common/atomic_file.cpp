@@ -1,0 +1,123 @@
+#include "common/atomic_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/check.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define RIT_ATOMIC_FILE_POSIX 1
+#else
+#include <cstdio>
+#define RIT_ATOMIC_FILE_POSIX 0
+#endif
+
+namespace rit {
+
+namespace {
+
+void create_parent_dirs(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (!p.has_parent_path()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(p.parent_path(), ec);
+  // An existing directory is fine; a real failure surfaces on open below
+  // with its own errno, which is the more actionable message.
+}
+
+#if RIT_ATOMIC_FILE_POSIX
+
+std::string errno_text() {
+  const int err = errno;
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
+// Writes all of `content`, retrying short writes and EINTR: a partial
+// write() is legal on any POSIX system and silently truncates the artifact
+// unless the caller loops.
+void write_all(int fd, std::string_view content, const std::string& tmp) {
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string why = errno_text();
+      ::close(fd);
+      RIT_CHECK_MSG(false, "atomic write: short write to '"
+                               << tmp << "' after " << off << "/"
+                               << content.size() << " bytes: " << why);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_dir_of(const std::string& path) {
+  const std::filesystem::path p(path);
+  const std::string dir =
+      p.has_parent_path() ? p.parent_path().string() : std::string(".");
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best effort: some filesystems refuse O_RDONLY dirs
+  ::fsync(fd);         // ditto: the rename itself already happened
+  ::close(fd);
+}
+
+#endif  // RIT_ATOMIC_FILE_POSIX
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  RIT_CHECK_MSG(!path.empty(), "atomic write: empty path");
+  create_parent_dirs(path);
+#if RIT_ATOMIC_FILE_POSIX
+  // Temp name is sibling + pid so concurrent processes targeting the same
+  // path never clobber each other's staging file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  RIT_CHECK_MSG(fd >= 0, "atomic write: cannot open temp file '"
+                             << tmp << "': " << errno_text());
+  write_all(fd, content, tmp);
+  if (::fsync(fd) != 0) {
+    const std::string why = errno_text();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    RIT_CHECK_MSG(false, "atomic write: fsync '" << tmp << "': " << why);
+  }
+  if (::close(fd) != 0) {
+    const std::string why = errno_text();
+    ::unlink(tmp.c_str());
+    RIT_CHECK_MSG(false, "atomic write: close '" << tmp << "': " << why);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_text();
+    ::unlink(tmp.c_str());
+    RIT_CHECK_MSG(false, "atomic write: rename '" << tmp << "' -> '" << path
+                                                  << "': " << why);
+  }
+  fsync_dir_of(path);
+#else
+  // Non-POSIX fallback: plain stdio write + rename. Not crash-atomic, but
+  // keeps the API portable; every CI platform takes the POSIX path.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  RIT_CHECK_MSG(f != nullptr, "atomic write: cannot open temp file '" << tmp
+                                                                      << "'");
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  RIT_CHECK_MSG(ok, "atomic write: short write to '"
+                        << tmp << "' (" << written << "/" << content.size()
+                        << " bytes)");
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  RIT_CHECK_MSG(!ec, "atomic write: rename '" << tmp << "' -> '" << path
+                                              << "': " << ec.message());
+#endif
+}
+
+}  // namespace rit

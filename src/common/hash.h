@@ -1,0 +1,24 @@
+// FNV-1a 64-bit hashing for config fingerprints.
+//
+// Checkpoint files (sim/checkpoint.h) refuse to resume under a different
+// scenario/flag set; the fingerprint is this hash over a canonical textual
+// description of the run. FNV-1a is tiny, dependency-free, and stable
+// across platforms — it fingerprints configs, it does not defend against
+// adversarial collisions.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rit {
+
+constexpr std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace rit

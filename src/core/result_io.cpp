@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 
 namespace rit::core {
@@ -96,9 +97,11 @@ void write_record(const ExperimentRecord& record, std::ostream& out) {
 
 void write_record_file(const ExperimentRecord& record,
                        const std::string& path) {
-  std::ofstream out(path);
-  RIT_CHECK_MSG(out.good(), "cannot open record file for writing: " << path);
+  // Records feed bit-exact replay (see replay_test); an interrupted write
+  // must never leave a half-record that parses up to the truncation point.
+  std::ostringstream out;
   write_record(record, out);
+  rit::write_file_atomic(path, out.str());
 }
 
 ExperimentRecord read_record(std::istream& in) {

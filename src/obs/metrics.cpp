@@ -1,9 +1,8 @@
 #include "obs/metrics.h"
 
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 #include "common/format_util.h"
 
@@ -170,14 +169,9 @@ Registry& Registry::global() {
 
 void write_metrics_json(const std::string& path,
                         const MetricsSnapshot& snapshot) {
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
-  std::ofstream out(path);
-  RIT_CHECK_MSG(out.good(), "cannot open metrics output file " << path);
-  out << snapshot.to_json();
+  // Atomic commit (temp + fsync + rename): a crash mid-export never leaves
+  // a truncated JSON file for dashboards to choke on.
+  rit::write_file_atomic(path, snapshot.to_json());
 }
 
 }  // namespace rit::obs

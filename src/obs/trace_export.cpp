@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <map>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 
 namespace rit::obs {
@@ -47,14 +46,9 @@ std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
 
 void write_chrome_trace(const std::string& path,
                         const std::vector<TraceEvent>& events) {
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
-  std::ofstream out(path);
-  RIT_CHECK_MSG(out.good(), "cannot open trace output file " << path);
-  out << chrome_trace_json(events);
+  // Atomic commit (temp + fsync + rename): chrome://tracing rejects
+  // truncated JSON, so never expose a partially written file.
+  rit::write_file_atomic(path, chrome_trace_json(events));
 }
 
 std::vector<PhaseStat> phase_breakdown(std::vector<TraceEvent> events) {

@@ -1,0 +1,77 @@
+#include "sim/chaos.h"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/atomic_file.h"
+#include "common/check.h"
+#include "rng/rng.h"
+#include "stats/timer.h"
+
+namespace rit::sim::chaos {
+
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RIT_CHECK_MSG(in.good(), "chaos: cannot read '" << path << "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+void inject_before_trial(const ChaosSpec& spec, std::uint64_t trial) {
+  if (spec.delay_on_trial == trial && spec.delay_ms > 0.0) {
+    // Busy-wait on the monotonic clock: sleep_for can wake early/late, a
+    // spin past the deadline cannot — the watchdog test needs certainty.
+    stats::Timer timer;
+    while (timer.elapsed_ms() < spec.delay_ms) {
+    }
+  }
+  if (spec.throw_on_trial == trial) {
+    throw std::runtime_error("chaos: injected throw on trial " +
+                             std::to_string(trial));
+  }
+  if (spec.fault_rate > 0.0) {
+    // Per-trial stream mixed from (seed, trial): which trials fault is a
+    // pure function of the spec, never of scheduling.
+    rng::Rng rng(spec.seed ^ (trial * 0x9e3779b97f4a7c15ULL + 1));
+    if (rng.bernoulli(spec.fault_rate)) {
+      throw std::runtime_error("chaos: injected fault (rate " +
+                               std::to_string(spec.fault_rate) +
+                               ") on trial " + std::to_string(trial));
+    }
+  }
+}
+
+void inject_after_trial(const ChaosSpec& spec, std::uint64_t trial,
+                        TrialMetrics& metrics) {
+  if (spec.nan_on_trial == trial) {
+    metrics.avg_utility_rit = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+void truncate_file(const std::string& path, std::size_t keep_bytes) {
+  std::string content = read_all(path);
+  RIT_CHECK_MSG(keep_bytes <= content.size(),
+                "chaos: truncate keeps " << keep_bytes << " of "
+                                         << content.size() << " bytes");
+  content.resize(keep_bytes);
+  write_file_atomic(path, content);
+}
+
+void flip_bit(const std::string& path, std::size_t byte_index, unsigned bit) {
+  std::string content = read_all(path);
+  RIT_CHECK_MSG(byte_index < content.size(),
+                "chaos: flip_bit index " << byte_index << " out of range ("
+                                         << content.size() << " bytes)");
+  RIT_CHECK(bit < 8);
+  content[byte_index] = static_cast<char>(
+      static_cast<unsigned char>(content[byte_index]) ^ (1u << bit));
+  write_file_atomic(path, content);
+}
+
+}  // namespace rit::sim::chaos

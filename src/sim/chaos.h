@@ -1,0 +1,70 @@
+// Chaos harness: deterministic fault injection for the guarded runner.
+//
+// Robustness claims need adversarial tests, not luck: the injectors here
+// make trials throw, return NaN, or stall on demand, and a test hook kills
+// the process-equivalent (by throwing ChaosKill) right after the k-th
+// checkpoint write — which is how the kill/resume matrix proves resume is
+// bit-identical at every checkpoint boundary. Everything is driven by the
+// trial index or the deterministic rng, so a chaos run replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/metrics.h"
+
+namespace rit::sim::chaos {
+
+/// "Never fire" sentinel for the per-trial injectors.
+constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+struct ChaosSpec {
+  /// Throw std::runtime_error when running this trial index.
+  std::uint64_t throw_on_trial{kNever};
+  /// Overwrite this trial's avg_utility_rit with NaN after it runs.
+  std::uint64_t nan_on_trial{kNever};
+  /// Busy-wait `delay_ms` of steady-clock time inside this trial (drives
+  /// the watchdog tests without depending on scheduler behavior).
+  std::uint64_t delay_on_trial{kNever};
+  double delay_ms{0.0};
+  /// Additionally throw on each trial with this probability, drawn from a
+  /// per-trial rng stream mixed from (seed, trial) — deterministic and
+  /// independent of execution order, so a chaos run resumes exactly.
+  double fault_rate{0.0};
+  std::uint64_t seed{0};
+  /// Test hook: after this many checkpoint writes, throw ChaosKill from
+  /// the runner (simulating a process kill at a checkpoint boundary).
+  /// kNever disables.
+  std::uint64_t kill_after_checkpoints{kNever};
+
+  bool any_trial_injector() const {
+    return throw_on_trial != kNever || nan_on_trial != kNever ||
+           delay_on_trial != kNever || fault_rate > 0.0;
+  }
+};
+
+/// Thrown by the runner when kill_after_checkpoints fires. Deliberately
+/// NOT derived from rit::CheckFailure: it models a hard process death, so
+/// nothing in the containment path should catch it.
+struct ChaosKill : std::runtime_error {
+  explicit ChaosKill(std::uint64_t checkpoints)
+      : std::runtime_error("chaos: killed after " +
+                           std::to_string(checkpoints) +
+                           " checkpoint write(s)") {}
+};
+
+/// Runs the before-trial injectors for `trial`: delay, then deterministic
+/// throw (throw_on_trial or a fault_rate draw).
+void inject_before_trial(const ChaosSpec& spec, std::uint64_t trial);
+
+/// Runs the after-trial injectors: NaN poisoning of the returned metrics.
+void inject_after_trial(const ChaosSpec& spec, std::uint64_t trial,
+                        TrialMetrics& metrics);
+
+/// File-corruption helpers for the corrupt-checkpoint rejection tests.
+/// Both throw CheckFailure if `path` cannot be read or rewritten.
+void truncate_file(const std::string& path, std::size_t keep_bytes);
+void flip_bit(const std::string& path, std::size_t byte_index, unsigned bit);
+
+}  // namespace rit::sim::chaos

@@ -1,0 +1,380 @@
+#include "sim/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.h"
+#include "common/check.h"
+#include "common/hash.h"
+#include "obs/obs.h"
+
+namespace rit::sim {
+
+namespace {
+
+constexpr const char* kHeader = "ritcs-checkpoint v1";
+
+// Field-coverage guard mirroring metrics.cpp: the (de)serializers below
+// enumerate every AggregateMetrics field by hand, so a shape change must
+// update them or resumed sweeps would silently drop the new field.
+static_assert(sizeof(AggregateMetrics) ==
+                  8 * sizeof(stats::OnlineStats) + 5 * sizeof(std::uint64_t),
+              "AggregateMetrics changed shape: update write_agg()/read_agg() "
+              "in checkpoint.cpp (and this static_assert)");
+
+std::string hex_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+double parse_hex_double(const std::string& token, const std::string& what) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty(),
+                "checkpoint: bad double for " << what << ": '" << token
+                                              << "'");
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& what) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty(),
+                "checkpoint: bad integer for " << what << ": '" << token
+                                               << "'");
+  return v;
+}
+
+/// Strict line reader over the (already checksum-verified) body.
+class Reader {
+ public:
+  explicit Reader(const std::string& content) : in_(content) {}
+
+  /// Next line, which must start with `key`; returns the remainder after
+  /// the single separating space ("" when the line is just the key).
+  std::string expect_raw(const char* key) {
+    std::string line;
+    RIT_CHECK_MSG(static_cast<bool>(std::getline(in_, line)),
+                  "checkpoint: unexpected end of file, wanted '" << key
+                                                                 << "'");
+    const std::string k(key);
+    RIT_CHECK_MSG(
+        line.compare(0, k.size(), k) == 0 &&
+            (line.size() == k.size() || line[k.size()] == ' '),
+        "checkpoint: expected '" << key << "', found '" << line << "'");
+    return line.size() > k.size() ? line.substr(k.size() + 1) : std::string();
+  }
+
+  std::vector<std::string> expect(const char* key) {
+    std::istringstream ls(expect_raw(key));
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ls >> tok) tokens.push_back(tok);
+    return tokens;
+  }
+
+  std::uint64_t expect_u64(const char* key) {
+    const auto tokens = expect(key);
+    RIT_CHECK_MSG(tokens.size() == 1, "checkpoint: '" << key
+                                                      << "' wants one value");
+    return parse_u64(tokens[0], key);
+  }
+
+  /// Optional read: false at end of input.
+  bool try_line(std::string* line) {
+    return static_cast<bool>(std::getline(in_, *line));
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+void write_stat(std::ostream& os, const char* name,
+                const stats::OnlineStats& s) {
+  os << "stat " << name << ' ' << s.count() << ' ' << hex_double(s.raw_mean())
+     << ' ' << hex_double(s.raw_m2()) << ' ' << hex_double(s.raw_min()) << ' '
+     << hex_double(s.raw_max()) << "\n";
+}
+
+stats::OnlineStats read_stat(Reader& r, const char* name) {
+  const auto tokens = r.expect("stat");
+  RIT_CHECK_MSG(tokens.size() == 6 && tokens[0] == name,
+                "checkpoint: expected stat '" << name << "'");
+  return stats::OnlineStats::restore(
+      static_cast<std::size_t>(parse_u64(tokens[1], name)),
+      parse_hex_double(tokens[2], name), parse_hex_double(tokens[3], name),
+      parse_hex_double(tokens[4], name), parse_hex_double(tokens[5], name));
+}
+
+void write_agg(std::ostream& os, const AggregateMetrics& a) {
+  os << "agg " << a.trials << ' ' << a.successes << ' ' << a.degraded_trials
+     << ' ' << a.failed_trials << ' ' << a.quarantined_trials << "\n";
+  write_stat(os, "avg_utility_auction", a.avg_utility_auction);
+  write_stat(os, "avg_utility_rit", a.avg_utility_rit);
+  write_stat(os, "total_payment_auction", a.total_payment_auction);
+  write_stat(os, "total_payment_rit", a.total_payment_rit);
+  write_stat(os, "runtime_auction_ms", a.runtime_auction_ms);
+  write_stat(os, "runtime_rit_ms", a.runtime_rit_ms);
+  write_stat(os, "solicitation_premium", a.solicitation_premium);
+  write_stat(os, "tasks_allocated", a.tasks_allocated);
+}
+
+AggregateMetrics read_agg(Reader& r) {
+  const auto tokens = r.expect("agg");
+  RIT_CHECK_MSG(tokens.size() == 5, "checkpoint: 'agg' wants five counters");
+  AggregateMetrics a;
+  a.trials = parse_u64(tokens[0], "trials");
+  a.successes = parse_u64(tokens[1], "successes");
+  a.degraded_trials = parse_u64(tokens[2], "degraded_trials");
+  a.failed_trials = parse_u64(tokens[3], "failed_trials");
+  a.quarantined_trials = parse_u64(tokens[4], "quarantined_trials");
+  a.avg_utility_auction = read_stat(r, "avg_utility_auction");
+  a.avg_utility_rit = read_stat(r, "avg_utility_rit");
+  a.total_payment_auction = read_stat(r, "total_payment_auction");
+  a.total_payment_rit = read_stat(r, "total_payment_rit");
+  a.runtime_auction_ms = read_stat(r, "runtime_auction_ms");
+  a.runtime_rit_ms = read_stat(r, "runtime_rit_ms");
+  a.solicitation_premium = read_stat(r, "solicitation_premium");
+  a.tasks_allocated = read_stat(r, "tasks_allocated");
+  return a;
+}
+
+void write_faults(std::ostream& os, const FaultLedger& ledger) {
+  os << "faults " << ledger.entries.size() << "\n";
+  for (const TrialFault& f : ledger.entries) {
+    os << "fault " << f.trial << ' ' << f.seed << ' ' << to_string(f.kind)
+       << ' ' << (f.phase.empty() ? "-" : f.phase) << ' ' << f.reason << "\n";
+  }
+}
+
+FaultLedger read_faults(Reader& r) {
+  const std::uint64_t count = r.expect_u64("faults");
+  FaultLedger ledger;
+  ledger.entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string rest = r.expect_raw("fault");
+    std::istringstream ls(rest);
+    std::string trial, seed, kind, phase;
+    RIT_CHECK_MSG(static_cast<bool>(ls >> trial >> seed >> kind >> phase),
+                  "checkpoint: malformed fault entry '" << rest << "'");
+    std::string reason;
+    std::getline(ls, reason);
+    if (!reason.empty() && reason.front() == ' ') reason.erase(0, 1);
+    TrialFault f;
+    f.trial = parse_u64(trial, "fault trial");
+    f.seed = parse_u64(seed, "fault seed");
+    f.kind = parse_fault_kind(kind);
+    f.phase = phase == "-" ? std::string() : phase;
+    f.reason = std::move(reason);
+    ledger.entries.push_back(std::move(f));
+  }
+  return ledger;
+}
+
+void write_worker(std::ostream& os, const WorkerCheckpoint& w) {
+  write_agg(os, w.agg);
+  write_faults(os, w.faults);
+}
+
+WorkerCheckpoint read_worker(Reader& r) {
+  WorkerCheckpoint w;
+  w.agg = read_agg(r);
+  w.faults = read_faults(r);
+  return w;
+}
+
+}  // namespace
+
+std::string serialize_checkpoint(const CheckpointData& data) {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  os << "config " << data.config_hash << "\n";
+  os << "seed " << data.seed << "\n";
+  os << "threads " << data.threads << "\n";
+  os << "trials " << data.trials << "\n";
+  os << "every " << data.every << "\n";
+  os << "completed " << data.completed.size() << "\n";
+  for (std::size_t i = 0; i < data.completed.size(); ++i) {
+    os << "point " << i << "\n";
+    write_worker(os, data.completed[i]);
+  }
+  if (data.has_partial) {
+    os << "partial " << data.partial_point << ' ' << data.partial_cursor
+       << ' ' << data.partial_workers.size() << "\n";
+    for (std::size_t w = 0; w < data.partial_workers.size(); ++w) {
+      os << "worker " << w << "\n";
+      write_worker(os, data.partial_workers[w]);
+    }
+  }
+  std::string body = os.str();
+  body += "checksum " + std::to_string(fnv1a64(body)) + "\n";
+  return body;
+}
+
+CheckpointData parse_checkpoint(const std::string& content,
+                                const std::string& path_for_errors) {
+  // Checksum first: a truncated or bit-flipped file must be rejected with
+  // one clear message before the structured parse sees it.
+  const std::size_t at = content.rfind("\nchecksum ");
+  RIT_CHECK_MSG(at != std::string::npos && content.back() == '\n',
+                "checkpoint '" << path_for_errors
+                               << "': missing checksum footer (truncated "
+                                  "file?); refusing to resume");
+  const std::string body = content.substr(0, at + 1);
+  const std::string footer = content.substr(at + 1);
+  std::istringstream fs(footer);
+  std::string key, value;
+  fs >> key >> value;
+  const std::uint64_t want = parse_u64(value, "checksum");
+  RIT_CHECK_MSG(fnv1a64(body) == want,
+                "checkpoint '" << path_for_errors
+                               << "': checksum mismatch (corrupt file); "
+                                  "refusing to resume");
+
+  Reader r(body);
+  const std::string header = r.expect_raw(kHeader);
+  RIT_CHECK_MSG(header.empty(), "checkpoint '"
+                                    << path_for_errors
+                                    << "': bad header; refusing to resume");
+  CheckpointData data;
+  data.config_hash = r.expect_u64("config");
+  data.seed = r.expect_u64("seed");
+  data.threads = static_cast<unsigned>(r.expect_u64("threads"));
+  data.trials = r.expect_u64("trials");
+  data.every = r.expect_u64("every");
+  const std::uint64_t completed = r.expect_u64("completed");
+  data.completed.reserve(completed);
+  for (std::uint64_t i = 0; i < completed; ++i) {
+    const std::uint64_t point = r.expect_u64("point");
+    RIT_CHECK_MSG(point == i, "checkpoint '" << path_for_errors
+                                             << "': points out of order");
+    data.completed.push_back(read_worker(r));
+  }
+  std::string line;
+  if (r.try_line(&line)) {
+    std::istringstream ls(line);
+    std::string pkey, ppoint, pcursor, pworkers;
+    RIT_CHECK_MSG(
+        static_cast<bool>(ls >> pkey >> ppoint >> pcursor >> pworkers) &&
+            pkey == "partial",
+        "checkpoint '" << path_for_errors << "': unexpected trailing line '"
+                       << line << "'");
+    data.has_partial = true;
+    data.partial_point = parse_u64(ppoint, "partial point");
+    data.partial_cursor = parse_u64(pcursor, "partial cursor");
+    RIT_CHECK_MSG(data.partial_point == data.completed.size(),
+                  "checkpoint '" << path_for_errors
+                                 << "': partial point out of order");
+    const std::uint64_t worker_count = parse_u64(pworkers, "partial workers");
+    data.partial_workers.reserve(worker_count);
+    for (std::uint64_t w = 0; w < worker_count; ++w) {
+      const std::uint64_t index = r.expect_u64("worker");
+      RIT_CHECK_MSG(index == w, "checkpoint '" << path_for_errors
+                                               << "': workers out of order");
+      data.partial_workers.push_back(read_worker(r));
+    }
+    RIT_CHECK_MSG(!r.try_line(&line),
+                  "checkpoint '" << path_for_errors
+                                 << "': trailing data after partial state");
+  }
+  return data;
+}
+
+namespace {
+
+void check_binding(const std::string& path, const char* what,
+                   std::uint64_t file_value, std::uint64_t run_value) {
+  RIT_CHECK_MSG(file_value == run_value,
+                "checkpoint '" << path << "': " << what << " mismatch (file "
+                               << file_value << ", run " << run_value
+                               << "); refusing to resume");
+}
+
+}  // namespace
+
+CheckpointSession::CheckpointSession(Params params)
+    : params_(std::move(params)) {
+  RIT_CHECK_MSG(!params_.path.empty(), "checkpoint: empty path");
+  RIT_CHECK_MSG(params_.threads >= 1, "checkpoint: threads must be >= 1");
+  data_.config_hash = params_.config_hash;
+  data_.seed = params_.seed;
+  data_.threads = params_.threads;
+  data_.trials = params_.trials;
+  data_.every = params_.every;
+  if (!params_.resume) return;
+  std::ifstream in(params_.path, std::ios::binary);
+  if (!in.good()) return;  // --resume with no file yet: fresh start
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  CheckpointData loaded = parse_checkpoint(ss.str(), params_.path);
+  // The file must describe the exact run being resumed: same config, same
+  // seed, same thread count (the strided partition — and hence bit-exact
+  // per-worker state — is a function of it), same trial count + interval.
+  check_binding(params_.path, "config hash", loaded.config_hash,
+                params_.config_hash);
+  check_binding(params_.path, "seed", loaded.seed, params_.seed);
+  check_binding(params_.path, "thread count", loaded.threads,
+                params_.threads);
+  check_binding(params_.path, "trials per point", loaded.trials,
+                params_.trials);
+  check_binding(params_.path, "checkpoint interval", loaded.every,
+                params_.every);
+  data_ = std::move(loaded);
+  RIT_COUNTER_INC("sim.checkpoints_resumed");
+}
+
+bool CheckpointSession::completed_point(std::uint64_t point,
+                                        GuardedResult* out) const {
+  if (point >= data_.completed.size()) return false;
+  const WorkerCheckpoint& w = data_.completed[point];
+  out->metrics = w.agg;
+  out->faults = w.faults;
+  return true;
+}
+
+bool CheckpointSession::partial_state(
+    std::uint64_t point, std::uint64_t* cursor,
+    std::vector<WorkerCheckpoint>* workers) const {
+  if (!data_.has_partial || data_.partial_point != point) return false;
+  *cursor = data_.partial_cursor;
+  *workers = data_.partial_workers;
+  return true;
+}
+
+void CheckpointSession::save_partial(std::uint64_t point,
+                                     std::uint64_t cursor,
+                                     std::vector<WorkerCheckpoint> workers) {
+  RIT_CHECK_MSG(point == data_.completed.size(),
+                "checkpoint: partial point " << point << " out of order ("
+                                             << data_.completed.size()
+                                             << " completed)");
+  data_.has_partial = true;
+  data_.partial_point = point;
+  data_.partial_cursor = cursor;
+  data_.partial_workers = std::move(workers);
+  save();
+}
+
+void CheckpointSession::complete_point(std::uint64_t point,
+                                       const GuardedResult& result) {
+  RIT_CHECK_MSG(point == data_.completed.size(),
+                "checkpoint: completed point " << point << " out of order ("
+                                               << data_.completed.size()
+                                               << " completed)");
+  data_.completed.push_back(WorkerCheckpoint{result.metrics, result.faults});
+  data_.has_partial = false;
+  data_.partial_workers.clear();
+  save();
+}
+
+void CheckpointSession::save() {
+  RIT_TRACE_SPAN("sim.checkpoint_save");
+  write_file_atomic(params_.path, serialize_checkpoint(data_));
+  ++written_;
+  RIT_COUNTER_INC("sim.checkpoints_written");
+}
+
+}  // namespace rit::sim

@@ -1,0 +1,112 @@
+// Deterministic sweep checkpoints: versioned, checksummed, atomic.
+//
+// A sweep's durable progress is (per grid point) either a completed
+// aggregate or a partial cut: the next-trial cursor plus every worker's
+// Welford/ledger state. Because the guarded runner's strided partition and
+// worker-order merge are pure functions of (trials, threads), restoring
+// those worker states and continuing produces bit-identical final
+// aggregates to an uninterrupted run — see docs/robustness.md.
+//
+// Format "ritcs-checkpoint v1": line-oriented text, doubles as C hex-floats
+// (%a, bit-exact — the result_io idiom), a header binding the file to
+// (config hash, seed, threads, trials, checkpoint interval), and an FNV-1a
+// checksum footer. Files are only ever replaced via write-fsync-rename
+// (common/atomic_file.h), so a killed process leaves the previous complete
+// checkpoint, never a torn one. Loading validates version, checksum, and
+// every header binding; any mismatch refuses to resume with a clear error.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fault.h"
+#include "sim/metrics.h"
+
+namespace rit::sim {
+
+/// One worker's resumable state at a checkpoint cut (also the shape of a
+/// completed point: its merged aggregate + ledger).
+struct WorkerCheckpoint {
+  AggregateMetrics agg;
+  FaultLedger faults;
+};
+
+/// The aggregate + fault ledger a guarded run returns (and a completed
+/// checkpoint point stores).
+struct GuardedResult {
+  AggregateMetrics metrics;
+  FaultLedger faults;
+};
+
+/// In-memory image of a checkpoint file.
+struct CheckpointData {
+  std::uint64_t config_hash{0};
+  std::uint64_t seed{0};
+  unsigned threads{1};
+  std::uint64_t trials{0};  // trials per grid point
+  std::uint64_t every{0};   // checkpoint interval in trials (0 = per point)
+  /// Completed grid points, in sweep order (index == point index).
+  std::vector<WorkerCheckpoint> completed;
+  /// At most one in-flight point: trials [0, partial_cursor) are folded
+  /// into partial_workers (one entry per worker, index order).
+  bool has_partial{false};
+  std::uint64_t partial_point{0};
+  std::uint64_t partial_cursor{0};
+  std::vector<WorkerCheckpoint> partial_workers;
+};
+
+/// Serializes/parses the format (exposed for tests; parse validates the
+/// checksum and structure, throwing CheckFailure on any corruption).
+std::string serialize_checkpoint(const CheckpointData& data);
+CheckpointData parse_checkpoint(const std::string& content,
+                                const std::string& path_for_errors);
+
+/// One sweep's checkpoint lifecycle: load-or-create, per-point queries,
+/// atomic saves. Construction with resume=true validates an existing file
+/// against the run's bindings and refuses to resume on mismatch; with
+/// resume=false any existing file is superseded by the first save.
+class CheckpointSession {
+ public:
+  struct Params {
+    std::string path;
+    std::uint64_t config_hash{0};
+    std::uint64_t seed{0};
+    unsigned threads{1};
+    std::uint64_t trials{0};
+    std::uint64_t every{0};
+    bool resume{false};
+  };
+
+  explicit CheckpointSession(Params params);
+
+  /// True (and fills *out) when `point` already completed in the loaded
+  /// checkpoint — the runner skips it entirely.
+  bool completed_point(std::uint64_t point, GuardedResult* out) const;
+
+  /// True when `point` has a partial cut to resume from; fills the
+  /// next-trial cursor and the per-worker states.
+  bool partial_state(std::uint64_t point, std::uint64_t* cursor,
+                     std::vector<WorkerCheckpoint>* workers) const;
+
+  /// Records a mid-point cut and writes the file atomically.
+  void save_partial(std::uint64_t point, std::uint64_t cursor,
+                    std::vector<WorkerCheckpoint> workers);
+
+  /// Marks `point` complete (clearing any partial cut) and writes.
+  void complete_point(std::uint64_t point, const GuardedResult& result);
+
+  std::uint64_t checkpoints_written() const { return written_; }
+  const Params& params() const { return params_; }
+
+ private:
+  void save();
+
+  Params params_;
+  CheckpointData data_;
+  std::uint64_t written_{0};
+};
+
+}  // namespace rit::sim

@@ -1,0 +1,60 @@
+// Trial fault containment: the ledger of quarantined trials.
+//
+// The fault-tolerant runner (sim/guarded.h) never lets one bad trial take a
+// 1000-trial sweep down with it. A trial that throws, exceeds the watchdog
+// deadline, or returns non-finite metrics is recorded here — with enough
+// context (trial index, seed, phase, reason) to rerun it in isolation — and
+// the sweep continues, up to the configured failure budget.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rit::sim {
+
+enum class FaultKind : std::uint8_t {
+  kException,  // the trial threw
+  kNonFinite,  // metrics came back NaN/inf
+  kTimeout,    // exceeded the --trial-timeout-ms watchdog deadline
+};
+
+const char* to_string(FaultKind kind);
+/// Inverse of to_string; throws CheckFailure on an unknown name
+/// (checkpoint files round-trip kinds through their names).
+FaultKind parse_fault_kind(const std::string& name);
+
+/// One contained trial failure. `seed` is the trial's mechanism seed, so
+/// `ritcs --mode=run --seed=... --trials=1` style repros are one copy-paste
+/// away; `phase` names the stage that faulted (make_instance / run_trial).
+struct TrialFault {
+  std::uint64_t trial{0};
+  std::uint64_t seed{0};
+  FaultKind kind{FaultKind::kException};
+  std::string phase;
+  std::string reason;
+};
+
+/// Append-only record of every contained fault in a run. Workers keep one
+/// each and the runner merges them in worker-index order, so the final
+/// ledger is deterministic for a given thread count.
+struct FaultLedger {
+  std::vector<TrialFault> entries;
+
+  void record(std::uint64_t trial, std::uint64_t seed, FaultKind kind,
+              std::string phase, std::string reason);
+  /// Folds another ledger in (parallel combine; appends in call order).
+  void merge(const FaultLedger& other);
+  bool empty() const { return entries.empty(); }
+  std::size_t size() const { return entries.size(); }
+
+  /// Entries ordered by trial index (the merge leaves worker-strided
+  /// order); use for any human-facing rendering.
+  std::vector<TrialFault> sorted_by_trial() const;
+
+  /// Markdown bullet list of the faults, capped at `max_entries` lines
+  /// with a "… and N more" tail.
+  std::string markdown(std::size_t max_entries = 10) const;
+};
+
+}  // namespace rit::sim

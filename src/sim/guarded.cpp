@@ -1,0 +1,241 @@
+#include "sim/guarded.h"
+
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "obs/obs.h"
+#include "sim/runner.h"
+#include "stats/timer.h"
+
+namespace rit::sim {
+
+namespace {
+
+// Quarantine predicate: every double the aggregates fold must be finite,
+// or one poisoned trial turns the whole sweep's Welford state into NaN.
+bool all_finite(const TrialMetrics& m) {
+  return std::isfinite(m.avg_utility_auction) &&
+         std::isfinite(m.avg_utility_rit) &&
+         std::isfinite(m.total_payment_auction) &&
+         std::isfinite(m.total_payment_rit) &&
+         std::isfinite(m.runtime_auction_ms) &&
+         std::isfinite(m.runtime_rit_ms) &&
+         std::isfinite(m.solicitation_premium);
+}
+
+struct WorkerState {
+  AggregateMetrics agg;
+  FaultLedger faults;
+  obs::Registry metrics;
+  core::RitWorkspace ws;
+};
+
+}  // namespace
+
+GuardedResult run_trials_guarded(std::uint64_t trials, unsigned threads,
+                                 const GuardPolicy& policy,
+                                 const TrialBody& body,
+                                 const TrialSeedFn& seed_of,
+                                 CheckpointSession* session,
+                                 std::uint64_t point,
+                                 const ProgressFn& progress) {
+  const unsigned resolved = rit::resolve_threads(threads, trials);
+  if (session != nullptr) {
+    // The strided partition (and so every worker's resumable state) is a
+    // function of the resolved thread count; the session's binding was
+    // validated against the file, this validates the runner against the
+    // session.
+    RIT_CHECK_MSG(session->params().threads == resolved,
+                  "checkpoint session bound to "
+                      << session->params().threads << " thread(s), run has "
+                      << resolved);
+    RIT_CHECK_MSG(session->params().trials == trials,
+                  "checkpoint session bound to " << session->params().trials
+                                                 << " trial(s), run has "
+                                                 << trials);
+    GuardedResult done;
+    if (session->completed_point(point, &done)) return done;
+  }
+
+  std::vector<WorkerState> workers(resolved);
+  std::uint64_t start = 0;
+  if (session != nullptr) {
+    std::uint64_t cursor = 0;
+    std::vector<WorkerCheckpoint> saved;
+    if (session->partial_state(point, &cursor, &saved)) {
+      RIT_CHECK_MSG(saved.size() == resolved,
+                    "checkpoint partial state has " << saved.size()
+                                                    << " worker(s), run has "
+                                                    << resolved);
+      RIT_CHECK_MSG(cursor <= trials, "checkpoint cursor " << cursor
+                                                           << " beyond "
+                                                           << trials
+                                                           << " trials");
+      for (unsigned w = 0; w < resolved; ++w) {
+        workers[w].agg = saved[w].agg;
+        workers[w].faults = saved[w].faults;
+      }
+      start = cursor;
+      RIT_COUNTER_ADD("sim.trials_resumed", start);
+    }
+  }
+
+  std::uint64_t restored_faults = 0;
+  for (const WorkerState& w : workers) restored_faults += w.faults.size();
+  std::atomic<std::uint64_t> fault_count{restored_faults};
+  std::atomic<bool> aborting{false};
+  std::mutex abort_mu;
+  std::exception_ptr abort_error;
+
+  // Per-trial timing stat only on the genuinely parallel path, mirroring
+  // the pre-guarded split between run_many and run_many_parallel (keeps
+  // --threads=1 metrics output byte-identical).
+  const bool record_trial_stat = resolved > 1;
+
+  const auto note_fault = [&](WorkerState& w, std::uint64_t t, FaultKind kind,
+                              const std::string& phase, std::string reason) {
+    const std::uint64_t seed = seed_of ? seed_of(t) : t;
+    w.faults.record(t, seed, kind, phase, reason);
+    if (kind == FaultKind::kNonFinite) {
+      w.agg.note_quarantined();
+      RIT_COUNTER_INC("sim.trials_quarantined");
+    } else {
+      w.agg.note_failed();
+      RIT_COUNTER_INC("sim.trials_failed");
+    }
+    const std::uint64_t count =
+        fault_count.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (count > policy.max_trial_failures) {
+      std::lock_guard<std::mutex> lock(abort_mu);
+      if (!abort_error) {
+        std::ostringstream os;
+        os << "trial " << t << " (seed " << seed << ", " << phase << ") "
+           << to_string(kind) << ": " << reason
+           << " — failure budget exhausted (" << count << " fault(s) > "
+              "--max-trial-failures=" << policy.max_trial_failures << ")";
+        abort_error = std::make_exception_ptr(rit::CheckFailure(os.str()));
+      }
+      aborting.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  const auto run_one = [&](WorkerState& w, std::uint64_t t) {
+    std::string phase = "trial";
+    stats::Timer watchdog;
+    TrialMetrics m;
+    bool ok = true;
+    try {
+      chaos::inject_before_trial(policy.chaos, t);
+      if (record_trial_stat) {
+        obs::StatTimer timed(w.metrics.stat("sim.trial_ms"));
+        m = body(t, w.ws, &phase);
+      } else {
+        m = body(t, w.ws, &phase);
+      }
+      chaos::inject_after_trial(policy.chaos, t, m);
+    } catch (const std::exception& e) {
+      note_fault(w, t, FaultKind::kException, phase, e.what());
+      ok = false;
+    } catch (...) {  // contained, not swallowed: recorded + counted above
+      note_fault(w, t, FaultKind::kException, phase, "unknown exception");
+      ok = false;
+    }
+    if (ok && policy.trial_timeout_ms > 0.0 &&
+        watchdog.elapsed_ms() > policy.trial_timeout_ms) {
+      std::ostringstream os;
+      os << "trial took " << watchdog.elapsed_ms()
+         << " ms, over --trial-timeout-ms=" << policy.trial_timeout_ms;
+      note_fault(w, t, FaultKind::kTimeout, phase, os.str());
+      ok = false;
+    }
+    if (ok && !all_finite(m)) {
+      note_fault(w, t, FaultKind::kNonFinite, phase,
+                 "non-finite metric value");
+      ok = false;
+    }
+    if (ok) w.agg.add(m);
+  };
+
+  SharedProgress shared(progress, trials, start);
+  const std::uint64_t every =
+      session != nullptr ? session->params().every : 0;
+
+  std::uint64_t next = start;
+  while (next < trials) {
+    // Chunked execution: a barrier per checkpoint interval. The partition
+    // within each chunk folds trial t into workers[t % resolved], which is
+    // exactly the residue-class a chunkless run uses — per-worker fold
+    // order is unchanged, so chunking never changes the bits.
+    const std::uint64_t base = next;
+    const std::uint64_t end = (session != nullptr && every > 0)
+                                  ? std::min(trials, base + every)
+                                  : trials;
+    rit::parallel_for_strided(
+        end - base, resolved, [&](std::uint64_t i, unsigned /*worker*/) {
+          if (aborting.load(std::memory_order_relaxed)) return;
+          const std::uint64_t t = base + i;
+          run_one(workers[t % resolved], t);
+          shared.tick();
+        });
+    next = end;
+    if (aborting.load(std::memory_order_relaxed)) break;
+    if (session != nullptr && next < trials) {
+      std::vector<WorkerCheckpoint> cut(resolved);
+      for (unsigned w = 0; w < resolved; ++w) {
+        cut[w] = WorkerCheckpoint{workers[w].agg, workers[w].faults};
+      }
+      session->save_partial(point, next, std::move(cut));
+      if (policy.chaos.kill_after_checkpoints != chaos::kNever &&
+          session->checkpoints_written() >=
+              policy.chaos.kill_after_checkpoints) {
+        throw chaos::ChaosKill(session->checkpoints_written());
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(abort_mu);
+    if (abort_error) std::rethrow_exception(abort_error);
+  }
+
+  if (record_trial_stat) {
+    obs::MetricsSnapshot merged;
+    for (const WorkerState& w : workers) merged.merge(w.metrics.snapshot());
+    obs::Registry::global().absorb(merged);
+  }
+
+  GuardedResult out;
+  for (const WorkerState& w : workers) {
+    out.metrics.merge(w.agg);
+    out.faults.merge(w.faults);
+  }
+  if (session != nullptr) session->complete_point(point, out);
+  return out;
+}
+
+GuardedResult run_many_guarded(const Scenario& scenario, std::uint64_t trials,
+                               unsigned threads, const GuardPolicy& policy,
+                               CheckpointSession* session,
+                               std::uint64_t point,
+                               const ProgressFn& progress) {
+  const TrialBody body = [&scenario](std::uint64_t t, core::RitWorkspace& ws,
+                                     std::string* phase) {
+    *phase = "make_instance";
+    const TrialInstance inst = make_instance(scenario, t);
+    *phase = "run_trial";
+    return run_trial(scenario, inst, ws);
+  };
+  const TrialSeedFn seed_of = [&scenario](std::uint64_t t) {
+    return mechanism_seed_of(scenario, t);
+  };
+  return run_trials_guarded(trials, threads, policy, body, seed_of, session,
+                            point, progress);
+}
+
+}  // namespace rit::sim

@@ -1,0 +1,83 @@
+// The fault-tolerant trial engine every sweep routes through.
+//
+// run_trials_guarded() keeps the exact deterministic execution model of
+// sim/parallel.h — strided static partition, per-worker accumulators
+// merged in worker-index order — and layers on:
+//
+//   * containment — a trial that throws, returns non-finite metrics, or
+//     exceeds the watchdog deadline lands in the FaultLedger instead of
+//     aborting; the failure budget (max_trial_failures, default 0) decides
+//     when containment gives up and the run aborts with a CheckFailure.
+//   * checkpointing — with a CheckpointSession, trials run in
+//     checkpoint-interval chunks with a barrier and an atomic state save
+//     between chunks. Chunking does not change which worker runs which
+//     trial or the per-worker fold order, so checkpointed (and resumed)
+//     runs produce bit-identical aggregates to uninterrupted ones.
+//   * chaos injection — the GuardPolicy carries a chaos::ChaosSpec for the
+//     fault-injection tests; it is inert by default.
+//
+// With a default GuardPolicy and no session this is behaviorally the old
+// run_many_parallel: identical partition, identical merge, and the first
+// fault aborts (budget 0) — except the abort is a clean CheckFailure
+// instead of std::terminate from an exception escaping a worker thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/rit.h"
+#include "sim/chaos.h"
+#include "sim/checkpoint.h"
+#include "sim/parallel.h"
+#include "sim/scenario.h"
+
+namespace rit::sim {
+
+struct GuardPolicy {
+  /// Contained faults tolerated before the run aborts. 0 (the default)
+  /// preserves the strict behavior: the first fault aborts the sweep.
+  std::uint64_t max_trial_failures{0};
+  /// Per-trial watchdog deadline in steady-clock milliseconds; 0 = off.
+  /// Post-hoc semantics: the trial's elapsed time is checked after it
+  /// returns (standard C++ cannot preempt a wedged thread), and an
+  /// over-deadline trial is recorded as a timeout fault with its metrics
+  /// discarded. See docs/robustness.md.
+  double trial_timeout_ms{0.0};
+  /// Fault injectors for the chaos tests; all off by default.
+  chaos::ChaosSpec chaos{};
+};
+
+/// The trial body: runs trial `trial` using per-worker scratch `ws` and
+/// returns its metrics. `phase` starts as "trial"; bodies that stage their
+/// work update it as they go so a fault names the stage that died.
+using TrialBody = std::function<TrialMetrics(
+    std::uint64_t trial, core::RitWorkspace& ws, std::string* phase)>;
+
+/// Maps a trial index to the seed recorded in its ledger entry (for repro
+/// commands). Defaults to the identity when empty.
+using TrialSeedFn = std::function<std::uint64_t(std::uint64_t trial)>;
+
+/// Runs `trials` trials of `body` under `policy`, fanned out over
+/// `threads` workers (0 = hardware concurrency). `session`, when non-null,
+/// enables checkpoint/resume for grid point `point`; its thread binding
+/// must match the resolved thread count. Aborts (budget exhausted) throw
+/// CheckFailure; a chaos kill throws chaos::ChaosKill.
+GuardedResult run_trials_guarded(std::uint64_t trials, unsigned threads,
+                                 const GuardPolicy& policy,
+                                 const TrialBody& body,
+                                 const TrialSeedFn& seed_of = {},
+                                 CheckpointSession* session = nullptr,
+                                 std::uint64_t point = 0,
+                                 const ProgressFn& progress = {});
+
+/// The scenario-driven form: make_instance + run_trial per trial, seeds
+/// from Scenario::trial_seed. This is what run_many_parallel, the benches,
+/// and `ritcs --mode=run` call.
+GuardedResult run_many_guarded(const Scenario& scenario, std::uint64_t trials,
+                               unsigned threads, const GuardPolicy& policy,
+                               CheckpointSession* session = nullptr,
+                               std::uint64_t point = 0,
+                               const ProgressFn& progress = {});
+
+}  // namespace rit::sim

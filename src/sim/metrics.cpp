@@ -3,12 +3,13 @@
 namespace rit::sim {
 
 // Field-coverage guard for add()/merge(): AggregateMetrics must stay exactly
-// 8 OnlineStats + 3 counters. Adding a field without updating both folds
+// 8 OnlineStats + 5 counters. Adding a field without updating both folds
 // below would silently drop it from every sweep (the original
 // tasks_allocated/probability_degraded bug) — instead, this fires and points
-// here.
+// here. The checkpoint serializer (sim/checkpoint.cpp) carries the same
+// guard for the same reason.
 static_assert(sizeof(AggregateMetrics) ==
-                  8 * sizeof(stats::OnlineStats) + 3 * sizeof(std::uint64_t),
+                  8 * sizeof(stats::OnlineStats) + 5 * sizeof(std::uint64_t),
               "AggregateMetrics changed shape: update add() and merge() in "
               "metrics.cpp (and this static_assert) so no field is dropped "
               "from aggregation");
@@ -31,6 +32,8 @@ void AggregateMetrics::merge(const AggregateMetrics& other) {
   trials += other.trials;
   successes += other.successes;
   degraded_trials += other.degraded_trials;
+  failed_trials += other.failed_trials;
+  quarantined_trials += other.quarantined_trials;
   avg_utility_auction.merge(other.avg_utility_auction);
   avg_utility_rit.merge(other.avg_utility_rit);
   total_payment_auction.merge(other.total_payment_auction);

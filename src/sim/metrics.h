@@ -45,6 +45,14 @@ struct AggregateMetrics {
   /// probability_degraded): vacuous Lemma 6.2 bound, order-statistic
   /// pricing, or a kRunToCompletion overrun of the H-budget.
   std::uint64_t degraded_trials{0};
+  /// Trials contained by the fault-tolerant runner (sim/guarded.h): the
+  /// trial threw or hit the --trial-timeout-ms watchdog. Excluded from
+  /// `trials` and every stat above; the per-trial details live in the
+  /// run's FaultLedger.
+  std::uint64_t failed_trials{0};
+  /// Trials whose metrics came back non-finite (NaN/inf) and were
+  /// quarantined before they could poison the Welford accumulators.
+  std::uint64_t quarantined_trials{0};
 
   /// Folds one trial in (Welford update on every stat).
   void add(const TrialMetrics& t);
@@ -61,6 +69,14 @@ struct AggregateMetrics {
     return trials == 0 ? 0.0
                        : static_cast<double>(degraded_trials) /
                              static_cast<double>(trials);
+  }
+  /// Records one contained trial failure (throw/timeout).
+  void note_failed() { ++failed_trials; }
+  /// Records one quarantined trial (non-finite metrics).
+  void note_quarantined() { ++quarantined_trials; }
+  /// Total trials the runner attempted, contained faults included.
+  std::uint64_t attempted() const {
+    return trials + failed_trials + quarantined_trials;
   }
 };
 

@@ -35,8 +35,11 @@ using ProgressFn = std::function<void(std::uint64_t, std::uint64_t)>;
 /// stderr writer.
 class SharedProgress {
  public:
-  SharedProgress(ProgressFn fn, std::uint64_t total)
-      : fn_(std::move(fn)), total_(total) {}
+  /// `initial` pre-counts trials already completed (a resumed sweep starts
+  /// its reporting from the checkpoint cursor, not from zero).
+  SharedProgress(ProgressFn fn, std::uint64_t total, std::uint64_t initial = 0)
+      : fn_(std::move(fn)), total_(total), done_(initial),
+        reported_(initial) {}
 
   void tick() {
     if (!fn_) return;

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 
 namespace rit::sim {
@@ -77,10 +78,9 @@ void write_population(const Population& population, std::ostream& out) {
 
 void write_population_file(const Population& population,
                            const std::string& path) {
-  std::ofstream out(path);
-  RIT_CHECK_MSG(out.good(), "cannot open population file for writing: "
-                                << path);
+  std::ostringstream out;
   write_population(population, out);
+  rit::write_file_atomic(path, out.str());
 }
 
 }  // namespace rit::sim

@@ -101,7 +101,15 @@ std::string aggregate_markdown(const AggregateMetrics& agg) {
   os << "- success rate: " << format_double(agg.success_rate(), 4) << " ("
      << agg.successes << "/" << agg.trials << ")\n";
   os << "- degraded-guarantee rate: " << format_double(agg.degraded_rate(), 4)
-     << " (" << agg.degraded_trials << "/" << agg.trials << ")\n\n";
+     << " (" << agg.degraded_trials << "/" << agg.trials << ")\n";
+  // Only surfaced when something actually faulted: default (strict) runs
+  // keep their historical byte-identical report.
+  if (agg.failed_trials > 0 || agg.quarantined_trials > 0) {
+    os << "- faults: " << agg.failed_trials << " failed, "
+       << agg.quarantined_trials << " quarantined (" << agg.attempted()
+       << " attempted)\n";
+  }
+  os << "\n";
   os << "| metric | mean | min | max | ci95 |\n";
   os << "|---|---|---|---|---|\n";
   const auto row = [&os](const char* name, const stats::OnlineStats& s) {

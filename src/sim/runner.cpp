@@ -4,7 +4,7 @@
 #include "core/payment.h"
 #include "core/rit.h"
 #include "obs/obs.h"
-#include "sim/parallel.h"
+#include "sim/guarded.h"
 #include "sim/progress.h"
 #include "stats/timer.h"
 
@@ -32,6 +32,11 @@ TrialInstance make_instance(const Scenario& scenario, std::uint64_t trial) {
       std::move(tr.tree),
       scenario.trial_seed(trial, kMechanismComponent),
   };
+}
+
+std::uint64_t mechanism_seed_of(const Scenario& scenario,
+                                std::uint64_t trial) {
+  return scenario.trial_seed(trial, kMechanismComponent);
 }
 
 TrialMetrics run_trial(const Scenario& scenario, const TrialInstance& inst) {
@@ -135,33 +140,14 @@ AggregateMetrics run_many_parallel(
   const unsigned resolved = rit::resolve_threads(threads, trials);
   if (resolved <= 1) return run_many(scenario, trials, progress);
 
-  // Strided partition: worker w takes trials w, w+threads, w+2*threads...
-  // Each worker folds into its own context; merging the contexts in worker
-  // order afterwards keeps the result independent of scheduling. The
-  // per-worker metrics registries follow the same discipline: snapshot
-  // each, merge in thread-index order, then fold the combined snapshot into
-  // the global registry once.
-  struct WorkerContext {
-    AggregateMetrics agg;
-    obs::Registry metrics;
-    core::RitWorkspace ws;
-  };
-  std::vector<WorkerContext> contexts(resolved);
-  parallel_trials(
-      trials, contexts,
-      [&](WorkerContext& ctx, std::uint64_t t) {
-        obs::StatTimer timed(ctx.metrics.stat("sim.trial_ms"));
-        ctx.agg.add(run_trial(scenario, make_instance(scenario, t), ctx.ws));
-      },
-      progress);
-
-  obs::MetricsSnapshot merged;
-  for (const WorkerContext& ctx : contexts) merged.merge(ctx.metrics.snapshot());
-  obs::Registry::global().absorb(merged);
-
-  AggregateMetrics agg;
-  for (const WorkerContext& ctx : contexts) agg.merge(ctx.agg);
-  return agg;
+  // The guarded engine (sim/guarded.h) with a default policy is exactly
+  // the old fan-out — same strided partition, same worker-order merges of
+  // aggregates and metrics registries — plus containment: an exception in
+  // a trial aborts with a clean CheckFailure (failure budget 0) instead of
+  // std::terminate from a worker thread.
+  return run_many_guarded(scenario, trials, resolved, GuardPolicy{}, nullptr,
+                          0, progress)
+      .metrics;
 }
 
 }  // namespace rit::sim

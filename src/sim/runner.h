@@ -25,6 +25,11 @@ struct TrialInstance {
 /// not change the job draw.
 TrialInstance make_instance(const Scenario& scenario, std::uint64_t trial);
 
+/// The mechanism-component seed make_instance would assign this trial
+/// (TrialInstance::mechanism_seed without materializing the instance) —
+/// what a fault ledger records so one trial can be re-run in isolation.
+std::uint64_t mechanism_seed_of(const Scenario& scenario, std::uint64_t trial);
+
 /// Runs the auction phase and the full mechanism on one instance with the
 /// *same* mechanism randomness (paired streams: phase-1 results coincide,
 /// so the two series in Figs. 6-8 differ only by the payment phase).

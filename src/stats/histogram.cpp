@@ -76,10 +76,15 @@ std::string Histogram::render(std::size_t max_bar_width) const {
        << ' ' << underflow_ << '\n';
   }
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    os << pad_left("[" + format_double(bucket_lo(i), 2) + ", " +
-                       format_double(bucket_lo(i) + width_, 2) + ")",
-                   18)
-       << " | " << bar(buckets_[i]) << ' ' << buckets_[i] << '\n';
+    // Built up with += (not operator+ chains): GCC 12's -Wrestrict
+    // false-positives on `"literal" + std::string&&` under -O3 (PR105651).
+    std::string label = "[";
+    label += format_double(bucket_lo(i), 2);
+    label += ", ";
+    label += format_double(bucket_lo(i) + width_, 2);
+    label += ")";
+    os << pad_left(label, 18) << " | " << bar(buckets_[i]) << ' '
+       << buckets_[i] << '\n';
   }
   if (overflow_ > 0) {
     os << pad_left(">= " + format_double(hi_, 2), 18) << " | " << bar(overflow_)

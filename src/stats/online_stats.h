@@ -28,6 +28,28 @@ class OnlineStats {
   double max() const { return n_ == 0 ? 0.0 : max_; }
   double sum() const { return n_ == 0 ? 0.0 : mean_ * static_cast<double>(n_); }
 
+  /// Raw internal state, exposed for bit-exact serialization (checkpoints).
+  /// raw_min()/raw_max() are ±infinity on an empty accumulator, unlike the
+  /// reporting accessors above which clamp to 0.
+  double raw_mean() const { return mean_; }
+  double raw_m2() const { return m2_; }
+  double raw_min() const { return min_; }
+  double raw_max() const { return max_; }
+
+  /// Rebuilds an accumulator from raw state. Round-tripping through
+  /// (count, raw_mean, raw_m2, raw_min, raw_max) is bit-exact, which is
+  /// what makes checkpoint/resume produce identical aggregates.
+  static OnlineStats restore(std::size_t n, double mean, double m2,
+                             double min, double max) {
+    OnlineStats s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::size_t n_{0};
   double mean_{0.0};

@@ -15,7 +15,12 @@ constexpr std::array<const char*, 8> kPalette = {
     "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"};
 
 std::string default_label(std::uint32_t node) {
-  return node == 0 ? "platform" : "P" + std::to_string(node);
+  if (node == 0) return "platform";
+  // += (not `"P" + ...`): GCC 12's -Wrestrict false-positives on
+  // `"literal" + std::string&&` under -O3 (PR105651).
+  std::string label = "P";
+  label += std::to_string(node);
+  return label;
 }
 
 std::string escape(const std::string& s) {

@@ -8,7 +8,11 @@ namespace rit::tree {
 namespace {
 std::string default_label(std::uint32_t node) {
   if (node == 0) return "platform";
-  return "P" + std::to_string(node);  // node i is participant P_i, 1-based
+  // += (not `"P" + ...`): GCC 12's -Wrestrict false-positives on
+  // `"literal" + std::string&&` under -O3 (PR105651).
+  std::string label = "P";  // node i is participant P_i, 1-based
+  label += std::to_string(node);
+  return label;
 }
 
 void render_node(const IncentiveTree& tree,

@@ -1,0 +1,86 @@
+// Bit-exact comparison helpers for AggregateMetrics / FaultLedger, shared
+// by the checkpoint and guarded-runner tests. "Bit-identical" here means
+// every double compares equal as a reinterpreted u64 — no epsilon anywhere.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "sim/checkpoint.h"
+#include "sim/fault.h"
+#include "sim/metrics.h"
+#include "stats/online_stats.h"
+
+namespace rit::sim::testbits {
+
+inline void expect_stats_identical(const stats::OnlineStats& a,
+                                   const stats::OnlineStats& b,
+                                   const char* name) {
+  EXPECT_EQ(a.count(), b.count()) << name;
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.raw_mean()),
+            std::bit_cast<std::uint64_t>(b.raw_mean()))
+      << name << ".mean " << a.raw_mean() << " vs " << b.raw_mean();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.raw_m2()),
+            std::bit_cast<std::uint64_t>(b.raw_m2()))
+      << name << ".m2 " << a.raw_m2() << " vs " << b.raw_m2();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.raw_min()),
+            std::bit_cast<std::uint64_t>(b.raw_min()))
+      << name << ".min";
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.raw_max()),
+            std::bit_cast<std::uint64_t>(b.raw_max()))
+      << name << ".max";
+}
+
+// Coverage guard: if AggregateMetrics grows a field, this assert fails the
+// build until expect_aggregate_identical() below learns about it.
+static_assert(sizeof(AggregateMetrics) ==
+                  8 * sizeof(stats::OnlineStats) + 5 * sizeof(std::uint64_t),
+              "AggregateMetrics changed shape: extend the bit-exact "
+              "comparison in tests/aggregate_bits.h");
+
+inline void expect_aggregate_identical(const AggregateMetrics& a,
+                                       const AggregateMetrics& b) {
+  expect_stats_identical(a.avg_utility_auction, b.avg_utility_auction,
+                         "avg_utility_auction");
+  expect_stats_identical(a.avg_utility_rit, b.avg_utility_rit,
+                         "avg_utility_rit");
+  expect_stats_identical(a.total_payment_auction, b.total_payment_auction,
+                         "total_payment_auction");
+  expect_stats_identical(a.total_payment_rit, b.total_payment_rit,
+                         "total_payment_rit");
+  expect_stats_identical(a.runtime_auction_ms, b.runtime_auction_ms,
+                         "runtime_auction_ms");
+  expect_stats_identical(a.runtime_rit_ms, b.runtime_rit_ms,
+                         "runtime_rit_ms");
+  expect_stats_identical(a.solicitation_premium, b.solicitation_premium,
+                         "solicitation_premium");
+  expect_stats_identical(a.tasks_allocated, b.tasks_allocated,
+                         "tasks_allocated");
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.degraded_trials, b.degraded_trials);
+  EXPECT_EQ(a.failed_trials, b.failed_trials);
+  EXPECT_EQ(a.quarantined_trials, b.quarantined_trials);
+}
+
+inline void expect_ledgers_identical(const FaultLedger& a,
+                                     const FaultLedger& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].trial, b.entries[i].trial) << "entry " << i;
+    EXPECT_EQ(a.entries[i].seed, b.entries[i].seed) << "entry " << i;
+    EXPECT_EQ(a.entries[i].kind, b.entries[i].kind) << "entry " << i;
+    EXPECT_EQ(a.entries[i].phase, b.entries[i].phase) << "entry " << i;
+    EXPECT_EQ(a.entries[i].reason, b.entries[i].reason) << "entry " << i;
+  }
+}
+
+inline void expect_results_identical(const GuardedResult& a,
+                                     const GuardedResult& b) {
+  expect_aggregate_identical(a.metrics, b.metrics);
+  expect_ledgers_identical(a.faults, b.faults);
+}
+
+}  // namespace rit::sim::testbits

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/atomic_file.h"
+#include "common/check.h"
+
+namespace rit {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// A fresh scratch directory per test, so leftover-temp-file checks see only
+// what the test itself produced.
+fs::path scratch(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "ritcs_atomic" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(AtomicFile, WritesContentExactly) {
+  const fs::path dir = scratch("writes");
+  const std::string path = (dir / "out.txt").string();
+  write_file_atomic(path, "alpha\nbeta\n");
+  EXPECT_EQ(read_all(path), "alpha\nbeta\n");
+}
+
+TEST(AtomicFile, EmptyContentMakesEmptyFile) {
+  const fs::path dir = scratch("empty");
+  const std::string path = (dir / "empty.txt").string();
+  write_file_atomic(path, "");
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_EQ(fs::file_size(path), 0u);
+}
+
+TEST(AtomicFile, CreatesMissingParentDirectories) {
+  const fs::path dir = scratch("parents");
+  const std::string path = (dir / "a" / "b" / "c.txt").string();
+  write_file_atomic(path, "deep\n");
+  EXPECT_EQ(read_all(path), "deep\n");
+}
+
+TEST(AtomicFile, OverwriteReplacesWholeFile) {
+  const fs::path dir = scratch("overwrite");
+  const std::string path = (dir / "f.txt").string();
+  write_file_atomic(path, "a much longer first version of the file\n");
+  write_file_atomic(path, "short\n");
+  EXPECT_EQ(read_all(path), "short\n");
+}
+
+TEST(AtomicFile, LeavesNoTempFileBehind) {
+  const fs::path dir = scratch("no_temp");
+  write_file_atomic((dir / "only.txt").string(), "x\n");
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path().filename().string(), "only.txt");
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(AtomicFile, UnwritableDestinationThrowsWithContext) {
+  const fs::path dir = scratch("unwritable");
+  // A regular file where a parent directory is needed fails with ENOTDIR
+  // even for root, which is what CI runs as.
+  const std::string blocker = (dir / "blocker").string();
+  write_file_atomic(blocker, "in the way\n");
+  const std::string target = blocker + "/nested/out.txt";
+  try {
+    write_file_atomic(target, "never lands\n");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    // The error must say which path failed so sweep logs are actionable.
+    EXPECT_NE(std::string(e.what()).find("blocker"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace rit

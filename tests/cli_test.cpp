@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -114,8 +115,30 @@ TEST(Csv, RowWidthMismatchThrows) {
   std::remove(path.c_str());
 }
 
-TEST(Csv, UnwritablePathThrows) {
-  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), CheckFailure);
+TEST(Csv, UnwritablePathThrowsOnClose) {
+  // A path whose "directory" is a regular file can never be created, even
+  // by root. Rows buffer fine; the atomic commit in close() must throw.
+  const std::string blocker = ::testing::TempDir() + "/ritcs_cli_blocker";
+  std::filesystem::remove_all(blocker);  // clear any stale leftover
+  { std::ofstream out(blocker); }
+  CsvWriter w(blocker + "/x.csv", {"a"});
+  w.add_row({"1"});
+  EXPECT_THROW(w.close(), CheckFailure);
+  std::remove(blocker.c_str());
+}
+
+TEST(Csv, CloseIsIdempotentAndRejectsLateRows) {
+  const std::string path = ::testing::TempDir() + "/ritcs_cli_test3.csv";
+  CsvWriter w(path, {"a"});
+  w.add_row({"1"});
+  w.close();
+  w.close();  // no-op
+  EXPECT_THROW(w.add_row({"2"}), CheckFailure);
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(all, "a\n1\n");
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -67,6 +67,16 @@ TEST(Failures, DuplicateDropoutsAreIdempotent) {
   EXPECT_EQ(r.asks.size(), 4u);
 }
 
+TEST(Failures, DuplicateDropoutsEqualSingleDropExactly) {
+  Fixture f;
+  const DropoutResult once = remove_participants(f.tree, f.asks, {{2u}});
+  const DropoutResult dup = remove_participants(f.tree, f.asks, {{2u, 2u, 2u}});
+  EXPECT_EQ(dup.asks, once.asks);
+  EXPECT_EQ(dup.original_of, once.original_of);
+  EXPECT_EQ(dup.new_of_original, once.new_of_original);
+  EXPECT_EQ(dup.tree.parents(), once.tree.parents());
+}
+
 TEST(Failures, DropEveryoneLeavesRootOnly) {
   Fixture f;
   const DropoutResult r =
@@ -86,6 +96,36 @@ TEST(Failures, RandomDropoutRateZeroAndOne) {
   EXPECT_EQ(random_dropout(f.tree, f.asks, 0.0, rng).asks.size(), 5u);
   EXPECT_EQ(random_dropout(f.tree, f.asks, 1.0, rng).asks.size(), 0u);
   EXPECT_THROW(random_dropout(f.tree, f.asks, 1.5, rng), CheckFailure);
+}
+
+TEST(Failures, RandomDropoutRateZeroIsTheIdentity) {
+  Fixture f;
+  rng::Rng rng(7);
+  const DropoutResult r = random_dropout(f.tree, f.asks, 0.0, rng);
+  EXPECT_EQ(r.asks, f.asks);
+  EXPECT_EQ(r.tree.parents(), f.tree.parents());
+  for (std::uint32_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(r.original_of[j], j);
+    EXPECT_EQ(r.new_of_original[j], j);
+  }
+}
+
+TEST(Failures, RandomDropoutRateOneYieldsValidEmptySurvivorSet) {
+  Fixture f;
+  rng::Rng rng(7);
+  const DropoutResult r = random_dropout(f.tree, f.asks, 1.0, rng);
+  // Everyone dropped: the result must still be structurally valid — a
+  // platform-only tree, empty ask/index vectors, every original mapped to
+  // kDropped — not a malformed husk that downstream code trips over.
+  EXPECT_TRUE(r.asks.empty());
+  EXPECT_EQ(r.tree.num_participants(), 0u);
+  EXPECT_EQ(r.tree.num_nodes(), 1u);
+  EXPECT_EQ(r.tree.subtree_size(0), 1u);
+  EXPECT_TRUE(r.original_of.empty());
+  ASSERT_EQ(r.new_of_original.size(), 5u);
+  for (std::uint32_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(r.new_of_original[j], DropoutResult::kDropped);
+  }
 }
 
 TEST(Failures, RandomDropoutRateRoughlyBinomial) {

@@ -1,0 +1,456 @@
+// The fault-tolerant trial engine: containment, failure budget, watchdog,
+// and the kill/resume matrix proving checkpointed sweeps are bit-identical
+// to uninterrupted ones at every checkpoint boundary × thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aggregate_bits.h"
+#include "common/check.h"
+#include "sim/chaos.h"
+#include "sim/checkpoint.h"
+#include "sim/fault.h"
+#include "sim/guarded.h"
+#include "sim/metrics.h"
+#include "sim/report.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace rit::sim {
+namespace {
+
+namespace fs = std::filesystem;
+using testbits::expect_aggregate_identical;
+using testbits::expect_results_identical;
+
+fs::path scratch(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "ritcs_guarded" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// A trial body that is a pure function of the trial index — including the
+// "runtime" fields, which a real trial would time nondeterministically.
+// That purity is what lets the kill/resume matrix demand bit-identity on
+// every AggregateMetrics field, runtimes included.
+TrialMetrics synthetic_trial(std::uint64_t t) {
+  const double x = static_cast<double>(t);
+  TrialMetrics m;
+  m.success = (t % 3) != 0;
+  m.avg_utility_auction = 0.25 * x - 1.0;
+  m.avg_utility_rit = 1.0 / (x + 3.0);
+  m.total_payment_auction = 10.0 + x;
+  m.total_payment_rit = 20.0 + 2.0 * x;
+  m.runtime_auction_ms = 0.125 * x;
+  m.runtime_rit_ms = 0.5 + x / 7.0;
+  m.solicitation_premium = 0.75 * x;
+  m.tasks_allocated = t % 7;
+  m.probability_degraded = (t % 5) == 0;
+  return m;
+}
+
+TrialBody synthetic_body(std::atomic<std::uint64_t>* executed = nullptr) {
+  return [executed](std::uint64_t t, core::RitWorkspace&, std::string*) {
+    if (executed != nullptr) {
+      executed->fetch_add(1, std::memory_order_relaxed);
+    }
+    return synthetic_trial(t);
+  };
+}
+
+std::uint64_t seed_of(std::uint64_t t) { return t * 1000 + 7; }
+
+Scenario small_scenario() {
+  Scenario s;
+  s.num_users = 120;
+  s.num_types = 3;
+  s.tasks_per_type = 10;
+  s.k_max = 4;
+  s.initial_joiners = 4;
+  s.seed = 11;
+  return s;
+}
+
+TEST(Guarded, SingleThreadMatchesSerialFoldBitExactly) {
+  const std::uint64_t trials = 9;
+  const GuardedResult r =
+      run_trials_guarded(trials, 1, GuardPolicy{}, synthetic_body());
+  AggregateMetrics expected;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    expected.add(synthetic_trial(t));
+  }
+  expect_aggregate_identical(r.metrics, expected);
+  EXPECT_TRUE(r.faults.empty());
+}
+
+TEST(Guarded, SameThreadCountIsReproducible) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    const GuardedResult a =
+        run_trials_guarded(13, threads, GuardPolicy{}, synthetic_body());
+    const GuardedResult b =
+        run_trials_guarded(13, threads, GuardPolicy{}, synthetic_body());
+    expect_results_identical(a, b);
+  }
+}
+
+TEST(Guarded, InjectedThrowIsContainedAndLedgered) {
+  GuardPolicy policy;
+  policy.max_trial_failures = 2;
+  policy.chaos.throw_on_trial = 3;
+  const GuardedResult r =
+      run_trials_guarded(8, 2, policy, synthetic_body(), seed_of);
+
+  EXPECT_EQ(r.metrics.trials, 7u);
+  EXPECT_EQ(r.metrics.failed_trials, 1u);
+  EXPECT_EQ(r.metrics.quarantined_trials, 0u);
+  EXPECT_EQ(r.metrics.attempted(), 8u);
+  ASSERT_EQ(r.faults.size(), 1u);
+  const TrialFault& f = r.faults.entries[0];
+  EXPECT_EQ(f.trial, 3u);
+  EXPECT_EQ(f.seed, seed_of(3));
+  EXPECT_EQ(f.kind, FaultKind::kException);
+  EXPECT_EQ(f.phase, "trial");
+  EXPECT_NE(f.reason.find("chaos: injected throw"), std::string::npos);
+}
+
+TEST(Guarded, DefaultBudgetAbortsOnFirstFaultWithClearError) {
+  GuardPolicy policy;  // max_trial_failures = 0: strict
+  policy.chaos.throw_on_trial = 2;
+  try {
+    run_trials_guarded(6, 1, policy, synthetic_body(), seed_of);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("failure budget exhausted"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("trial 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("--max-trial-failures=0"), std::string::npos) << what;
+  }
+}
+
+TEST(Guarded, FaultsOverBudgetAbort) {
+  GuardPolicy policy;
+  policy.max_trial_failures = 1;
+  policy.chaos.fault_rate = 1.0;  // every trial throws
+  EXPECT_THROW(run_trials_guarded(5, 2, policy, synthetic_body()),
+               CheckFailure);
+}
+
+TEST(Guarded, NonFiniteMetricsAreQuarantined) {
+  GuardPolicy policy;
+  policy.max_trial_failures = 1;
+  policy.chaos.nan_on_trial = 4;
+  const GuardedResult r =
+      run_trials_guarded(6, 2, policy, synthetic_body(), seed_of);
+
+  EXPECT_EQ(r.metrics.trials, 5u);
+  EXPECT_EQ(r.metrics.failed_trials, 0u);
+  EXPECT_EQ(r.metrics.quarantined_trials, 1u);
+  ASSERT_EQ(r.faults.size(), 1u);
+  EXPECT_EQ(r.faults.entries[0].trial, 4u);
+  EXPECT_EQ(r.faults.entries[0].kind, FaultKind::kNonFinite);
+  EXPECT_EQ(r.faults.entries[0].reason, "non-finite metric value");
+  // The NaN never reached the accumulators.
+  EXPECT_TRUE(std::isfinite(r.metrics.avg_utility_rit.mean()));
+  EXPECT_TRUE(std::isfinite(r.metrics.avg_utility_rit.variance()));
+}
+
+TEST(Guarded, WatchdogFlagsSlowTrialPostHoc) {
+  GuardPolicy policy;
+  policy.max_trial_failures = 1;
+  policy.trial_timeout_ms = 5.0;
+  policy.chaos.delay_on_trial = 1;
+  policy.chaos.delay_ms = 25.0;  // busy-wait well past the deadline
+  const GuardedResult r =
+      run_trials_guarded(3, 1, policy, synthetic_body(), seed_of);
+
+  EXPECT_EQ(r.metrics.trials, 2u);
+  EXPECT_EQ(r.metrics.failed_trials, 1u);
+  ASSERT_EQ(r.faults.size(), 1u);
+  EXPECT_EQ(r.faults.entries[0].trial, 1u);
+  EXPECT_EQ(r.faults.entries[0].kind, FaultKind::kTimeout);
+  EXPECT_NE(r.faults.entries[0].reason.find("--trial-timeout-ms"),
+            std::string::npos);
+}
+
+TEST(Guarded, FaultRateDrawsAreIndependentOfThreadCount) {
+  GuardPolicy policy;
+  policy.max_trial_failures = 64;
+  policy.chaos.fault_rate = 0.4;
+  policy.chaos.seed = 9;
+  auto faulted_trials = [&](unsigned threads) {
+    const GuardedResult r =
+        run_trials_guarded(32, threads, policy, synthetic_body());
+    std::vector<std::uint64_t> trials;
+    for (const TrialFault& f : r.faults.sorted_by_trial()) {
+      trials.push_back(f.trial);
+    }
+    return trials;
+  };
+  const std::vector<std::uint64_t> serial = faulted_trials(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_LT(serial.size(), 32u);
+  EXPECT_EQ(faulted_trials(4), serial);
+  EXPECT_EQ(faulted_trials(8), serial);
+}
+
+TEST(Guarded, ZeroSuccessfulTrialsYieldsNanFreeReporting) {
+  GuardPolicy policy;
+  policy.max_trial_failures = 8;
+  policy.chaos.fault_rate = 1.0;  // every trial faults, all contained
+  const GuardedResult r =
+      run_trials_guarded(4, 2, policy, synthetic_body(), seed_of);
+
+  EXPECT_EQ(r.metrics.trials, 0u);
+  EXPECT_EQ(r.metrics.failed_trials, 4u);
+  EXPECT_EQ(r.metrics.success_rate(), 0.0);
+  EXPECT_EQ(r.metrics.degraded_rate(), 0.0);
+  // Every value a writer would render is a real number, and the rendered
+  // markdown (the bench/CLI table) carries no NaN/inf tokens.
+  EXPECT_TRUE(std::isfinite(r.metrics.avg_utility_rit.mean()));
+  EXPECT_TRUE(std::isfinite(r.metrics.avg_utility_rit.min()));
+  EXPECT_TRUE(std::isfinite(r.metrics.avg_utility_rit.max()));
+  EXPECT_TRUE(std::isfinite(r.metrics.avg_utility_rit.ci95_half_width()));
+  std::string md = aggregate_markdown(r.metrics);
+  std::transform(md.begin(), md.end(), md.begin(),
+                 [](unsigned char c) { return static_cast<char>(
+                     std::tolower(c)); });
+  EXPECT_EQ(md.find("nan"), std::string::npos) << md;
+  EXPECT_EQ(md.find("inf"), std::string::npos) << md;
+  EXPECT_NE(md.find("4 failed"), std::string::npos) << md;
+}
+
+// ---------------------------------------------------------------------------
+// The kill/resume matrix. trials=11, every=3 gives checkpoint writes after
+// trials 3, 6 and 9 (the final complete_point is not a kill site), so
+// kill_after ∈ {1,2,3} exercises a death at every checkpoint boundary.
+// ---------------------------------------------------------------------------
+
+CheckpointSession::Params matrix_params(const std::string& path,
+                                        unsigned threads, bool resume) {
+  CheckpointSession::Params p;
+  p.path = path;
+  p.config_hash = 0x12340000ull + threads;
+  p.seed = 77;
+  p.threads = threads;
+  p.trials = 11;
+  p.every = 3;
+  p.resume = resume;
+  return p;
+}
+
+TEST(GuardedResume, KillAtEveryBoundaryResumesBitIdentically) {
+  constexpr std::uint64_t kTrials = 11;
+  constexpr std::uint64_t kEvery = 3;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    // Uninterrupted, checkpoint-free reference at the same thread count.
+    const GuardedResult reference =
+        run_trials_guarded(kTrials, threads, GuardPolicy{}, synthetic_body(),
+                           seed_of);
+    for (std::uint64_t kill_after = 1; kill_after <= 3; ++kill_after) {
+      const fs::path dir =
+          scratch("matrix_t" + std::to_string(threads) + "_k" +
+                  std::to_string(kill_after));
+      const std::string path = (dir / "sweep.ckpt").string();
+
+      GuardPolicy killer;
+      killer.chaos.kill_after_checkpoints = kill_after;
+      auto doomed = std::make_unique<CheckpointSession>(
+          matrix_params(path, threads, false));
+      EXPECT_THROW(run_trials_guarded(kTrials, threads, killer,
+                                      synthetic_body(), seed_of,
+                                      doomed.get()),
+                   chaos::ChaosKill);
+      doomed.reset();  // the "dead process" releases the file
+
+      std::atomic<std::uint64_t> executed{0};
+      CheckpointSession revived(matrix_params(path, threads, true));
+      const GuardedResult resumed =
+          run_trials_guarded(kTrials, threads, GuardPolicy{},
+                             synthetic_body(&executed), seed_of, &revived);
+
+      expect_results_identical(resumed, reference);
+      // Resume picked up at the checkpoint cursor instead of starting over.
+      EXPECT_EQ(executed.load(), kTrials - kEvery * kill_after)
+          << "threads=" << threads << " kill_after=" << kill_after;
+    }
+  }
+}
+
+TEST(GuardedResume, KillAndResumeWithContainedFaultsMatches) {
+  constexpr std::uint64_t kTrials = 10;
+  GuardPolicy chaotic;
+  chaotic.max_trial_failures = 5;
+  chaotic.chaos.throw_on_trial = 7;
+  chaotic.chaos.nan_on_trial = 2;
+
+  for (const unsigned threads : {2u, 8u}) {
+    const GuardedResult reference = run_trials_guarded(
+        kTrials, threads, chaotic, synthetic_body(), seed_of);
+    EXPECT_EQ(reference.faults.size(), 2u);
+
+    const fs::path dir = scratch("faulty_t" + std::to_string(threads));
+    const std::string path = (dir / "sweep.ckpt").string();
+    CheckpointSession::Params p;
+    p.path = path;
+    p.config_hash = 0x777;
+    p.seed = 77;
+    p.threads = threads;
+    p.trials = kTrials;
+    p.every = 4;
+    GuardPolicy killer = chaotic;
+    killer.chaos.kill_after_checkpoints = 1;
+    {
+      CheckpointSession doomed(p);
+      EXPECT_THROW(run_trials_guarded(kTrials, threads, killer,
+                                      synthetic_body(), seed_of, &doomed),
+                   chaos::ChaosKill);
+    }
+    p.resume = true;
+    CheckpointSession revived(p);
+    const GuardedResult resumed = run_trials_guarded(
+        kTrials, threads, chaotic, synthetic_body(), seed_of, &revived);
+    expect_results_identical(resumed, reference);
+  }
+}
+
+TEST(GuardedResume, CompletedPointIsServedWithoutRerunning) {
+  const fs::path dir = scratch("memo");
+  const std::string path = (dir / "sweep.ckpt").string();
+  CheckpointSession::Params p;
+  p.path = path;
+  p.config_hash = 0xc0ffee;
+  p.seed = 5;
+  p.threads = 2;
+  p.trials = 6;
+  p.every = 0;
+  GuardedResult first;
+  {
+    CheckpointSession s(p);
+    first = run_trials_guarded(6, 2, GuardPolicy{}, synthetic_body(), seed_of,
+                               &s);
+  }
+  p.resume = true;
+  CheckpointSession again(p);
+  std::atomic<std::uint64_t> executed{0};
+  const GuardedResult served = run_trials_guarded(
+      6, 2, GuardPolicy{}, synthetic_body(&executed), seed_of, &again);
+  EXPECT_EQ(executed.load(), 0u);
+  expect_results_identical(served, first);
+}
+
+TEST(GuardedResume, SessionBoundToDifferentRunShapeIsRejected) {
+  const fs::path dir = scratch("shape");
+  CheckpointSession::Params p;
+  p.path = (dir / "sweep.ckpt").string();
+  p.config_hash = 1;
+  p.seed = 1;
+  p.threads = 4;
+  p.trials = 8;
+  CheckpointSession s(p);
+  // Runner resolves 2 threads, session says 4 — and vice versa for trials.
+  EXPECT_THROW(
+      run_trials_guarded(8, 2, GuardPolicy{}, synthetic_body(), {}, &s),
+      CheckFailure);
+  EXPECT_THROW(
+      run_trials_guarded(9, 4, GuardPolicy{}, synthetic_body(), {}, &s),
+      CheckFailure);
+}
+
+// Real trials time themselves with wall-clock timers, so two runs only
+// agree bit-for-bit on the mechanism outputs; runtime stats match in shape
+// (count) but not value. Mirrors sim_test's serial/parallel equivalence.
+void expect_deterministic_fields_identical(const AggregateMetrics& a,
+                                           const AggregateMetrics& b) {
+  testbits::expect_stats_identical(a.avg_utility_auction,
+                                   b.avg_utility_auction,
+                                   "avg_utility_auction");
+  testbits::expect_stats_identical(a.avg_utility_rit, b.avg_utility_rit,
+                                   "avg_utility_rit");
+  testbits::expect_stats_identical(a.total_payment_auction,
+                                   b.total_payment_auction,
+                                   "total_payment_auction");
+  testbits::expect_stats_identical(a.total_payment_rit, b.total_payment_rit,
+                                   "total_payment_rit");
+  testbits::expect_stats_identical(a.solicitation_premium,
+                                   b.solicitation_premium,
+                                   "solicitation_premium");
+  testbits::expect_stats_identical(a.tasks_allocated, b.tasks_allocated,
+                                   "tasks_allocated");
+  EXPECT_EQ(a.runtime_auction_ms.count(), b.runtime_auction_ms.count());
+  EXPECT_EQ(a.runtime_rit_ms.count(), b.runtime_rit_ms.count());
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.degraded_trials, b.degraded_trials);
+  EXPECT_EQ(a.failed_trials, b.failed_trials);
+  EXPECT_EQ(a.quarantined_trials, b.quarantined_trials);
+}
+
+TEST(GuardedScenario, MatchesRunManyParallel) {
+  const Scenario s = small_scenario();
+  for (const unsigned threads : {1u, 3u}) {
+    const AggregateMetrics plain = run_many_parallel(s, 6, threads);
+    const GuardedResult guarded =
+        run_many_guarded(s, 6, threads, GuardPolicy{});
+    expect_deterministic_fields_identical(guarded.metrics, plain);
+    EXPECT_TRUE(guarded.faults.empty());
+  }
+}
+
+TEST(GuardedScenario, KillAndResumeMatchesOnDeterministicFields) {
+  // Real trials time themselves, so runtime stats differ run to run; the
+  // mechanism outputs must still be bit-identical after a kill/resume.
+  const Scenario s = small_scenario();
+  const unsigned threads = 2;
+  const std::uint64_t trials = 6;
+  const GuardedResult reference =
+      run_many_guarded(s, trials, threads, GuardPolicy{});
+
+  const fs::path dir = scratch("scenario");
+  CheckpointSession::Params p;
+  p.path = (dir / "sweep.ckpt").string();
+  p.config_hash = 0xabc;
+  p.seed = s.seed;
+  p.threads = threads;
+  p.trials = trials;
+  p.every = 2;
+  GuardPolicy killer;
+  killer.chaos.kill_after_checkpoints = 1;
+  {
+    CheckpointSession doomed(p);
+    EXPECT_THROW(
+        run_many_guarded(s, trials, threads, killer, &doomed),
+        chaos::ChaosKill);
+  }
+  p.resume = true;
+  CheckpointSession revived(p);
+  const GuardedResult resumed =
+      run_many_guarded(s, trials, threads, GuardPolicy{}, &revived);
+
+  expect_deterministic_fields_identical(resumed.metrics, reference.metrics);
+}
+
+TEST(Guarded, ProgressReachesTheFinalTrial) {
+  std::uint64_t last_done = 0;
+  std::uint64_t last_total = 0;
+  const ProgressFn progress = [&](std::uint64_t done, std::uint64_t total) {
+    last_done = done;
+    last_total = total;
+  };
+  run_trials_guarded(7, 2, GuardPolicy{}, synthetic_body(), {}, nullptr, 0,
+                     progress);
+  EXPECT_EQ(last_done, 7u);
+  EXPECT_EQ(last_total, 7u);
+}
+
+}  // namespace
+}  // namespace rit::sim

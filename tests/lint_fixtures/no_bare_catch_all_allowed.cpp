@@ -1,0 +1,29 @@
+// Fixture: catch (...) handlers that are fine — they rethrow, visibly
+// record the fault, or carry an explicit allow annotation.
+int risky();
+void record_fault(const char* reason);
+
+int rethrows() {
+  try {
+    return risky();
+  } catch (...) {
+    throw;  // contained upstream
+  }
+}
+
+int records() {
+  try {
+    return risky();
+  } catch (...) {
+    record_fault("unknown exception");  // contained, not swallowed
+    return 0;
+  }
+}
+
+int annotated() {
+  try {
+    return risky();
+  } catch (...) {  // rit-lint: allow(no-bare-catch-all)
+    return 0;
+  }
+}

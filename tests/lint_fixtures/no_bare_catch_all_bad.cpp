@@ -1,0 +1,22 @@
+// Fixture: a catch (...) that swallows the exception with no rethrow and
+// no visible recording — the handler body leaves nothing behind.
+int risky();
+
+int swallow_everything() {
+  int v = 0;
+  try {
+    v = risky();
+  } catch (...) {
+    v = -1;
+  }
+  return v;
+}
+
+int swallow_multiline() {
+  try {
+    return risky();
+  } catch (
+      ...) {
+    return 0;
+  }
+}

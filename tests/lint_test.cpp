@@ -69,6 +69,8 @@ const FixtureCase kFixtures[] = {
      "src/sim/scratch.cpp"},
     {"merge-coverage-guard", "merge_coverage_guard_bad.cpp",
      "merge_coverage_guard_allowed.cpp", "src/sim/scratch.cpp"},
+    {"no-bare-catch-all", "no_bare_catch_all_bad.cpp",
+     "no_bare_catch_all_allowed.cpp", "src/sim/scratch.cpp"},
 };
 
 TEST(LintFixtures, EveryRuleHasABadFixtureThatFires) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "cli/svg_chart.h"
@@ -109,8 +110,15 @@ TEST(SvgChart, WritesFile) {
                   std::istreambuf_iterator<char>());
   EXPECT_NE(all.find("<svg"), std::string::npos);
   std::remove(path.c_str());
-  EXPECT_THROW(write_line_chart("/no/dir/x.svg", {simple_series()}, {}),
+  // The atomic writer creates missing parent directories (and tests run as
+  // root), so an unwritable destination needs a regular file standing where
+  // a directory must go — ENOTDIR fails for root too.
+  const std::string blocker = ::testing::TempDir() + "/ritcs_chart_blocker";
+  std::filesystem::remove_all(blocker);  // clear any stale leftover
+  write_line_chart(blocker, {simple_series()}, {});
+  EXPECT_THROW(write_line_chart(blocker + "/x.svg", {simple_series()}, {}),
                CheckFailure);
+  std::remove(blocker.c_str());
 }
 
 TEST(SvgChart, SortsPointsByX) {

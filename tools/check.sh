@@ -19,6 +19,9 @@
 #                 compile away cleanly)
 #   7. tsan       RIT_SANITIZE=thread build + ctest -L parallel (the
 #                 parallel sweep runner under TSan)
+#   8. chaos      ctest -L chaos on the main build (fault containment,
+#                 checkpoint corruption rejection, the kill/resume matrix
+#                 — see docs/robustness.md)
 #
 # Build trees live under build-check/ so the gate never disturbs your
 # incremental build/. Exits non-zero on the first failing leg.
@@ -66,7 +69,7 @@ step "rit_lint (live tree)"
 
 if [[ $FAST -eq 1 ]]; then
   echo
-  echo "check.sh: --fast requested; skipping tidy / obs-off / tsan legs"
+  echo "check.sh: --fast requested; skipping tidy / obs-off / tsan / chaos legs"
   echo "check.sh: OK"
   exit 0
 fi
@@ -91,6 +94,12 @@ step "TSan build + ctest -L parallel"
 cmake -B "$BUILD_ROOT/tsan" -S . -DRIT_WERROR=ON -DRIT_SANITIZE=thread
 cmake --build "$BUILD_ROOT/tsan" -j "$JOBS"
 ctest --test-dir "$BUILD_ROOT/tsan" -L parallel --output-on-failure -j "$JOBS"
+
+# --- 8. chaos suite, called out by name -------------------------------------
+# Already part of leg 3's full run; repeated under its label so a failure in
+# the robustness machinery is unmissable in the gate output.
+step "ctest -L chaos (fault injection + kill/resume matrix)"
+ctest --test-dir "$BUILD_ROOT/main" -L chaos --output-on-failure -j "$JOBS"
 
 echo
 echo "check.sh: OK"

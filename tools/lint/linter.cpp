@@ -584,6 +584,76 @@ void run_unordered_iteration_rule(
 }
 
 // ---------------------------------------------------------------------------
+// Structural rule: no-bare-catch-all
+// ---------------------------------------------------------------------------
+
+// `catch (...)` erases the failure's identity; a handler that then neither
+// rethrows nor visibly records what it caught turns every crash into silent
+// data loss (the failure-containment bug class: a faulted trial that just
+// disappears from the aggregate). Evidence of handling is lexical: the
+// handler body mentions rethrow/record/ledger/fault/log/abort/error/fail/
+// note. Anything quieter needs an explicit `// rit-lint: allow(...)` with
+// its justification.
+void run_bare_catch_all_rule(const Prepped& p, std::vector<Finding>* out) {
+  static const char* kId = "no-bare-catch-all";
+  if (p.file_class != FileClass::kCpp) return;
+  std::string joined;
+  for (const std::string& line : p.lines) {
+    joined += line;
+    joined += '\n';
+  }
+  const auto skip_blank = [&joined](std::size_t i) {
+    while (i < joined.size() && (joined[i] == ' ' || joined[i] == '\n')) ++i;
+    return i;
+  };
+  std::size_t line_no = 1;
+  std::size_t scanned = 0;  // joined[0, scanned) already counted into line_no
+  for (std::size_t at = joined.find("catch"); at != std::string::npos;
+       at = joined.find("catch", at + 5)) {
+    if (!token_matches_at(joined, at, "catch")) continue;
+    std::size_t i = skip_blank(at + 5);
+    if (i >= joined.size() || joined[i] != '(') continue;
+    i = skip_blank(i + 1);
+    if (joined.compare(i, 3, "...") != 0) continue;
+    i = skip_blank(i + 3);
+    if (i >= joined.size() || joined[i] != ')') continue;
+    i = joined.find('{', i);
+    if (i == std::string::npos) continue;
+    // Brace-match the handler body (comments/strings are already stripped,
+    // so every brace is code).
+    const std::size_t body_begin = i;
+    int depth = 0;
+    for (; i < joined.size(); ++i) {
+      if (joined[i] == '{') ++depth;
+      if (joined[i] == '}' && --depth == 0) break;
+    }
+    std::string body = joined.substr(body_begin, i - body_begin);
+    for (char& c : body) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    static const char* const kEvidence[] = {"throw", "record", "ledger",
+                                            "fault", "log",    "abort",
+                                            "error", "fail",   "note"};
+    bool handled = false;
+    for (const char* ev : kEvidence) {
+      if (body.find(ev) != std::string::npos) {
+        handled = true;
+        break;
+      }
+    }
+    if (handled) continue;
+    line_no += static_cast<std::size_t>(
+        std::count(joined.begin() + static_cast<std::ptrdiff_t>(scanned),
+                   joined.begin() + static_cast<std::ptrdiff_t>(at), '\n'));
+    scanned = at;
+    emit(p, line_no, kId,
+         "'catch (...)' swallows the exception without rethrowing or "
+         "recording it; contain faults visibly (rethrow, or record into a "
+         "ledger/log) or annotate the intent with rit-lint: allow",
+         out);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Structural rule: merge-coverage-guard
 // ---------------------------------------------------------------------------
 
@@ -645,6 +715,11 @@ std::vector<RuleInfo> rule_infos() {
       "(or summing into reported floats) leaks hash order into results; "
       "sort keys first or use std::map at the boundary"});
   infos.push_back(RuleInfo{
+      "no-bare-catch-all",
+      "a `catch (...)` handler that neither rethrows nor records what it "
+      "caught (ledger/log/abort) silently swallows faults; contain them "
+      "visibly or annotate with rit-lint: allow"});
+  infos.push_back(RuleInfo{
       "merge-coverage-guard",
       "a struct with a self-merge `void merge(const T&)` must carry a "
       "static_assert(sizeof(T) == ...) field-coverage guard so a new "
@@ -666,6 +741,7 @@ std::vector<Finding> scan(const std::vector<SourceFile>& files) {
   for (const Prepped& p : prepped) {
     run_token_rules(p, &findings);
     run_unordered_iteration_rule(p, by_path, &findings);
+    run_bare_catch_all_rule(p, &findings);
     collect_merge_info(p, &merge_defs, &guarded_types);
   }
   for (const MergeDef& def : merge_defs) {

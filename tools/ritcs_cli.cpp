@@ -4,12 +4,16 @@
 //   ritcs --mode=config
 //       Print a scenario config template (all keys, default values).
 //   ritcs --mode=run [--config=FILE] [--trials=N] [--threads=T]
+//                    [--max-trial-failures=N] [--trial-timeout-ms=T]
+//                    [--checkpoint=PATH] [--checkpoint-every=K] [--resume]
 //                    [overrides...]
 //       Run a scenario and print aggregate metrics across trials, fanned
 //       out over T worker threads (0 = hardware concurrency, 1 = exact
 //       serial path). With --population=FILE (CSV: type,quantity,cost)
 //       runs one trial over your own user data instead of a synthetic
-//       population.
+//       population. The robustness flags (docs/robustness.md) quarantine
+//       faulted trials within a failure budget, watchdog slow trials, and
+//       checkpoint progress for bit-identical --resume.
 //   ritcs --mode=explain [--config=FILE] [--user=J] [overrides...]
 //       Run one trial and print the payment explanation for user J (or the
 //       user with the largest solicitation reward when J is omitted).
@@ -30,6 +34,8 @@
 // --h, --graph, --seed, --policy=theoretical|completion.
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 
 #include "attack/strategy_search.h"
 #include "attack/sybil_apply.h"
@@ -38,10 +44,13 @@
 #include "cli/table.h"
 #include "common/check.h"
 #include "common/format_util.h"
+#include "common/hash.h"
+#include "common/parallel.h"
 #include "core/audit.h"
 #include "core/result_io.h"
 #include "core/rit.h"
 #include "sim/config_io.h"
+#include "sim/guarded.h"
 #include "sim/population_io.h"
 #include "sim/report.h"
 #include "sim/runner.h"
@@ -125,14 +134,53 @@ int mode_run(cli::Args& args) {
   // 0 = hardware concurrency; 1 = the exact serial path (bit-for-bit).
   const auto threads = static_cast<unsigned>(args.get_u64("threads", 0));
   const std::string population = args.get_string("population", "");
+  sim::GuardPolicy policy;
+  policy.max_trial_failures = args.get_u64("max-trial-failures", 0);
+  policy.trial_timeout_ms = args.get_double("trial-timeout-ms", 0.0);
+  const std::string checkpoint = args.get_string("checkpoint", "");
+  const std::uint64_t checkpoint_every = args.get_u64("checkpoint-every", 0);
+  const bool resume = args.get_bool("resume", false);
   args.finish();
+  RIT_CHECK_MSG(checkpoint.empty() ? !resume : true,
+                "--resume requires --checkpoint=PATH");
+  RIT_CHECK_MSG(checkpoint.empty() ? checkpoint_every == 0 : true,
+                "--checkpoint-every requires --checkpoint=PATH");
+  RIT_CHECK_MSG(policy.trial_timeout_ms >= 0.0,
+                "--trial-timeout-ms must be >= 0");
   if (!population.empty()) return run_with_population(s, population);
 
-  const sim::AggregateMetrics agg = sim::run_many_parallel(
-      s, trials, threads, [](std::uint64_t done, std::uint64_t total) {
-        std::cerr << "\rtrial " << done << "/" << total << std::flush;
-        if (done == total) std::cerr << "\n";
-      });
+  const auto progress = [](std::uint64_t done, std::uint64_t total) {
+    std::cerr << "\rtrial " << done << "/" << total << std::flush;
+    if (done == total) std::cerr << "\n";
+  };
+  sim::GuardedResult result;
+  if (checkpoint.empty() && policy.max_trial_failures == 0 &&
+      policy.trial_timeout_ms == 0.0) {
+    // No robustness flags: the historical path, byte-identical output.
+    result.metrics = sim::run_many_parallel(s, trials, threads, progress);
+  } else {
+    const unsigned resolved = rit::resolve_threads(threads, trials);
+    std::unique_ptr<sim::CheckpointSession> session;
+    if (!checkpoint.empty()) {
+      // Bind the checkpoint to the full scenario (serialized config) plus
+      // the trial count; resuming under any other setup must refuse.
+      std::ostringstream cfg;
+      sim::write_scenario(s, cfg);
+      cfg << "trials " << trials << "\n";
+      sim::CheckpointSession::Params p;
+      p.path = checkpoint;
+      p.config_hash = fnv1a64(cfg.str());
+      p.seed = s.seed;
+      p.threads = resolved;
+      p.trials = trials;
+      p.every = checkpoint_every;
+      p.resume = resume;
+      session = std::make_unique<sim::CheckpointSession>(std::move(p));
+    }
+    result = sim::run_many_guarded(s, trials, resolved, policy, session.get(),
+                                   /*point=*/0, progress);
+  }
+  const sim::AggregateMetrics& agg = result.metrics;
   cli::Table t({"metric", "mean", "ci95", "min", "max"});
   const auto row = [&](const std::string& name, const stats::OnlineStats& st) {
     t.add_row({name, format_double(st.mean(), 4),
@@ -152,6 +200,14 @@ int mode_run(cli::Args& args) {
             << ", degraded-guarantee rate: "
             << format_double(agg.degraded_rate(), 3) << " over " << agg.trials
             << " trial(s)\n";
+  // Fault report only when something actually faulted: default runs keep
+  // their historical byte-identical output.
+  if (agg.failed_trials > 0 || agg.quarantined_trials > 0) {
+    std::cout << "faults: " << agg.failed_trials << " failed, "
+              << agg.quarantined_trials << " quarantined ("
+              << agg.attempted() << " attempted)\n"
+              << result.faults.markdown();
+  }
   return 0;
 }
 
