@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 
 #include "cli/svg_chart.h"
 #include "common/check.h"
@@ -12,7 +13,9 @@
 #include "common/parallel.h"
 #include "common/format_util.h"
 #include "common/log.h"
+#include "obs/history.h"
 #include "obs/obs.h"
+#include "obs/perf_counters.h"
 #include "obs/trace_export.h"
 #include "sim/runner.h"
 
@@ -45,6 +48,12 @@ BenchOptions parse_options(int argc, char** argv, const std::string& name,
   const std::string summary =
       args.get_string("json", "bench_results/BENCH_" + name + ".json");
   opts.summary_path = summary == "none" ? "" : summary;
+  // Bare `--history-out` (no value) parses as "true": use the ledger's
+  // conventional location.
+  std::string history = args.get_string("history-out", "none");
+  if (history == "true") history = "bench/history/" + name + ".jsonl";
+  opts.history_path = history == "none" ? "" : history;
+  opts.perf_counters = args.get_bool("perf-counters", false);
   if (args.get_bool("json-logs", false)) {
     log::set_format(log::Format::kJson);
   }
@@ -67,6 +76,10 @@ BenchOptions parse_options(int argc, char** argv, const std::string& name,
   // breakdown. When the build has RIT_OBS_ENABLED=0 the trace simply stays
   // empty and finish() reports that instrumentation is compiled out.
   obs::start_tracing();
+  // Counter profiling must be armed before any worker thread exists so the
+  // inherited run-level set covers them. Unavailability is fine: spans just
+  // skip the sampling and the ledger marks the counters absent.
+  if (opts.perf_counters) obs::start_perf_counters();
   opts.start_ns = obs::trace_now_ns();
   return opts;
 }
@@ -251,9 +264,14 @@ void finish(const BenchOptions& opts) {
   const double wall_ms =
       static_cast<double>(obs::trace_now_ns() - opts.start_ns) / 1e6;
   obs::stop_tracing();
+  if (opts.perf_counters) obs::stop_perf_counters();
   const std::vector<obs::TraceEvent> events = obs::collect_trace();
   const std::vector<obs::PhaseStat> phases = obs::phase_breakdown(events);
   const obs::MetricsSnapshot metrics = obs::Registry::global().snapshot();
+  const obs::PerfAvailability perf_avail = obs::perf_availability();
+  const std::vector<obs::PerfPhaseStat> perf_phases =
+      opts.perf_counters ? obs::collect_perf_phase_stats()
+                         : std::vector<obs::PerfPhaseStat>{};
 
   if (phases.empty()) {
     std::cout << "(no spans recorded"
@@ -292,6 +310,50 @@ void finish(const BenchOptions& opts) {
     std::cout << "\n";
   }
 
+  if (opts.perf_counters) {
+    if (!perf_avail.any()) {
+      std::cout << "(perf counters requested but unavailable: "
+                   "perf_event_open unpermitted and no alloc hook — "
+                   "timings only)\n";
+    } else if (!perf_phases.empty()) {
+      const auto cell = [](bool avail, std::uint64_t v) {
+        return avail ? format_with_commas(static_cast<long long>(v))
+                     : std::string("-");
+      };
+      std::cout << "=== per-phase counters — " << opts.name << " ===\n";
+      cli::Table table({"phase", "spans", "cycles", "instructions", "ipc",
+                        "cache_miss%", "branch_miss", "allocs"});
+      for (const obs::PerfPhaseStat& pp : perf_phases) {
+        const std::uint64_t cycles = pp.totals[obs::kPerfCycles];
+        const std::uint64_t instr = pp.totals[obs::kPerfInstructions];
+        const std::uint64_t refs = pp.totals[obs::kPerfCacheRefs];
+        const std::uint64_t misses = pp.totals[obs::kPerfCacheMisses];
+        const bool ipc_ok = perf_avail.counter[obs::kPerfCycles] &&
+                            perf_avail.counter[obs::kPerfInstructions] &&
+                            cycles > 0;
+        const bool miss_ok = perf_avail.counter[obs::kPerfCacheRefs] &&
+                             perf_avail.counter[obs::kPerfCacheMisses] &&
+                             refs > 0;
+        table.add_row(
+            {pp.name, std::to_string(pp.count),
+             cell(perf_avail.counter[obs::kPerfCycles], cycles),
+             cell(perf_avail.counter[obs::kPerfInstructions], instr),
+             ipc_ok ? format_double(static_cast<double>(instr) /
+                                        static_cast<double>(cycles),
+                                    2)
+                    : "-",
+             miss_ok ? format_double(100.0 * static_cast<double>(misses) /
+                                         static_cast<double>(refs),
+                                     1)
+                     : "-",
+             cell(perf_avail.counter[obs::kPerfBranchMisses],
+                  pp.totals[obs::kPerfBranchMisses]),
+             cell(perf_avail.alloc_hook, pp.alloc_count)});
+      }
+      table.print(std::cout);
+    }
+  }
+
   // Quarantined-fault report: silent by default (no faults → no output, so
   // default runs stay byte-identical), loud when anything was contained.
   const sim::FaultLedger& faults = opts.sweep->faults;
@@ -324,6 +386,62 @@ void finish(const BenchOptions& opts) {
   if (!opts.summary_path.empty()) {
     write_summary_json(opts, wall_ms, phases, metrics);
     std::cout << "summary: " << opts.summary_path << "\n";
+  }
+  if (!opts.history_path.empty()) {
+    obs::HistoryRecord rec;
+    rec.bench = opts.name;
+    rec.env = obs::collect_env_fingerprint();
+    rec.threads = static_cast<std::uint32_t>(
+        rit::resolve_threads(opts.threads, opts.trials));
+    rec.trials = opts.trials;
+    rec.scale = opts.scale;
+    rec.points = opts.points;
+    rec.wall_ms = wall_ms;
+    std::map<std::string, const obs::PerfPhaseStat*> perf_by_name;
+    for (const obs::PerfPhaseStat& pp : perf_phases) {
+      perf_by_name[pp.name] = &pp;
+    }
+    for (const obs::PhaseStat& ph : phases) {
+      obs::HistoryPhase hp;
+      hp.name = ph.name;
+      hp.count = ph.count;
+      hp.total_ms = ph.total_ms;
+      hp.self_ms = ph.self_ms;
+      // Absence-means-unmeasured: only counters that actually opened are
+      // recorded, so a no-perf container never writes fake zeros.
+      const auto it = perf_by_name.find(ph.name);
+      if (it != perf_by_name.end()) {
+        for (std::size_t i = 0; i < obs::kPerfNumCounters; ++i) {
+          if (perf_avail.counter[i]) {
+            hp.counters.emplace_back(obs::perf_counter_name(i),
+                                     it->second->totals[i]);
+          }
+        }
+        if (perf_avail.alloc_hook) {
+          hp.counters.emplace_back("alloc_count", it->second->alloc_count);
+          hp.counters.emplace_back("alloc_bytes", it->second->alloc_bytes);
+        }
+      }
+      rec.phases.push_back(std::move(hp));
+    }
+    if (opts.perf_counters) {
+      const obs::PerfRunTotals rt = obs::perf_run_totals();
+      for (std::size_t i = 0; i < obs::kPerfNumCounters; ++i) {
+        if (perf_avail.counter[i]) {
+          rec.run_counters.emplace_back(obs::perf_counter_name(i),
+                                        rt.totals[i]);
+        }
+      }
+      if (perf_avail.alloc_hook) {
+        rec.run_counters.emplace_back("alloc_count", rt.alloc_count);
+        rec.run_counters.emplace_back("alloc_bytes", rt.alloc_bytes);
+      }
+    }
+    for (const auto& [stat_name, s] : metrics.stats) {
+      if (s.count() > 0) rec.stats[stat_name] = obs::HistoryStat::from(s);
+    }
+    obs::append_history(opts.history_path, rec);
+    std::cout << "history: " << opts.history_path << " (+1 record)\n";
   }
   std::cout << "\n";
 }

@@ -37,6 +37,13 @@
 //                       metrics; default bench_results/BENCH_<name>.json,
 //                       "none" disables)
 //   --json-logs         switch rit::log to the structured JSON line format
+//   --perf-counters     sample hardware counters (cycles, instructions,
+//                       cache/branch misses, task-clock) per phase via
+//                       perf_event_open; degrades to absent fields when the
+//                       syscall is unpermitted (containers, non-Linux)
+//   --history-out[=P]   append this run to the perf-regression ledger
+//                       (bare flag = bench/history/<name>.jsonl; compare
+//                       ledgers with ritcs-bench-diff)
 //
 // Every bench prints a per-phase timing breakdown table at exit (finish()).
 #pragma once
@@ -88,6 +95,10 @@ struct BenchOptions {
   std::string metrics_path;
   /// Machine-readable run summary path (--json, empty = disabled).
   std::string summary_path;
+  /// Perf-regression ledger path (--history-out, empty = disabled).
+  std::string history_path;
+  /// Sample hardware counters per phase (--perf-counters).
+  bool perf_counters{false};
   /// Steady-clock ns at parse_options; finish() measures end-to-end from it.
   std::uint64_t start_ns{0};
 

@@ -1,0 +1,35 @@
+// Global operator-new replacement feeding the perf-counter allocation
+// tally. Linked only into binaries that opt in (bench targets and the
+// perf tests) — everything else keeps the default allocator untouched.
+//
+// Only the counting sizeful forms are replaced; all other new/delete
+// variants fall through to the standard ones, which is valid because the
+// replacements allocate with std::malloc exactly as the defaults do, so
+// the default operator delete frees them correctly.
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "obs/perf_counters.h"
+
+namespace {
+struct AllocHookMarker {
+  AllocHookMarker() { rit::obs::detail::mark_alloc_hook_linked(); }
+};
+AllocHookMarker g_marker;
+
+void* counted_alloc(std::size_t bytes) {
+  for (;;) {
+    if (void* p = std::malloc(bytes ? bytes : 1)) {
+      rit::obs::detail::note_alloc(bytes);
+      return p;
+    }
+    const std::new_handler handler = std::get_new_handler();
+    if (!handler) throw std::bad_alloc();
+    handler();
+  }
+}
+}  // namespace
+
+void* operator new(std::size_t bytes) { return counted_alloc(bytes); }
+void* operator new[](std::size_t bytes) { return counted_alloc(bytes); }

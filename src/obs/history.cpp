@@ -1,0 +1,665 @@
+#include "obs/history.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/atomic_file.h"
+#include "common/format_util.h"
+
+#ifndef RIT_BUILD_FLAGS
+#define RIT_BUILD_FLAGS "unknown"
+#endif
+#ifndef RIT_GIT_SHA
+#define RIT_GIT_SHA "unknown"
+#endif
+
+namespace rit::obs {
+
+namespace {
+
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser. Scoped to this file: the
+// ledger needs exact round-trips (uint64 counters must not pass through a
+// double), which rules out reusing a double-only parser; numbers keep
+// their raw token and convert on demand.
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind{kNull};
+  bool b{false};
+  std::string num;  ///< raw number token (kNumber)
+  std::string str;  ///< decoded string (kString)
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;  ///< insertion order
+
+  double as_double() const { return std::strtod(num.c_str(), nullptr); }
+  std::uint64_t as_u64() const {
+    return std::strtoull(num.c_str(), nullptr, 10);
+  }
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out)) {
+      error = err_.empty() ? "malformed JSON" : err_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t pos_{0};
+  std::string err_;
+
+  void fail(const char* what) {
+    if (err_.empty()) {
+      err_ = std::string(what) + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = s_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = JsonValue::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_null(out);
+    return parse_number(out);
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::kObject;
+    consume('{');
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return false;
+      }
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::kArray;
+    consume('[');
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return false;
+    }
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            // The writer only escapes control characters this way; decode
+            // BMP code points as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape character");
+            return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.kind = JsonValue::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out.b = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out.b = false;
+      pos_ += 5;
+      return true;
+    }
+    fail("bad literal");
+    return false;
+  }
+
+  bool parse_null(JsonValue& out) {
+    out.kind = JsonValue::kNull;
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    fail("bad literal");
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    out.kind = JsonValue::kNumber;
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a value");
+      return false;
+    }
+    out.num = s_.substr(start, pos_ - start);
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Writer helpers.
+
+void append_counters_json(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  out += '{';
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(v);
+  }
+  out += '}';
+}
+
+// ---------------------------------------------------------------------------
+// Parser helpers: typed field extraction with error reporting.
+
+bool get_string(const JsonValue& obj, const char* key, std::string& out,
+                std::string& error) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::kString) {
+    error = std::string("missing or non-string field '") + key + "'";
+    return false;
+  }
+  out = v->str;
+  return true;
+}
+
+bool get_u64(const JsonValue& obj, const char* key, std::uint64_t& out,
+             std::string& error) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::kNumber) {
+    error = std::string("missing or non-number field '") + key + "'";
+    return false;
+  }
+  out = v->as_u64();
+  return true;
+}
+
+bool get_double(const JsonValue& obj, const char* key, double& out,
+                std::string& error) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::kNumber) {
+    error = std::string("missing or non-number field '") + key + "'";
+    return false;
+  }
+  out = v->as_double();
+  return true;
+}
+
+bool get_counters(const JsonValue& obj, const char* key,
+                  std::vector<std::pair<std::string, std::uint64_t>>& out,
+                  std::string& error) {
+  const JsonValue* v = obj.find(key);
+  if (!v || v->kind != JsonValue::kObject) {
+    error = std::string("missing or non-object field '") + key + "'";
+    return false;
+  }
+  out.clear();
+  for (const auto& [name, val] : v->obj) {
+    if (val.kind != JsonValue::kNumber) {
+      error = std::string("non-number counter '") + name + "'";
+      return false;
+    }
+    out.emplace_back(name, val.as_u64());
+  }
+  return true;
+}
+
+std::string read_first_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in.is_open()) std::getline(in, line);
+  return line;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+EnvFingerprint collect_env_fingerprint() {
+  EnvFingerprint env;
+  env.cpu_model = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        env.cpu_model = trim(line.substr(colon + 1));
+      }
+      break;
+    }
+  }
+  env.cores = std::thread::hardware_concurrency();
+  const std::string governor = trim(read_first_line(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"));
+  env.governor = governor.empty() ? "unknown" : governor;
+#ifdef __VERSION__
+  env.compiler = __VERSION__;
+#else
+  env.compiler = "unknown";
+#endif
+  env.build_flags = RIT_BUILD_FLAGS;
+  const char* sha_env = std::getenv("RIT_GIT_SHA");
+  env.git_sha = (sha_env && *sha_env) ? sha_env : RIT_GIT_SHA;
+  return env;
+}
+
+std::string history_record_json(const HistoryRecord& rec) {
+  std::string out = "{\"schema_version\":" +
+                    std::to_string(rec.schema_version) + ",\"bench\":\"" +
+                    json_escape(rec.bench) + "\"";
+  out += ",\"env\":{\"cpu_model\":\"" + json_escape(rec.env.cpu_model) +
+         "\",\"cores\":" + std::to_string(rec.env.cores) +
+         ",\"governor\":\"" + json_escape(rec.env.governor) +
+         "\",\"compiler\":\"" + json_escape(rec.env.compiler) +
+         "\",\"build_flags\":\"" + json_escape(rec.env.build_flags) +
+         "\",\"git_sha\":\"" + json_escape(rec.env.git_sha) + "\"}";
+  out += ",\"threads\":" + std::to_string(rec.threads) +
+         ",\"trials\":" + std::to_string(rec.trials) +
+         ",\"scale\":" + json_number(rec.scale) +
+         ",\"points\":" + std::to_string(rec.points) +
+         ",\"wall_ms\":" + json_number(rec.wall_ms);
+  out += ",\"phases\":[";
+  bool first = true;
+  for (const HistoryPhase& p : rec.phases) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(p.name) +
+           "\",\"count\":" + std::to_string(p.count) +
+           ",\"total_ms\":" + json_number(p.total_ms) +
+           ",\"self_ms\":" + json_number(p.self_ms) + ",\"counters\":";
+    append_counters_json(out, p.counters);
+    out += '}';
+  }
+  out += "],\"run_counters\":";
+  append_counters_json(out, rec.run_counters);
+  out += ",\"stats\":{";
+  first = true;
+  for (const auto& [name, s] : rec.stats) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) +
+           "\":{\"count\":" + std::to_string(s.count) +
+           ",\"mean\":" + json_number(s.mean) +
+           ",\"m2\":" + json_number(s.m2) +
+           ",\"min\":" + json_number(s.min) +
+           ",\"max\":" + json_number(s.max) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+bool parse_history_record(const std::string& line, HistoryRecord& out,
+                          std::string& error) {
+  JsonValue root;
+  JsonParser parser(line);
+  if (!parser.parse(root, error)) return false;
+  if (root.kind != JsonValue::kObject) {
+    error = "record is not a JSON object";
+    return false;
+  }
+
+  HistoryRecord rec;
+  std::uint64_t schema = 0;
+  if (!get_u64(root, "schema_version", schema, error)) return false;
+  if (schema != HistoryRecord::kSchemaVersion) {
+    error = "unknown schema_version " + std::to_string(schema);
+    return false;
+  }
+  rec.schema_version = static_cast<std::uint32_t>(schema);
+  if (!get_string(root, "bench", rec.bench, error)) return false;
+
+  const JsonValue* env = root.find("env");
+  if (!env || env->kind != JsonValue::kObject) {
+    error = "missing or non-object field 'env'";
+    return false;
+  }
+  std::uint64_t cores = 0;
+  if (!get_string(*env, "cpu_model", rec.env.cpu_model, error) ||
+      !get_u64(*env, "cores", cores, error) ||
+      !get_string(*env, "governor", rec.env.governor, error) ||
+      !get_string(*env, "compiler", rec.env.compiler, error) ||
+      !get_string(*env, "build_flags", rec.env.build_flags, error) ||
+      !get_string(*env, "git_sha", rec.env.git_sha, error)) {
+    return false;
+  }
+  rec.env.cores = static_cast<std::uint32_t>(cores);
+
+  std::uint64_t threads = 0;
+  if (!get_u64(root, "threads", threads, error) ||
+      !get_u64(root, "trials", rec.trials, error) ||
+      !get_double(root, "scale", rec.scale, error) ||
+      !get_u64(root, "points", rec.points, error) ||
+      !get_double(root, "wall_ms", rec.wall_ms, error)) {
+    return false;
+  }
+  rec.threads = static_cast<std::uint32_t>(threads);
+
+  const JsonValue* phases = root.find("phases");
+  if (!phases || phases->kind != JsonValue::kArray) {
+    error = "missing or non-array field 'phases'";
+    return false;
+  }
+  for (const JsonValue& pv : phases->arr) {
+    if (pv.kind != JsonValue::kObject) {
+      error = "phase entry is not an object";
+      return false;
+    }
+    HistoryPhase p;
+    if (!get_string(pv, "name", p.name, error) ||
+        !get_u64(pv, "count", p.count, error) ||
+        !get_double(pv, "total_ms", p.total_ms, error) ||
+        !get_double(pv, "self_ms", p.self_ms, error) ||
+        !get_counters(pv, "counters", p.counters, error)) {
+      return false;
+    }
+    rec.phases.push_back(std::move(p));
+  }
+
+  if (!get_counters(root, "run_counters", rec.run_counters, error)) {
+    return false;
+  }
+
+  const JsonValue* stats = root.find("stats");
+  if (!stats || stats->kind != JsonValue::kObject) {
+    error = "missing or non-object field 'stats'";
+    return false;
+  }
+  for (const auto& [name, sv] : stats->obj) {
+    if (sv.kind != JsonValue::kObject) {
+      error = "stat '" + name + "' is not an object";
+      return false;
+    }
+    HistoryStat s;
+    if (!get_u64(sv, "count", s.count, error) ||
+        !get_double(sv, "mean", s.mean, error) ||
+        !get_double(sv, "m2", s.m2, error) ||
+        !get_double(sv, "min", s.min, error) ||
+        !get_double(sv, "max", s.max, error)) {
+      return false;
+    }
+    rec.stats.emplace(name, s);
+  }
+
+  out = std::move(rec);
+  return true;
+}
+
+HistoryFile read_history(const std::string& path) {
+  HistoryFile hf;
+  std::ifstream in(path);
+  if (!in.is_open()) return hf;  // missing ledger = empty ledger
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    HistoryRecord rec;
+    std::string error;
+    if (parse_history_record(line, rec, error)) {
+      hf.records.push_back(std::move(rec));
+    } else {
+      hf.rejected.push_back({line_no, error});
+    }
+  }
+  return hf;
+}
+
+void append_history(const std::string& path, const HistoryRecord& rec) {
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in.is_open()) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      content = buf.str();
+    }
+  }
+  if (!content.empty() && content.back() != '\n') content += '\n';
+  content += history_record_json(rec);
+  content += '\n';
+  write_file_atomic(path, content);
+}
+
+namespace {
+
+// Metric key inside one bench: (phase, metric) with "(run)" for
+// whole-run metrics. std::map keeps the report ordering stable.
+using MetricKey = std::pair<std::string, std::string>;
+using MetricMins = std::map<MetricKey, double>;
+
+void fold_min(MetricMins& mins, const MetricKey& key, double v) {
+  auto [it, inserted] = mins.try_emplace(key, v);
+  if (!inserted && v < it->second) it->second = v;
+}
+
+MetricMins collapse_min_of_n(const std::vector<const HistoryRecord*>& runs) {
+  MetricMins mins;
+  for (const HistoryRecord* rec : runs) {
+    fold_min(mins, {"(run)", "wall_ms"}, rec->wall_ms);
+    for (const auto& [name, v] : rec->run_counters) {
+      fold_min(mins, {"(run)", name}, static_cast<double>(v));
+    }
+    for (const HistoryPhase& p : rec->phases) {
+      fold_min(mins, {p.name, "total_ms"}, p.total_ms);
+      for (const auto& [name, v] : p.counters) {
+        fold_min(mins, {p.name, name}, static_cast<double>(v));
+      }
+    }
+  }
+  return mins;
+}
+
+bool is_time_metric(const std::string& metric) {
+  return metric == "wall_ms" || metric == "total_ms";
+}
+
+// Counters deterministic enough to gate on. Cycles and cache/branch
+// misses swing with frequency scaling and cache pressure — they are
+// reported for diagnosis but never flag on their own.
+bool is_gated_counter(const std::string& metric) {
+  return metric == "instructions" || metric == "task_clock_ns" ||
+         metric == "alloc_count" || metric == "alloc_bytes";
+}
+
+}  // namespace
+
+DiffResult diff_history(const std::vector<HistoryRecord>& baseline,
+                        const std::vector<HistoryRecord>& current,
+                        const DiffOptions& opts) {
+  std::map<std::string, std::vector<const HistoryRecord*>> base_by_bench;
+  std::map<std::string, std::vector<const HistoryRecord*>> cur_by_bench;
+  for (const HistoryRecord& r : baseline) base_by_bench[r.bench].push_back(&r);
+  for (const HistoryRecord& r : current) cur_by_bench[r.bench].push_back(&r);
+
+  DiffResult result;
+  for (const auto& [bench, base_runs] : base_by_bench) {
+    const auto cur_it = cur_by_bench.find(bench);
+    if (cur_it == cur_by_bench.end()) continue;
+    const auto& cur_runs = cur_it->second;
+
+    if (!(base_runs.front()->env == cur_runs.front()->env)) {
+      result.env_mismatch = true;
+    }
+
+    const MetricMins base_mins = collapse_min_of_n(base_runs);
+    const MetricMins cur_mins = collapse_min_of_n(cur_runs);
+
+    for (const auto& [key, base_v] : base_mins) {
+      const auto cv = cur_mins.find(key);
+      if (cv == cur_mins.end()) continue;
+      const double cur_v = cv->second;
+
+      DiffRow row;
+      row.bench = bench;
+      row.phase = key.first;
+      row.metric = key.second;
+      row.baseline = base_v;
+      row.current = cur_v;
+      row.ratio = base_v > 0.0 ? cur_v / base_v : 1.0;
+      if (base_v > 0.0) {
+        const double delta = cur_v - base_v;
+        if (is_time_metric(row.metric)) {
+          row.regression = row.ratio > 1.0 + opts.rel_threshold &&
+                           delta > opts.abs_floor_ms;
+          row.improvement = row.ratio < 1.0 - opts.rel_threshold &&
+                            -delta > opts.abs_floor_ms;
+        } else if (is_gated_counter(row.metric)) {
+          row.regression = row.ratio > 1.0 + opts.counter_rel_threshold &&
+                           delta > opts.counter_abs_floor;
+          row.improvement = row.ratio < 1.0 - opts.counter_rel_threshold &&
+                            -delta > opts.counter_abs_floor;
+        }
+      }
+      result.any_regression = result.any_regression || row.regression;
+      result.rows.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+}  // namespace rit::obs

@@ -1,0 +1,184 @@
+// Append-only perf-regression ledger: one JSONL record per bench run.
+//
+// The ledger (`bench/history/<bench>.jsonl` by convention, via
+// `--history-out`) is the codebase's memory of its own speed. Each line is
+// a self-contained, schema-versioned JSON object carrying:
+//   * a machine/env fingerprint (CPU model, cores, governor, compiler,
+//     flags, git SHA, thread count) so cross-machine lines are never
+//     compared as if they were comparable;
+//   * per-phase wall-time totals from the span tracer's phase_breakdown,
+//     joined with hardware-counter totals from obs/perf_counters when
+//     profiling was active (absent — not zero — when it was not);
+//   * whole-run counter totals and named OnlineStats aggregates in raw
+//     (bit-exact round-trip) form.
+//
+// Determinism contract: records carry NO wall-clock timestamps — a record
+// is identified by its git SHA + env fingerprint + position in the file,
+// and re-running the same binary twice must produce byte-comparable
+// records (modulo the measured durations themselves). This is enforced by
+// the `no-wallclock-in-history` rit_lint rule. Doubles are serialized with
+// %.17g so parse(write(r)) == r bit-for-bit.
+//
+// Writes go through common/atomic_file (read existing + append + atomic
+// replace), so a crash mid-append never tears the ledger.
+//
+// diff_history() is the library behind `ritcs-bench-diff`: min-of-N
+// noise floor per (bench, phase), relative threshold AND absolute floor
+// both required to call something a regression.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/online_stats.h"
+
+namespace rit::obs {
+
+/// Where and how a record was produced. Two records are comparable only
+/// when their fingerprints match (bench_diff warns otherwise).
+struct EnvFingerprint {
+  std::string cpu_model;    ///< /proc/cpuinfo "model name", or "unknown"
+  std::uint32_t cores{0};   ///< std::thread::hardware_concurrency()
+  std::string governor;     ///< cpufreq scaling_governor, or "unknown"
+  std::string compiler;     ///< __VERSION__
+  std::string build_flags;  ///< build type + CXX flags (RIT_BUILD_FLAGS)
+  std::string git_sha;      ///< RIT_GIT_SHA env override, else compiled-in
+
+  bool operator==(const EnvFingerprint&) const = default;
+};
+
+/// Fingerprint of the running process/build. git_sha honours the
+/// RIT_GIT_SHA environment variable (for CI checkouts) over the value
+/// baked in at configure time.
+EnvFingerprint collect_env_fingerprint();
+
+/// One span name's aggregate in one run. `counters` holds only the
+/// counters that were actually available ("cycles", "instructions", ...,
+/// "alloc_count", "alloc_bytes") — absence means unmeasured, never zero.
+struct HistoryPhase {
+  std::string name;
+  std::uint64_t count{0};
+  double total_ms{0.0};
+  double self_ms{0.0};
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+
+  bool operator==(const HistoryPhase&) const = default;
+};
+
+/// Raw OnlineStats state (bit-exact round-trip form; see
+/// OnlineStats::restore). Empty accumulators are not recorded.
+struct HistoryStat {
+  std::uint64_t count{0};
+  double mean{0.0};
+  double m2{0.0};
+  double min{0.0};
+  double max{0.0};
+
+  bool operator==(const HistoryStat&) const = default;
+
+  static HistoryStat from(const stats::OnlineStats& s) {
+    return HistoryStat{s.count(), s.raw_mean(), s.raw_m2(), s.raw_min(),
+                       s.raw_max()};
+  }
+  stats::OnlineStats to_online_stats() const {
+    return stats::OnlineStats::restore(count, mean, m2, min, max);
+  }
+};
+
+/// One bench run. schema_version gates parsing: readers reject lines from
+/// a future schema instead of misinterpreting them.
+struct HistoryRecord {
+  static constexpr std::uint32_t kSchemaVersion = 1;
+
+  std::uint32_t schema_version{kSchemaVersion};
+  std::string bench;  ///< bench name, e.g. "fig6a_utility_vs_users"
+  EnvFingerprint env;
+  std::uint32_t threads{0};  ///< resolved worker count for this run
+  std::uint64_t trials{0};
+  double scale{0.0};        ///< bench --scale knob (population divisor)
+  std::uint64_t points{0};  ///< sweep points requested
+  double wall_ms{0.0};      ///< whole-run wall time
+  std::vector<HistoryPhase> phases;
+  /// Whole-run counter totals; same absence-means-unmeasured contract as
+  /// HistoryPhase::counters.
+  std::vector<std::pair<std::string, std::uint64_t>> run_counters;
+  /// Named aggregates (e.g. "sim.trial_ms"), raw Welford state.
+  std::map<std::string, HistoryStat> stats;
+
+  bool operator==(const HistoryRecord&) const = default;
+};
+
+/// Serializes `rec` as a single JSON line (no trailing newline). Doubles
+/// use %.17g: parse_history_record() returns bit-identical fields.
+std::string history_record_json(const HistoryRecord& rec);
+
+/// Parses one ledger line. Returns false (with a reason in `error`) on
+/// malformed JSON, missing fields, or an unknown schema_version; `out` is
+/// untouched on failure.
+bool parse_history_record(const std::string& line, HistoryRecord& out,
+                          std::string& error);
+
+/// A ledger line that failed to parse: 1-based line number plus reason.
+struct RejectedLine {
+  std::size_t line_no{0};
+  std::string reason;
+};
+
+struct HistoryFile {
+  std::vector<HistoryRecord> records;
+  std::vector<RejectedLine> rejected;  ///< corrupt lines, skipped not fatal
+};
+
+/// Reads every parseable record from `path` (missing file = empty ledger).
+HistoryFile read_history(const std::string& path);
+
+/// Appends `rec` to the ledger at `path` via atomic replace (read existing
+/// bytes + add one line + write_file_atomic). Corrupt existing lines are
+/// preserved verbatim — append never rewrites history.
+void append_history(const std::string& path, const HistoryRecord& rec);
+
+/// Noise-aware comparison knobs. A metric regresses only when BOTH the
+/// relative threshold and the absolute floor are exceeded — the floor
+/// keeps microsecond-scale phases from tripping percentage thresholds.
+struct DiffOptions {
+  double rel_threshold{0.10};     ///< wall/phase time: +10% flags
+  double abs_floor_ms{0.5};       ///< ...and the delta must exceed this
+  double counter_rel_threshold{0.25};  ///< counters are noisier: +25%
+  double counter_abs_floor{1e7};       ///< ...and at least this many events
+};
+
+/// One compared metric. `ratio` is current/baseline (min-of-N on both
+/// sides); regression/improvement are threshold-gated, everything else is
+/// reported but not flagged.
+struct DiffRow {
+  std::string bench;
+  std::string phase;   ///< span name, or "(run)" for whole-run metrics
+  std::string metric;  ///< "wall_ms", "total_ms", counter names
+  double baseline{0.0};
+  double current{0.0};
+  double ratio{1.0};
+  bool regression{false};
+  bool improvement{false};
+};
+
+struct DiffResult {
+  std::vector<DiffRow> rows;
+  bool any_regression{false};
+  /// True when baseline and current fingerprints differ for some bench —
+  /// the comparison is then advisory, not gating evidence.
+  bool env_mismatch{false};
+};
+
+/// Compares two ledgers bench-by-bench. Within each ledger, repeated runs
+/// of the same bench are collapsed min-of-N per metric (the minimum is the
+/// least-noisy estimate of true cost). Counter regressions are gated only
+/// for the deterministic-ish counters (instructions, task-clock, allocs);
+/// cache/branch misses are reported but never flag.
+DiffResult diff_history(const std::vector<HistoryRecord>& baseline,
+                        const std::vector<HistoryRecord>& current,
+                        const DiffOptions& opts = {});
+
+}  // namespace rit::obs

@@ -2,9 +2,12 @@
 
 #include <cstdio>
 
+#include <vector>
+
 #include "common/atomic_file.h"
 #include "common/check.h"
 #include "common/format_util.h"
+#include "stats/percentile.h"
 
 namespace rit::obs {
 
@@ -18,12 +21,12 @@ std::string json_number(double v) {
 
 }  // namespace
 
-// Field-coverage guard for merge(): MetricsSnapshot must stay exactly four
-// maps (counters, gauges, stats, histograms). A fifth family added without
-// extending merge() would be silently dropped from worker-snapshot folds —
-// this fires and points here instead.
+// Field-coverage guard for merge(): MetricsSnapshot must stay exactly five
+// maps (counters, gauges, stats, histograms, reservoirs). A sixth family
+// added without extending merge() would be silently dropped from
+// worker-snapshot folds — this fires and points here instead.
 static_assert(sizeof(MetricsSnapshot) ==
-                  4 * sizeof(std::map<std::string, double>),
+                  5 * sizeof(std::map<std::string, double>),
               "MetricsSnapshot changed shape: update merge() and to_json() "
               "in metrics.cpp (and this static_assert) so no field is "
               "dropped from worker-snapshot folds");
@@ -38,6 +41,10 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, h] : other.histograms) {
     auto [it, inserted] = histograms.try_emplace(name, h);
     if (!inserted) it->second.merge(h);
+  }
+  for (const auto& [name, samples] : other.reservoirs) {
+    auto& mine = reservoirs[name];
+    for (const auto& [idx, v] : samples) mine[idx] = v;
   }
 }
 
@@ -70,6 +77,27 @@ std::string MetricsSnapshot::to_json() const {
            ", \"stddev\": " + json_number(s.stddev()) +
            ", \"min\": " + json_number(s.min()) +
            ", \"max\": " + json_number(s.max()) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  // Reservoir sample sets render as their headline quantiles, not the raw
+  // samples — the ledger and dashboards want p50/p95/p99, and the captured
+  // index-keyed set is identical for every thread count so the quantiles
+  // are too.
+  out += "  \"quantiles\": {";
+  first = true;
+  for (const auto& [name, samples] : reservoirs) {
+    if (samples.empty()) continue;
+    std::vector<double> values;
+    values.reserve(samples.size());
+    for (const auto& [idx, v] : samples) values.push_back(v);
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) +
+           "\": {\"samples\": " + std::to_string(values.size()) +
+           ", \"p50\": " + json_number(stats::quantile(values, 0.50)) +
+           ", \"p95\": " + json_number(stats::quantile(values, 0.95)) +
+           ", \"p99\": " + json_number(stats::quantile(values, 0.99)) + "}";
   }
   out += first ? "},\n" : "\n  },\n";
 
@@ -130,6 +158,20 @@ Histo& Registry::histogram(const std::string& name, double lo, double hi,
   return *slot;
 }
 
+Reservoir& Registry::reservoir(const std::string& name,
+                               std::uint64_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = reservoirs_[name];
+  if (!slot) {
+    slot = std::make_unique<Reservoir>(capacity);
+  } else {
+    RIT_CHECK_MSG(slot->capacity() == capacity,
+                  "reservoir '" << name << "' re-registered with a different "
+                                << "capacity");
+  }
+  return *slot;
+}
+
 MetricsSnapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot s;
@@ -142,6 +184,7 @@ MetricsSnapshot Registry::snapshot() const {
   for (const auto& [name, h] : histograms_) {
     s.histograms.try_emplace(name, h->value());
   }
+  for (const auto& [name, r] : reservoirs_) s.reservoirs[name] = r->samples();
   return s;
 }
 
@@ -152,6 +195,12 @@ void Registry::absorb(const MetricsSnapshot& s) {
   for (const auto& [name, h] : s.histograms) {
     histogram(name, h.lo(), h.hi(), h.bucket_count()).merge_in(h);
   }
+  // Snapshots carry only samples, not the origin capacity; absorbing into
+  // a not-yet-registered name uses the default (every in-tree producer
+  // registers at the default, so the capacities agree in practice).
+  for (const auto& [name, samples] : s.reservoirs) {
+    reservoir(name).merge_in(samples);
+  }
 }
 
 void Registry::reset() {
@@ -160,6 +209,7 @@ void Registry::reset() {
   gauges_.clear();
   stats_.clear();
   histograms_.clear();
+  reservoirs_.clear();
 }
 
 Registry& Registry::global() {

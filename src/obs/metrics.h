@@ -80,6 +80,45 @@ class Stat {
   stats::OnlineStats s_;
 };
 
+/// Index-keyed sample reservoir for quantile estimation (p50/p95/p99 in
+/// write_metrics_json). Deterministic across thread counts by design: the
+/// caller tags each observation with a stable index (e.g. the trial id)
+/// and the reservoir keeps exactly the samples with index < capacity.
+/// Strided workers observe disjoint index sets, so merging is a plain
+/// union and every thread count yields the identical sample set — unlike
+/// classic random-replacement reservoirs, whose contents depend on arrival
+/// order.
+class Reservoir {
+ public:
+  static constexpr std::uint64_t kDefaultCapacity = 4096;
+
+  explicit Reservoir(std::uint64_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  void observe(std::uint64_t index, double v) {
+    if (index >= capacity_) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_[index] = v;
+  }
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::map<std::uint64_t, double> samples() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_;
+  }
+  void merge_in(const std::map<std::uint64_t, double>& other) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [idx, v] : other) {
+      if (idx < capacity_) samples_[idx] = v;
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t capacity_;
+  std::map<std::uint64_t, double> samples_;
+};
+
 /// Bucketed distribution, a thread-safe shell over stats::Histogram.
 class Histo {
  public:
@@ -123,15 +162,20 @@ struct MetricsSnapshot {
   std::map<std::string, double> gauges;
   std::map<std::string, stats::OnlineStats> stats;
   std::map<std::string, stats::Histogram> histograms;
+  /// Per-reservoir sample sets, keyed by observation index. Because the
+  /// indices are caller-assigned and disjoint across strided workers,
+  /// merge is a plain union and is thread-count-independent.
+  std::map<std::string, std::map<std::uint64_t, double>> reservoirs;
 
   /// Deterministic accumulate: counters add, gauges overwrite (when set in
-  /// `other`), stats Welford-merge, histograms bucket-add. Merging worker
-  /// snapshots in thread-index order yields the same result as a serial run.
+  /// `other`), stats Welford-merge, histograms bucket-add, reservoirs
+  /// union. Merging worker snapshots in thread-index order yields the same
+  /// result as a serial run.
   void merge(const MetricsSnapshot& other);
 
   bool empty() const {
     return counters.empty() && gauges.empty() && stats.empty() &&
-           histograms.empty();
+           histograms.empty() && reservoirs.empty();
   }
 
   /// Stable JSON rendering (keys sorted — std::map order).
@@ -148,6 +192,9 @@ class Registry {
   /// First caller fixes the shape; later callers must agree.
   Histo& histogram(const std::string& name, double lo, double hi,
                    std::size_t buckets);
+  /// First caller fixes the capacity; later callers must agree.
+  Reservoir& reservoir(const std::string& name,
+                       std::uint64_t capacity = Reservoir::kDefaultCapacity);
 
   MetricsSnapshot snapshot() const;
   /// Folds a snapshot into this registry (same semantics as
@@ -164,6 +211,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Stat>> stats_;
   std::map<std::string, std::unique_ptr<Histo>> histograms_;
+  std::map<std::string, std::unique_ptr<Reservoir>> reservoirs_;
 };
 
 /// Writes `snapshot.to_json()` to `path`, creating parent directories.

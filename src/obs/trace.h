@@ -69,6 +69,19 @@ namespace detail {
 extern std::atomic<bool> g_active;
 void record_span(const char* name, std::uint64_t begin_ns,
                  std::uint64_t end_ns);
+
+/// Hardware-counter attachment (implemented in obs/perf_counters.cpp).
+/// When g_perf_active is set, each traced span additionally samples the
+/// calling thread's perf counters at entry/exit; the deltas accumulate
+/// into the per-phase table collect_perf_phase_stats() reports. The token
+/// is an opaque counter snapshot — six perf values plus the thread's
+/// allocation count/bytes at span entry.
+extern std::atomic<bool> g_perf_active;
+struct PerfSpanToken {
+  std::uint64_t v[8];
+};
+PerfSpanToken perf_span_begin();
+void perf_span_end(const char* name, const PerfSpanToken& token);
 }  // namespace detail
 
 /// RAII span. Prefer the RIT_TRACE_SPAN macro, which compiles away when
@@ -78,18 +91,27 @@ class ScopedSpan {
   explicit ScopedSpan(const char* name)
       : name_(name),
         active_(detail::g_active.load(std::memory_order_relaxed)) {
-    if (active_) begin_ns_ = trace_now_ns();
+    if (active_) {
+      begin_ns_ = trace_now_ns();
+      perf_ = detail::g_perf_active.load(std::memory_order_relaxed);
+      if (perf_) token_ = detail::perf_span_begin();
+    }
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ~ScopedSpan() {
-    if (active_) detail::record_span(name_, begin_ns_, trace_now_ns());
+    if (active_) {
+      if (perf_) detail::perf_span_end(name_, token_);
+      detail::record_span(name_, begin_ns_, trace_now_ns());
+    }
   }
 
  private:
   const char* name_;
   bool active_;
+  bool perf_{false};
   std::uint64_t begin_ns_{0};
+  detail::PerfSpanToken token_{};
 };
 
 }  // namespace rit::obs

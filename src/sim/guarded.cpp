@@ -109,6 +109,19 @@ GuardedResult run_trials_guarded(std::uint64_t trials, unsigned threads,
       w.agg.note_failed();
       RIT_COUNTER_INC("sim.trials_failed");
     }
+    // Per-kind breakdown so --metrics-out carries the FaultLedger story
+    // (quarantines vs watchdog overruns vs throws), not only .faults.csv.
+    switch (kind) {
+      case FaultKind::kException:
+        RIT_COUNTER_INC("sim.faults_exception");
+        break;
+      case FaultKind::kTimeout:
+        RIT_COUNTER_INC("sim.faults_timeout");
+        break;
+      case FaultKind::kNonFinite:
+        RIT_COUNTER_INC("sim.faults_nonfinite");
+        break;
+    }
     const std::uint64_t count =
         fault_count.fetch_add(1, std::memory_order_relaxed) + 1;
     if (count > policy.max_trial_failures) {
@@ -133,8 +146,14 @@ GuardedResult run_trials_guarded(std::uint64_t trials, unsigned threads,
     try {
       chaos::inject_before_trial(policy.chaos, t);
       if (record_trial_stat) {
-        obs::StatTimer timed(w.metrics.stat("sim.trial_ms"));
+        stats::Timer trial_timer;
         m = body(t, w.ws, &phase);
+        const double ms = trial_timer.elapsed_ms();
+        w.metrics.stat("sim.trial_ms").observe(ms);
+        // Index-keyed sample: trial t always lands in slot t regardless of
+        // which worker ran it, so the captured set (and the p50/p95/p99
+        // derived from it) is identical for every thread count.
+        w.metrics.reservoir("sim.trial_ms").observe(t, ms);
       } else {
         m = body(t, w.ws, &phase);
       }

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/history.h"
+#include "sim/chaos.h"
+#include "sim/guarded.h"
+#include "stats/timer.h"
+
+namespace rit::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_path(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "ritcs_history";
+  fs::create_directories(dir);
+  const fs::path p = dir / name;
+  fs::remove(p);
+  return p.string();
+}
+
+// Two doubles are "the same field" only if their bit patterns match — the
+// ledger's %.17g contract is stronger than value equality.
+bool bit_equal(double a, double b) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(a));
+  std::memcpy(&ub, &b, sizeof(b));
+  return ua == ub;
+}
+
+HistoryRecord sample_record(double wall_ms) {
+  HistoryRecord rec;
+  rec.bench = "fig6a_utility_vs_users";
+  rec.env = {"Test CPU @ 2.0GHz", 8, "performance", "testc++ 1.0",
+             "Release:-O2", "abc123def456"};
+  rec.threads = 4;
+  rec.trials = 32;
+  rec.scale = 10.0;
+  rec.points = 6;
+  rec.wall_ms = wall_ms;
+  rec.phases.push_back({"sim.trial", 32, wall_ms * 0.75, wall_ms * 0.5,
+                        {{"cycles", 123456789u}, {"instructions", 987654321u}}});
+  rec.phases.push_back({"tree.build", 6, wall_ms * 0.2, wall_ms * 0.2, {}});
+  rec.run_counters = {{"instructions", 2000000000u}, {"alloc_count", 4242u}};
+  // Deliberately awkward doubles: repeating binary fractions, denormal-ish
+  // magnitudes, negative zero — the round-trip must preserve all of them.
+  rec.stats["sim.trial_ms"] =
+      HistoryStat{32, 0.1 + 0.2, 1.0 / 3.0, 4.9406564584124654e-312, -0.0};
+  rec.stats["rit.payment"] = HistoryStat{32, 3.141592653589793, 2.5e-17,
+                                         -17.25, 1.0e300};
+  return rec;
+}
+
+TEST(HistoryRecordIo, RoundTripIsBitExact) {
+  const HistoryRecord rec = sample_record(125.375);
+  const std::string line = history_record_json(rec);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "must be a single line";
+
+  HistoryRecord back;
+  std::string error;
+  ASSERT_TRUE(parse_history_record(line, back, error)) << error;
+  EXPECT_EQ(back, rec);
+
+  // operator== on doubles is value equality (-0.0 == 0.0 would pass it);
+  // check the raw bits of every double field explicitly.
+  EXPECT_TRUE(bit_equal(back.wall_ms, rec.wall_ms));
+  EXPECT_TRUE(bit_equal(back.scale, rec.scale));
+  ASSERT_EQ(back.phases.size(), rec.phases.size());
+  for (std::size_t i = 0; i < rec.phases.size(); ++i) {
+    EXPECT_TRUE(bit_equal(back.phases[i].total_ms, rec.phases[i].total_ms));
+    EXPECT_TRUE(bit_equal(back.phases[i].self_ms, rec.phases[i].self_ms));
+    EXPECT_EQ(back.phases[i].counters, rec.phases[i].counters);
+  }
+  for (const auto& [name, st] : rec.stats) {
+    const HistoryStat& got = back.stats.at(name);
+    EXPECT_TRUE(bit_equal(got.mean, st.mean)) << name;
+    EXPECT_TRUE(bit_equal(got.m2, st.m2)) << name;
+    EXPECT_TRUE(bit_equal(got.min, st.min)) << name;
+    EXPECT_TRUE(bit_equal(got.max, st.max)) << name;
+    EXPECT_EQ(got.count, st.count) << name;
+    // And the restored accumulator must continue from the exact state.
+    EXPECT_EQ(got.to_online_stats().count(), st.count) << name;
+  }
+}
+
+TEST(HistoryRecordIo, StringEscapesSurviveRoundTrip) {
+  HistoryRecord rec = sample_record(1.0);
+  rec.env.cpu_model = "weird \"quoted\"\\model\twith\ncontrol";
+  rec.bench = "bench/with\"specials";
+  const std::string line = history_record_json(rec);
+  HistoryRecord back;
+  std::string error;
+  ASSERT_TRUE(parse_history_record(line, back, error)) << error;
+  EXPECT_EQ(back.env.cpu_model, rec.env.cpu_model);
+  EXPECT_EQ(back.bench, rec.bench);
+}
+
+TEST(HistoryRecordIo, RejectsMalformedAndFutureSchema) {
+  HistoryRecord out;
+  std::string error;
+  EXPECT_FALSE(parse_history_record("not json at all", out, error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_history_record("{\"schema_version\": 1}", out, error));
+  EXPECT_FALSE(
+      parse_history_record("{\"schema_version\": 99, \"bench\": \"x\"}", out,
+                           error));
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+
+  // A truncated copy of a valid line — the classic torn-write shape.
+  const std::string line = history_record_json(sample_record(2.0));
+  EXPECT_FALSE(
+      parse_history_record(line.substr(0, line.size() / 2), out, error));
+}
+
+TEST(HistoryFileIo, MissingFileReadsAsEmptyLedger) {
+  const HistoryFile f = read_history(fresh_path("never_written.jsonl"));
+  EXPECT_TRUE(f.records.empty());
+  EXPECT_TRUE(f.rejected.empty());
+}
+
+TEST(HistoryFileIo, AppendAccumulatesWithoutRewritingHistory) {
+  const std::string path = fresh_path("append.jsonl");
+  append_history(path, sample_record(100.0));
+  append_history(path, sample_record(101.5));
+
+  const HistoryFile f = read_history(path);
+  ASSERT_EQ(f.records.size(), 2u);
+  EXPECT_TRUE(f.rejected.empty());
+  EXPECT_TRUE(bit_equal(f.records[0].wall_ms, 100.0));
+  EXPECT_TRUE(bit_equal(f.records[1].wall_ms, 101.5));
+}
+
+TEST(HistoryFileIo, CorruptLinesAreSkippedReportedAndPreserved) {
+  const std::string path = fresh_path("corrupt.jsonl");
+  append_history(path, sample_record(50.0));
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"schema_version\": 1, truncated garbage\n";
+  }
+  append_history(path, sample_record(51.0));
+
+  const HistoryFile f = read_history(path);
+  ASSERT_EQ(f.records.size(), 2u);
+  ASSERT_EQ(f.rejected.size(), 1u);
+  EXPECT_EQ(f.rejected[0].line_no, 2u);
+  EXPECT_FALSE(f.rejected[0].reason.empty());
+
+  // Append-only means the corrupt line is still physically in the file.
+  std::ifstream in(path);
+  std::string file_line;
+  std::size_t garbage_lines = 0;
+  while (std::getline(in, file_line)) {
+    if (file_line.find("truncated garbage") != std::string::npos) {
+      ++garbage_lines;
+    }
+  }
+  EXPECT_EQ(garbage_lines, 1u);
+}
+
+TEST(HistoryDiff, IdenticalLedgersAreClean) {
+  const std::vector<HistoryRecord> ledger = {sample_record(100.0),
+                                             sample_record(102.0)};
+  const DiffResult d = diff_history(ledger, ledger);
+  EXPECT_FALSE(d.any_regression);
+  EXPECT_FALSE(d.env_mismatch);
+  ASSERT_FALSE(d.rows.empty());
+  for (const DiffRow& row : d.rows) {
+    EXPECT_FALSE(row.regression) << row.phase << "/" << row.metric;
+    EXPECT_FALSE(row.improvement) << row.phase << "/" << row.metric;
+    EXPECT_DOUBLE_EQ(row.ratio, 1.0);
+  }
+}
+
+TEST(HistoryDiff, MinOfNCollapsesRepeatNoise) {
+  // Baseline has one noisy outlier run; min-of-N must use the 100ms floor,
+  // so a 105ms current run is within the 10% threshold — not a regression.
+  const std::vector<HistoryRecord> baseline = {sample_record(100.0),
+                                               sample_record(180.0)};
+  const std::vector<HistoryRecord> current = {sample_record(105.0)};
+  const DiffResult d = diff_history(baseline, current);
+  EXPECT_FALSE(d.any_regression);
+}
+
+TEST(HistoryDiff, TwoXSlowdownFlagsRegression) {
+  const std::vector<HistoryRecord> baseline = {sample_record(100.0)};
+  const std::vector<HistoryRecord> current = {sample_record(200.0)};
+  const DiffResult d = diff_history(baseline, current);
+  EXPECT_TRUE(d.any_regression);
+
+  bool wall_flagged = false;
+  for (const DiffRow& row : d.rows) {
+    if (row.phase == "(run)" && row.metric == "wall_ms") {
+      wall_flagged = row.regression;
+      EXPECT_NEAR(row.ratio, 2.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(wall_flagged);
+}
+
+TEST(HistoryDiff, SpeedupReportsImprovementNotRegression) {
+  const std::vector<HistoryRecord> baseline = {sample_record(200.0)};
+  const std::vector<HistoryRecord> current = {sample_record(100.0)};
+  const DiffResult d = diff_history(baseline, current);
+  EXPECT_FALSE(d.any_regression);
+  bool improved = false;
+  for (const DiffRow& row : d.rows) improved = improved || row.improvement;
+  EXPECT_TRUE(improved);
+}
+
+TEST(HistoryDiff, TinyAbsoluteDeltasNeverFlag) {
+  // +50% relative but only 0.15ms absolute: under the 0.5ms floor.
+  HistoryRecord base = sample_record(0.3);
+  HistoryRecord cur = sample_record(0.45);
+  const DiffResult d = diff_history({base}, {cur});
+  EXPECT_FALSE(d.any_regression);
+}
+
+TEST(HistoryDiff, GatedCountersFlagButNoisyCountersOnlyReport) {
+  HistoryRecord base = sample_record(100.0);
+  HistoryRecord cur = sample_record(100.0);
+  // instructions (gated) and cache_misses (reported-only) both triple, far
+  // past the 25% + 1e7 floors.
+  base.run_counters = {{"instructions", 100000000u},
+                       {"cache_misses", 100000000u}};
+  cur.run_counters = {{"instructions", 300000000u},
+                      {"cache_misses", 300000000u}};
+  const DiffResult d = diff_history({base}, {cur});
+  bool instr_flag = false;
+  bool cache_flag = false;
+  bool cache_seen = false;
+  for (const DiffRow& row : d.rows) {
+    if (row.phase != "(run)") continue;
+    if (row.metric == "instructions") instr_flag = row.regression;
+    if (row.metric == "cache_misses") {
+      cache_seen = true;
+      cache_flag = row.regression;
+    }
+  }
+  EXPECT_TRUE(instr_flag);
+  EXPECT_TRUE(cache_seen);
+  EXPECT_FALSE(cache_flag);
+  EXPECT_TRUE(d.any_regression);
+}
+
+TEST(HistoryDiff, EnvMismatchIsSurfacedAdvisory) {
+  HistoryRecord base = sample_record(100.0);
+  HistoryRecord cur = sample_record(100.0);
+  cur.env.compiler = "otherc++ 2.0";
+  const DiffResult d = diff_history({base}, {cur});
+  EXPECT_TRUE(d.env_mismatch);
+  EXPECT_FALSE(d.any_regression);
+}
+
+TEST(HistoryDiff, NewBenchInCurrentDoesNotCrashOrFlag) {
+  HistoryRecord cur = sample_record(100.0);
+  cur.bench = "brand_new_bench";
+  const DiffResult d = diff_history({sample_record(100.0)}, {cur});
+  EXPECT_FALSE(d.any_regression);
+}
+
+TEST(HistoryEnv, FingerprintFieldsAreAlwaysPopulated) {
+  const EnvFingerprint env = collect_env_fingerprint();
+  EXPECT_FALSE(env.cpu_model.empty());
+  EXPECT_FALSE(env.compiler.empty());
+  EXPECT_FALSE(env.build_flags.empty());
+  EXPECT_FALSE(env.git_sha.empty());
+  EXPECT_GT(env.cores, 0u);
+  // Stable within a process: two collections must agree, or the diff
+  // tool's comparability warning becomes noise.
+  EXPECT_EQ(collect_env_fingerprint(), env);
+}
+
+// The acceptance scenario end-to-end: a chaos-injected delay (the same
+// injector the watchdog tests use) makes the measured run ~2x slower; the
+// ledger diff must call that a regression, and the clean pair must not.
+TEST(HistoryChaos, InjectedDelayShowsUpAsLedgerRegression) {
+  const auto timed_run = [](double delay_ms) {
+    sim::GuardPolicy policy;
+    if (delay_ms > 0.0) {
+      policy.chaos.delay_on_trial = 0;  // busy-wait inside trial 0
+      policy.chaos.delay_ms = delay_ms;
+    }
+    stats::Timer wall;
+    const sim::GuardedResult res = sim::run_trials_guarded(
+        4, 2, policy,
+        [](std::uint64_t, core::RitWorkspace&, std::string*) {
+          sim::TrialMetrics m;
+          m.success = true;
+          m.avg_utility_rit = 1.0;
+          return m;
+        });
+    EXPECT_EQ(res.metrics.trials, 4u);
+    HistoryRecord rec = sample_record(wall.elapsed_ms());
+    rec.bench = "chaos_delay_bench";
+    return rec;
+  };
+
+  // The injected busy-wait dominates the baseline cost by construction:
+  // baseline is four trivial trials, current adds a 40ms stall.
+  const HistoryRecord fast_a = timed_run(0.0);
+  const HistoryRecord fast_b = timed_run(0.0);
+  const HistoryRecord slow = timed_run(40.0);
+  ASSERT_GE(slow.wall_ms, 40.0);
+
+  const DiffResult regressed = diff_history({fast_a}, {slow});
+  bool wall_regressed = false;
+  for (const DiffRow& row : regressed.rows) {
+    if (row.bench == "chaos_delay_bench" && row.metric == "wall_ms") {
+      wall_regressed = row.regression;
+    }
+  }
+  EXPECT_TRUE(wall_regressed);
+  EXPECT_TRUE(regressed.any_regression);
+
+  // Two clean runs of the same trivial workload stay within the generous
+  // default thresholds' absolute floor.
+  const DiffResult clean = diff_history({fast_a}, {fast_b});
+  for (const DiffRow& row : clean.rows) {
+    if (row.metric != "wall_ms") continue;
+    EXPECT_FALSE(row.regression && std::abs(row.current - row.baseline) < 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace rit::obs

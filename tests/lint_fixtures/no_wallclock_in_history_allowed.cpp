@@ -1,0 +1,14 @@
+// Fixture: the same stamp, allowlisted (e.g. a deliberately timestamped
+// side artifact that never feeds the comparable record fields).
+#include <ctime>
+
+struct ScratchHistoryRecord {
+  long stamped_at{0};
+};
+
+ScratchHistoryRecord make_record() {
+  ScratchHistoryRecord rec;
+  // rit-lint: allow(no-wallclock-in-history)
+  rec.stamped_at = static_cast<long>(std::time(nullptr));
+  return rec;
+}

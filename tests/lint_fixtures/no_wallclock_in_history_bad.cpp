@@ -1,0 +1,12 @@
+// Fixture: a wall-clock timestamp stored into a perf-history record field.
+#include <ctime>
+
+struct ScratchHistoryRecord {
+  long stamped_at{0};
+};
+
+ScratchHistoryRecord make_record() {
+  ScratchHistoryRecord rec;
+  rec.stamped_at = static_cast<long>(std::time(nullptr));
+  return rec;
+}

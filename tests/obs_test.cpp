@@ -321,6 +321,66 @@ TEST(Metrics, ResetDropsEverything) {
   EXPECT_TRUE(r.snapshot().empty());
 }
 
+TEST(Metrics, ReservoirKeepsIndexKeyedPrefixAndClampsCapacity) {
+  Reservoir r(/*capacity=*/4);
+  r.observe(0, 10.0);
+  r.observe(3, 13.0);
+  r.observe(4, 99.0);   // beyond capacity: dropped, not evicting
+  r.observe(100, 1.0);  // far beyond: dropped
+  const std::map<std::uint64_t, double> s = r.samples();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.at(3), 13.0);
+}
+
+TEST(Metrics, ReservoirMergeIsThreadCountInvariant) {
+  // The guarded runner tags each observation with its trial index, so worker
+  // reservoirs hold disjoint index sets and the merged sample set — hence
+  // the p50/p95/p99 derived from it — is identical for every thread count.
+  constexpr std::uint64_t kTrials = 64;
+  const auto run_split = [](std::size_t threads) {
+    std::vector<Registry> workers(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      for (std::uint64_t t = w; t < kTrials; t += threads) {
+        workers[w].reservoir("sim.trial_ms").observe(t, trial_value(t));
+      }
+    }
+    MetricsSnapshot merged;
+    for (const Registry& w : workers) merged.merge(w.snapshot());
+    return merged.reservoirs.at("sim.trial_ms");
+  };
+  const auto serial = run_split(1);
+  EXPECT_EQ(serial.size(), kTrials);
+  EXPECT_EQ(run_split(2), serial);
+  EXPECT_EQ(run_split(8), serial);
+  EXPECT_EQ(run_split(7), serial);  // non-divisor stride too
+}
+
+TEST(Metrics, ReservoirAbsorbFoldsIntoLiveRegistry) {
+  Registry worker;
+  worker.reservoir("sim.trial_ms").observe(2, 5.0);
+  Registry target;
+  target.reservoir("sim.trial_ms").observe(1, 4.0);
+  target.absorb(worker.snapshot());
+  const auto samples = target.snapshot().reservoirs.at("sim.trial_ms");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples.at(1), 4.0);
+  EXPECT_DOUBLE_EQ(samples.at(2), 5.0);
+}
+
+TEST(Metrics, ToJsonRendersQuantilesFromReservoir) {
+  Registry r;
+  for (std::uint64_t t = 0; t < 100; ++t) {
+    r.reservoir("sim.trial_ms").observe(t, static_cast<double>(t + 1));
+  }
+  const std::string json = r.snapshot().to_json();
+  EXPECT_NE(json.find("\"quantiles\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"samples\": 100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+}
+
 TEST(Metrics, ToJsonRendersEverySection) {
   Registry r;
   r.counter("test.count").add(2);

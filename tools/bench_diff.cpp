@@ -1,0 +1,227 @@
+// ritcs-bench-diff: the one-command perf-regression gate.
+//
+//   ritcs-bench-diff baseline.jsonl current.jsonl
+//
+// Compares two perf ledgers (written by any bench's --history-out flag,
+// see obs/history.h) with noise-aware thresholds: repeated runs collapse
+// min-of-N per metric, and a metric only flags when it exceeds BOTH the
+// relative threshold and the absolute floor. Exit status is the gate:
+//
+//   0  no regression (ledgers comparable, nothing flagged)
+//   1  at least one regression flagged
+//   2  usage or I/O error (unreadable ledger, no parseable records)
+//   3  --probe-perf only: perf_event_open unavailable
+//
+// Flags:
+//   --threshold=R          relative threshold for time metrics (default 0.10)
+//   --abs-floor-ms=MS      absolute floor for time metrics (default 0.5)
+//   --counter-threshold=R  relative threshold for gated counters (default 0.25)
+//   --counter-floor=N      absolute floor for gated counters (default 1e7)
+//   --all                  print every compared metric, not just times +
+//                          flagged rows
+//   --markdown             render the report as a markdown table
+//   --svg=PATH             also render a wall-time trend chart (one series
+//                          per bench, baseline records then current)
+//   --probe-perf           ignore ledgers; exit 0 if this process can open
+//                          a perf event, 3 otherwise (used by check.sh)
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cli/svg_chart.h"
+#include "cli/table.h"
+#include "common/format_util.h"
+#include "obs/history.h"
+#include "obs/perf_counters.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--threshold=R] [--abs-floor-ms=MS] [--counter-threshold=R]"
+               " [--counter-floor=N] [--all] [--markdown] [--svg=PATH]"
+               " baseline.jsonl current.jsonl\n"
+            << "       " << argv0 << " --probe-perf\n";
+  return 2;
+}
+
+bool is_time_metric(const std::string& metric) {
+  return metric == "wall_ms" || metric == "total_ms";
+}
+
+std::string format_value(const std::string& metric, double v) {
+  if (is_time_metric(metric)) return rit::format_double(v, 3);
+  return rit::format_with_commas(static_cast<long long>(v));
+}
+
+std::string flag_of(const rit::obs::DiffRow& row) {
+  if (row.regression) return "REGRESSION";
+  if (row.improvement) return "improved";
+  return "";
+}
+
+void render_markdown(const std::vector<std::vector<std::string>>& rows) {
+  std::cout << "| bench | phase | metric | baseline | current | ratio |"
+               " verdict |\n";
+  std::cout << "|---|---|---|---:|---:|---:|---|\n";
+  for (const auto& r : rows) {
+    std::cout << '|';
+    for (const auto& cell : r) std::cout << ' ' << cell << " |";
+    std::cout << '\n';
+  }
+}
+
+void render_trend_svg(const std::string& path,
+                      const std::vector<rit::obs::HistoryRecord>& baseline,
+                      const std::vector<rit::obs::HistoryRecord>& current) {
+  std::map<std::string, rit::cli::Series> by_bench;
+  const auto fold = [&by_bench](
+                        const std::vector<rit::obs::HistoryRecord>& recs) {
+    for (const rit::obs::HistoryRecord& r : recs) {
+      rit::cli::Series& s = by_bench[r.bench];
+      s.label = r.bench;
+      s.points.emplace_back(static_cast<double>(s.points.size()), r.wall_ms);
+    }
+  };
+  fold(baseline);
+  fold(current);
+  std::vector<rit::cli::Series> series;
+  for (auto& [bench, s] : by_bench) {
+    if (!s.points.empty()) series.push_back(std::move(s));
+  }
+  if (series.empty()) return;
+  rit::cli::ChartOptions chart;
+  chart.title = "wall_ms trend (baseline then current, per bench)";
+  chart.x_label = "run index";
+  chart.y_label = "wall_ms";
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  rit::cli::write_line_chart(path, series, chart);
+  std::cout << "svg: " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rit::obs::DiffOptions opts;
+  bool show_all = false;
+  bool markdown = false;
+  bool probe_perf = false;
+  std::string svg_path;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string key = arg.substr(2, eq == std::string::npos
+                                              ? std::string::npos
+                                              : eq - 2);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "threshold") {
+      opts.rel_threshold = std::strtod(value.c_str(), nullptr);
+    } else if (key == "abs-floor-ms") {
+      opts.abs_floor_ms = std::strtod(value.c_str(), nullptr);
+    } else if (key == "counter-threshold") {
+      opts.counter_rel_threshold = std::strtod(value.c_str(), nullptr);
+    } else if (key == "counter-floor") {
+      opts.counter_abs_floor = std::strtod(value.c_str(), nullptr);
+    } else if (key == "all") {
+      show_all = true;
+    } else if (key == "markdown") {
+      markdown = true;
+    } else if (key == "svg") {
+      svg_path = value;
+    } else if (key == "probe-perf") {
+      probe_perf = true;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+
+  if (probe_perf) {
+    const bool ok = rit::obs::perf_events_supported();
+    std::cout << (ok ? "perf_event_open: available\n"
+                     : "perf_event_open: unavailable\n");
+    return ok ? 0 : 3;
+  }
+
+  if (positional.size() != 2) return usage(argv[0]);
+
+  const rit::obs::HistoryFile base = rit::obs::read_history(positional[0]);
+  const rit::obs::HistoryFile cur = rit::obs::read_history(positional[1]);
+  for (const auto& [file, hf] :
+       {std::pair<const std::string&, const rit::obs::HistoryFile&>(
+            positional[0], base),
+        std::pair<const std::string&, const rit::obs::HistoryFile&>(
+            positional[1], cur)}) {
+    for (const rit::obs::RejectedLine& rl : hf.rejected) {
+      std::cerr << "warning: " << file << ":" << rl.line_no
+                << ": skipped corrupt line (" << rl.reason << ")\n";
+    }
+  }
+  if (base.records.empty()) {
+    std::cerr << "error: no parseable records in " << positional[0] << "\n";
+    return 2;
+  }
+  if (cur.records.empty()) {
+    std::cerr << "error: no parseable records in " << positional[1] << "\n";
+    return 2;
+  }
+
+  const rit::obs::DiffResult diff =
+      rit::obs::diff_history(base.records, cur.records, opts);
+
+  if (diff.env_mismatch) {
+    std::cerr << "warning: baseline and current env fingerprints differ — "
+                 "treat this comparison as advisory, not gating evidence\n";
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  for (const rit::obs::DiffRow& row : diff.rows) {
+    if (row.regression) ++regressions;
+    if (row.improvement) ++improvements;
+    if (!show_all && !is_time_metric(row.metric) && !row.regression &&
+        !row.improvement) {
+      continue;
+    }
+    rows.push_back({row.bench, row.phase, row.metric,
+                    format_value(row.metric, row.baseline),
+                    format_value(row.metric, row.current),
+                    rit::format_double(row.ratio, 3) + "x", flag_of(row)});
+  }
+
+  if (markdown) {
+    render_markdown(rows);
+  } else {
+    rit::cli::Table table({"bench", "phase", "metric", "baseline", "current",
+                           "ratio", "verdict"});
+    for (auto& r : rows) table.add_row(std::move(r));
+    table.print(std::cout);
+  }
+  std::cout << diff.rows.size() << " metric(s) compared, " << regressions
+            << " regression(s), " << improvements << " improvement(s)"
+            << (show_all ? "" : " (hidden unflagged counters: rerun with "
+                                "--all to list)")
+            << "\n";
+
+  if (!svg_path.empty()) {
+    render_trend_svg(svg_path, base.records, cur.records);
+  }
+
+  return diff.any_regression ? 1 : 0;
+}

@@ -22,6 +22,11 @@
 #   8. chaos      ctest -L chaos on the main build (fault containment,
 #                 checkpoint corruption rejection, the kill/resume matrix
 #                 — see docs/robustness.md)
+#   9. perf-smoke pinned micro-bench run twice into fresh ledgers, then
+#                 ritcs-bench-diff gates the pair: identical binaries must
+#                 not regress against themselves (generous thresholds keep
+#                 the leg honest on noisy machines; skipped with a notice
+#                 when the kernel refuses perf_event_open)
 #
 # Build trees live under build-check/ so the gate never disturbs your
 # incremental build/. Exits non-zero on the first failing leg.
@@ -100,6 +105,37 @@ ctest --test-dir "$BUILD_ROOT/tsan" -L parallel --output-on-failure -j "$JOBS"
 # the robustness machinery is unmissable in the gate output.
 step "ctest -L chaos (fault injection + kill/resume matrix)"
 ctest --test-dir "$BUILD_ROOT/main" -L chaos --output-on-failure -j "$JOBS"
+
+# --- 9. perf smoke: identical binaries must not regress against themselves --
+step "perf smoke (ledger self-diff on a pinned micro-bench)"
+BENCH_DIFF="$BUILD_ROOT/main/tools/ritcs-bench-diff"
+PERF_FLAG="--perf-counters=true"
+if "$BENCH_DIFF" --probe-perf; then
+  :
+else
+  probe_status=$?
+  if [[ $probe_status -eq 3 ]]; then
+    echo "check.sh: perf_event_open unavailable — counters off for this leg" \
+         "(timings and allocation counts still gate)"
+    PERF_FLAG="--perf-counters=false"
+  else
+    echo "check.sh: ritcs-bench-diff --probe-perf failed (exit $probe_status)" >&2
+    exit 1
+  fi
+fi
+PERF_TMP="$(mktemp -d "${TMPDIR:-/tmp}/ritcs-perf-smoke.XXXXXX")"
+trap 'rm -rf "$PERF_TMP"' EXIT
+for ledger in a b; do
+  "$BUILD_ROOT/main/bench/bench_fig6a_utility_vs_users" \
+    --trials=2 --scale=2000 --points=2 --threads=2 \
+    --csv=none --json=none "$PERF_FLAG" \
+    --history-out="$PERF_TMP/$ledger.jsonl" > "$PERF_TMP/$ledger.log"
+done
+# Generous thresholds: this leg exists to catch gross regressions (and to
+# exercise the record/diff path end to end), not to chase scheduler noise
+# on a loaded CI box.
+"$BENCH_DIFF" --threshold=0.6 --abs-floor-ms=250 \
+  "$PERF_TMP/a.jsonl" "$PERF_TMP/b.jsonl"
 
 echo
 echo "check.sh: OK"

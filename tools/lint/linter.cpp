@@ -38,6 +38,11 @@ struct TokenRule {
   // Restrict to "result path" files: path names a report/serialization
   // boundary, or the file mentions std::ostream / std::ofstream.
   bool result_path_only{false};
+  // When non-empty, the rule only applies to files whose repo-relative
+  // path contains at least one of these substrings. The default-initializer
+  // keeps the many rules that don't scope themselves warning-clean under
+  // -Wmissing-field-initializers.
+  std::vector<const char*> path_includes{};
 };
 
 const std::vector<TokenRule>& token_rules() {
@@ -95,6 +100,19 @@ const std::vector<TokenRule>& token_rules() {
        {},
        {},
        /*result_path_only=*/true},
+      {"no-wallclock-in-history",
+       "wall-clock reads in the perf-history ledger path would timestamp "
+       "records, breaking the contract that re-running the same binary "
+       "yields byte-comparable records; identify records by git SHA + env "
+       "fingerprint + file position instead",
+       FileClass::kCpp,
+       {"system_clock", "std::time", "time(nullptr)", "time(NULL)",
+        "gettimeofday", "localtime", "gmtime", "strftime", "asctime",
+        "ctime("},
+       {},
+       {},
+       /*result_path_only=*/false,
+       /*path_includes=*/{"history"}},
       {"no-fast-math",
        "-ffast-math / -Ofast license reassociation and FTZ, so the same "
        "seed stops reproducing the same floats across compilers",
@@ -443,6 +461,10 @@ void run_token_rules(const Prepped& p, std::vector<Finding>* out) {
     if (rule.file_class != p.file_class) continue;
     if (rule.result_path_only && !p.result_path) continue;
     if (path_excluded(p.src->path, rule.path_excludes)) continue;
+    if (!rule.path_includes.empty() &&
+        !path_excluded(p.src->path, rule.path_includes)) {
+      continue;
+    }
     std::vector<std::regex> regexes;
     regexes.reserve(rule.regexes.size());
     for (const char* r : rule.regexes) regexes.emplace_back(r);
