@@ -200,6 +200,34 @@ void BM_PaymentPhaseReference(benchmark::State& state) {
 }
 BENCHMARK(BM_PaymentPhaseReference)->Arg(1000)->Arg(10000);
 
+// Flat-workspace payment pass at {1, 2, 4} intra-trial threads. The output
+// is bit-identical across the thread column (payment_test pins that); the
+// heap_allocs_per_run counter must stay O(1) — a handful of bookkeeping
+// allocations (thread spawns, type-erased loop bodies), never O(N).
+void BM_PaymentPhaseWorkspace(benchmark::State& state) {
+  const auto d = make_payment_data(static_cast<std::uint32_t>(state.range(0)));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  core::PaymentWorkspace ws;
+  std::vector<double> out;
+  core::tree_payments_into(d.tree, d.types, d.payments, 0.5, threads, ws, out);
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    core::tree_payments_into(d.tree, d.types, d.payments, 0.5, threads, ws,
+                             out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  state.counters["heap_allocs_per_run"] = benchmark::Counter(
+      state.iterations() > 0
+          ? static_cast<double>(after - before) /
+                static_cast<double>(state.iterations())
+          : 0.0);
+}
+BENCHMARK(BM_PaymentPhaseWorkspace)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4});
+
 void BM_BarabasiAlbert(benchmark::State& state) {
   rng::Rng rng(6);
   const auto n = static_cast<std::uint32_t>(state.range(0));
@@ -266,6 +294,59 @@ void BM_FullRitWorkspace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullRitWorkspace)->Arg(5000)->Arg(20000);
+
+// The sweep engines' actual steady state: workspace AND result reuse via
+// run_rit_into. After the warm-up run grows every buffer to its high-water
+// mark, a whole mechanism run (auction rounds + extraction + payment pass)
+// must perform ~0 heap allocations — the heap_allocs_per_trial counter is
+// the acceptance number for the flat-SoA hot path.
+void BM_FullRitSteadyState(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  rng::Rng setup(8);
+  std::vector<core::Ask> asks;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    asks.push_back(core::Ask{
+        TaskType{static_cast<std::uint32_t>(setup.uniform_index(10))},
+        static_cast<std::uint32_t>(setup.uniform_int(1, 20)),
+        setup.uniform_real_left_open(0.0, 10.0)});
+  }
+  const auto t = tree::random_recursive_tree(n, 0.05, setup);
+  const core::Job job = core::Job::uniform(10, n / 20);
+  core::RitConfig cfg;
+  cfg.round_budget_policy = core::RoundBudgetPolicy::kRunToCompletion;
+  rng::Rng rng(9);
+  core::RitWorkspace ws;
+  core::RitResult out;
+  core::run_rit_into(job, asks, t, cfg, rng, ws, out);
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    core::run_rit_into(job, asks, t, cfg, rng, ws, out);
+    benchmark::DoNotOptimize(out.payment.data());
+  }
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  state.counters["heap_allocs_per_trial"] = benchmark::Counter(
+      state.iterations() > 0
+          ? static_cast<double>(after - before) /
+                static_cast<double>(state.iterations())
+          : 0.0);
+}
+BENCHMARK(BM_FullRitSteadyState)->Arg(5000)->Arg(20000);
+
+// Spanning-forest wave scan at {1, 4} intra-trial threads over the same
+// graph: output is bit-identical (scale_test pins it); the time column
+// shows what the parallel frontier scan buys.
+void BM_SpanningForestThreads(benchmark::State& state) {
+  rng::Rng rng(7);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto g = graph::barabasi_albert(n, 3, rng);
+  tree::SpanningForestOptions opts;
+  opts.seeds = {0, 1, 2, 3};
+  opts.threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree::build_spanning_forest(g, opts));
+  }
+}
+BENCHMARK(BM_SpanningForestThreads)->Args({50000, 1})->Args({50000, 4});
 
 // --- Tracer overhead -------------------------------------------------------
 // A fixed arithmetic payload (~100-200 ns) bracketed three ways. Comparing

@@ -13,6 +13,13 @@
 //                 in a fixed order, so counts/min/max/success rates are
 //                 identical for every N; means agree to ~1e-12 (Welford
 //                 merge-order rounding — see EXPERIMENTS.md)
+//   --intra-threads=N  worker threads INSIDE each trial (graph CSR sort,
+//                 spanning-forest wave scan, payment prefix pass; default
+//                 1; 0 = hardware concurrency). Unlike --threads this does
+//                 not fan trials out — it accelerates a single huge trial,
+//                 and every pass is bit-identical at any setting (see
+//                 docs/scaling.md). Deliberately excluded from checkpoint
+//                 identity.
 //   --csv=PATH    also dump the series as CSV (default bench_results/<name>.csv,
 //                 "none" disables)
 //   --theoretical use the paper's literal round budget instead of
@@ -80,6 +87,9 @@ struct BenchOptions {
   /// Worker threads for the trial fan-out (0 = hardware concurrency,
   /// 1 = exact serial path).
   unsigned threads{0};
+  /// Worker threads inside each trial (0 = hardware concurrency, 1 =
+  /// serial). Bit-identical at any setting — see docs/scaling.md.
+  unsigned intra_threads{1};
   std::string csv_path;  // empty = disabled
   bool theoretical{false};
   /// fig9 only: keep the paper's exact supply/demand ratio (--paper-ratio).

@@ -1,8 +1,7 @@
 #include "cli/args.h"
 
-#include <cstdlib>
-
 #include "common/check.h"
+#include "common/num_io.h"
 
 namespace rit::cli {
 
@@ -25,24 +24,21 @@ std::uint64_t Args::get_u64(const std::string& key, std::uint64_t def) {
   recognized_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
-  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !it->second.empty(),
-                "flag --" << key << " wants an integer, got '" << it->second
-                          << "'");
-  return v;
+  const auto v = rit::parse_u64(it->second);
+  RIT_CHECK_MSG(v.has_value(), "flag --" << key
+                                         << " wants an unsigned integer, got '"
+                                         << it->second << "'");
+  return *v;
 }
 
 double Args::get_double(const std::string& key, double def) {
   recognized_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !it->second.empty(),
-                "flag --" << key << " wants a number, got '" << it->second
-                          << "'");
-  return v;
+  const auto v = rit::parse_double(it->second);
+  RIT_CHECK_MSG(v.has_value(), "flag --" << key << " wants a number, got '"
+                                         << it->second << "'");
+  return *v;
 }
 
 bool Args::get_bool(const std::string& key, bool def) {

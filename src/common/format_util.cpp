@@ -1,14 +1,13 @@
 #include "common/format_util.h"
 
 #include <cstdio>
-#include <cstdlib>
+
+#include "common/num_io.h"
 
 namespace rit {
 
 std::string format_double(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return buf;
+  return format_double_fixed(v, precision);
 }
 
 std::string format_with_commas(long long v) {
@@ -70,6 +69,8 @@ std::string json_escape(std::string_view s) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
+          // Integer-only format: no radix character for a locale to bend.
+          // rit-lint: allow(no-locale-numeric)
           std::snprintf(buf, sizeof(buf), "\\u%04x",
                         static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buf;

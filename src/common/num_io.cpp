@@ -1,0 +1,94 @@
+#include "common/num_io.h"
+
+#include <charconv>
+#include <cmath>
+#include <system_error>
+
+namespace rit {
+
+std::optional<double> parse_double(std::string_view text) {
+  bool negative = false;
+  std::string_view body = text;
+  if (!body.empty() && body.front() == '-') {
+    negative = true;
+    body.remove_prefix(1);
+  }
+  std::chars_format fmt = std::chars_format::general;
+  if (body.size() > 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+    fmt = std::chars_format::hex;
+    body.remove_prefix(2);
+  }
+  if (body.empty()) return std::nullopt;
+  double v = 0.0;
+  const auto res = std::from_chars(body.data(), body.data() + body.size(), v,
+                                   fmt);
+  if (res.ec != std::errc{} || res.ptr != body.data() + body.size()) {
+    return std::nullopt;
+  }
+  return negative ? -v : v;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  const auto res =
+      std::from_chars(text.data(), text.data() + text.size(), v, 10);
+  if (res.ec != std::errc{} || res.ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::uint32_t> parse_u32(std::string_view text) {
+  const auto v = parse_u64(text);
+  if (!v || *v > 0xffffffffULL) return std::nullopt;
+  return static_cast<std::uint32_t>(*v);
+}
+
+std::string format_hex_double(double v) {
+  char buf[64];
+  char* p = buf;
+  if (v < 0.0 || (v == 0.0 && std::signbit(v))) {
+    // to_chars emits the '-' itself; the "0x" has to go between the sign
+    // and the digits, so peel the sign off first.
+    *p++ = '-';
+    v = -v;
+  }
+  // inf/nan carry no "0x" prefix, matching printf "%a".
+  if (std::isinf(v)) return std::string(buf, p) + "inf";
+  if (std::isnan(v)) return std::string(buf, p) + "nan";
+  *p++ = '0';
+  *p++ = 'x';
+  const auto res = std::to_chars(p, buf + sizeof(buf), v,
+                                 std::chars_format::hex);
+  return std::string(buf, res.ptr);
+}
+
+std::string format_double_g17(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 17);
+  return std::string(buf, res.ptr);
+}
+
+std::string format_double_shortest(double v) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::string format_double_fixed(double v, int precision) {
+  char buf[512];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::fixed, precision);
+  if (res.ec == std::errc{}) return std::string(buf, res.ptr);
+  // DBL_MAX at a huge precision can exceed the stack buffer; retry heap-side.
+  std::string big;
+  big.resize(1200 + static_cast<std::size_t>(precision > 0 ? precision : 0));
+  const auto res2 = std::to_chars(big.data(), big.data() + big.size(), v,
+                                  std::chars_format::fixed, precision);
+  big.resize(static_cast<std::size_t>(res2.ptr - big.data()));
+  return big;
+}
+
+}  // namespace rit

@@ -1,0 +1,54 @@
+// Locale-independent numeric IO for everything that crosses a file boundary.
+//
+// The C library's strtod/snprintf family reads and writes the radix
+// character of the *current global locale*: a checkpoint written under
+// de_DE.UTF-8 prints "0,5", and a ledger read under it rejects "0.5".
+// Results, checkpoints, configs and ledgers must be byte-stable regardless
+// of the host locale, so every parse/format on those paths goes through
+// these std::from_chars/std::to_chars wrappers instead (both are specified
+// to use the "C" locale unconditionally).
+//
+// The integer parsers are also strict where strtoull is forgiving: no
+// leading whitespace, no '+'/'-' sign (strtoull silently wraps "-1" to
+// 2^64-1), no trailing junk, and overflow is an error rather than a
+// saturation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rit {
+
+/// Parses a double. Accepts decimal ("1.5", "-2e3") and hex-float forms
+/// with or without the "0x" prefix ("0x1.8p+3" as written by printf %a,
+/// "1.8p+3" as written by std::to_chars), plus "inf"/"nan" with optional
+/// sign. Rejects leading whitespace, a leading '+', trailing junk, and
+/// values outside double range. Empty optional on any failure.
+std::optional<double> parse_double(std::string_view text);
+
+/// Parses an unsigned 64-bit integer from decimal digits only: any sign,
+/// whitespace, trailing junk, or overflow past 2^64-1 is a failure.
+std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// parse_u64 plus a range check against 2^32-1.
+std::optional<std::uint32_t> parse_u32(std::string_view text);
+
+/// Shortest round-trip hex-float with the "0x" prefix, matching what
+/// printf "%a" historically wrote here ("0x1.8p+3"); parse_double reads
+/// it back bit-exactly.
+std::string format_hex_double(double v);
+
+/// Decimal with 17 significant digits in the style of printf "%.17g":
+/// round-trips every finite double.
+std::string format_double_g17(double v);
+
+/// Shortest decimal string that parses back to exactly `v` (to_chars
+/// shortest form): "0.1" rather than "0.10000000000000001".
+std::string format_double_shortest(double v);
+
+/// Fixed-point decimal in the style of printf "%.*f".
+std::string format_double_fixed(double v, int precision);
+
+}  // namespace rit

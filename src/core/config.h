@@ -100,6 +100,16 @@ struct RitConfig {
   /// round budget, zero every allocation and payment. Disable to keep the
   /// partial allocation (useful for diagnostics; violates the paper).
   bool zero_on_failure = true;
+
+  /// Worker threads for the deterministic intra-trial parallel passes (the
+  /// payment determination phase today; tree/graph construction take the
+  /// matching sim::Scenario::intra_threads knob). Every parallel pass uses
+  /// a static blocked partition with disjoint writes, so results are
+  /// bit-identical at any setting — this knob trades wall-clock for cores,
+  /// never output. 1 = serial (default); 0 = one per hardware thread.
+  /// Deliberately excluded from result/checkpoint identity: it cannot
+  /// change what a run computes.
+  unsigned intra_threads = 1;
 };
 
 }  // namespace rit::core

@@ -40,4 +40,30 @@ void extract_remaining_into(TaskType type, std::span<const Ask> asks,
                             std::span<const std::uint32_t> remaining_quantity,
                             ExtractedAsks& out);
 
+/// Per-type CSR over one ask vector, built once per auction so the
+/// multi-round loop can expand type tau_i by scanning only tau_i's askers
+/// instead of all N asks every round (the seed path's O(N * rounds * types)
+/// term, which dominates at millions of users). Within a type the users
+/// stay in ascending index order, so expansions are byte-identical to the
+/// full-scan path. build() reuses capacity across auctions.
+struct AskTypeIndex {
+  std::vector<std::uint32_t> offsets;   ///< per type: [offsets[t], offsets[t+1])
+  std::vector<std::uint32_t> user;      ///< flat ask indices, ascending per type
+  std::vector<double> value;            ///< value[i] = asks[user[i]].value
+  std::vector<std::uint32_t> quantity;  ///< quantity[i] = asks[user[i]].quantity
+
+  std::uint32_t num_types() const {
+    return offsets.empty() ? 0 : static_cast<std::uint32_t>(offsets.size() - 1);
+  }
+  /// Rebuilds for `asks`; every ask's type must be < num_types (run
+  /// validate_asks first).
+  void build(std::uint32_t num_types, std::span<const Ask> asks);
+};
+
+/// extract_remaining_into over the index: same output as the span form for
+/// the indexed ask vector, touching only `type`'s group.
+void extract_remaining_into(TaskType type, const AskTypeIndex& index,
+                            std::span<const std::uint32_t> remaining_quantity,
+                            ExtractedAsks& out);
+
 }  // namespace rit::core

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "obs/obs.h"
 
 namespace rit::core {
@@ -51,60 +52,122 @@ std::vector<double> tree_payments(const tree::IncentiveTree& tree,
                                   std::span<const TaskType> types,
                                   std::span<const double> auction_payments,
                                   double discount_base) {
+  PaymentWorkspace ws;
+  std::vector<double> p;
+  tree_payments_into(tree, types, auction_payments, discount_base,
+                     /*threads=*/1, ws, p);
+  return p;
+}
+
+void tree_payments_into(const tree::IncentiveTree& tree,
+                        std::span<const TaskType> types,
+                        std::span<const double> auction_payments,
+                        double discount_base, unsigned threads,
+                        PaymentWorkspace& ws, std::vector<double>& out) {
   RIT_TRACE_SPAN("payment.extract");
   validate_inputs(tree, types, auction_payments, discount_base);
   const std::uint32_t n = tree.num_participants();
-  std::vector<double> p(auction_payments.begin(), auction_payments.end());
-  if (n == 0) return p;
+  out.assign(auction_payments.begin(), auction_payments.end());
+  if (n == 0) return;
+
+  // base^depth memo: depths repeat across the whole tree, so one pow per
+  // distinct depth replaces one per node. std::pow is a pure function of
+  // (base, depth), so the memo changes nothing bitwise.
+  ws.depth_discount.resize(static_cast<std::size_t>(tree.max_depth()) + 1);
+  for (std::size_t d = 0; d < ws.depth_discount.size(); ++d) {
+    ws.depth_discount[d] = discount(discount_base,
+                                    static_cast<std::uint32_t>(d));
+  }
 
   // Contribution of each node laid out in preorder; a subtree is then a
   // contiguous range, so "sum of contributions in my subtree" is a prefix-
-  // sum difference. The same-type exclusion is handled with per-type sparse
-  // prefix sums (positions of type-t nodes in preorder + running sums).
+  // sum difference. Stage 1 computes per-node contributions into the
+  // not-yet-scanned prefix slots — disjoint writes, so the fill runs
+  // blocked across workers.
   const auto preorder = tree.preorder();
-  std::vector<double> contrib_prefix(preorder.size() + 1, 0.0);
+  const std::size_t nodes = preorder.size();
+  ws.contrib_prefix.resize(nodes + 1);
+  ws.contrib_prefix[0] = 0.0;
+  parallel_for_blocked(
+      nodes, threads,
+      [&](std::uint64_t begin, std::uint64_t end, unsigned) {
+        for (std::uint64_t pos = begin; pos < end; ++pos) {
+          const std::uint32_t node = preorder[pos];
+          double c = 0.0;
+          if (node != 0) {
+            const std::uint32_t i = tree::participant_of_node(node);
+            c = ws.depth_discount[tree.depth(node)] * auction_payments[i];
+          }
+          ws.contrib_prefix[pos + 1] = c;
+        }
+      });
 
+  // Stage 2 (serial): the same-type exclusion needs per-type sparse prefix
+  // sums (positions of type-t nodes in preorder + running sums), flattened
+  // into one CSR triple. Every non-root node lands in exactly one group,
+  // and scanning positions in ascending order fills each group in the same
+  // order the seed path's per-type push_backs did, so the partial sums are
+  // bit-identical. The prefix is inclusive: type_prefix[k] sums the group's
+  // entries up to and including k.
   std::uint32_t num_types = 0;
   for (TaskType t : types) num_types = std::max(num_types, t.value + 1);
-  std::vector<std::vector<std::uint32_t>> type_positions(num_types);
-  std::vector<std::vector<double>> type_prefix(num_types);
-
-  for (std::size_t pos = 0; pos < preorder.size(); ++pos) {
+  ws.type_offsets.assign(num_types + 1, 0);
+  for (TaskType t : types) ws.type_offsets[t.value + 1] += 1;
+  for (std::uint32_t t = 0; t < num_types; ++t) {
+    ws.type_offsets[t + 1] += ws.type_offsets[t];
+  }
+  ws.type_cursor.assign(ws.type_offsets.begin(), ws.type_offsets.end() - 1);
+  ws.type_positions.resize(n);
+  ws.type_prefix.resize(n);
+  for (std::size_t pos = 0; pos < nodes; ++pos) {
     const std::uint32_t node = preorder[pos];
-    double c = 0.0;
-    if (node != 0) {
-      const std::uint32_t i = tree::participant_of_node(node);
-      c = discount(discount_base, tree.depth(node)) * auction_payments[i];
-      auto& positions = type_positions[types[i].value];
-      auto& prefix = type_prefix[types[i].value];
-      if (prefix.empty()) prefix.push_back(0.0);
-      positions.push_back(static_cast<std::uint32_t>(pos));
-      prefix.push_back(prefix.back() + c);
-    }
-    contrib_prefix[pos + 1] = contrib_prefix[pos] + c;
+    if (node == 0) continue;
+    const std::uint32_t i = tree::participant_of_node(node);
+    const double c = ws.contrib_prefix[pos + 1];  // still the raw contribution
+    const std::uint32_t t = types[i].value;
+    const std::uint32_t slot = ws.type_cursor[t]++;
+    ws.type_positions[slot] = static_cast<std::uint32_t>(pos);
+    ws.type_prefix[slot] =
+        slot == ws.type_offsets[t] ? c : ws.type_prefix[slot - 1] + c;
+  }
+  // Stage 3 (serial): scan the contributions into a prefix sum in place.
+  for (std::size_t pos = 0; pos < nodes; ++pos) {
+    ws.contrib_prefix[pos + 1] += ws.contrib_prefix[pos];
   }
 
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const std::uint32_t node = tree::node_of_participant(i);
-    if (tree.subtree_size(node) == 1) continue;  // leaf: no descendants
-    const std::uint32_t begin = tree.preorder_index(node);
-    const std::uint32_t end = begin + tree.subtree_size(node);  // exclusive
-    // Whole-subtree contribution, then subtract the same-type share. The
-    // node's own contribution is of its own type, so it cancels.
-    const double total = contrib_prefix[end] - contrib_prefix[begin];
-    const auto& positions = type_positions[types[i].value];
-    const auto& prefix = type_prefix[types[i].value];
-    const auto lo = std::lower_bound(positions.begin(), positions.end(), begin) -
-                    positions.begin();
-    const auto hi = std::lower_bound(positions.begin(), positions.end(), end) -
-                    positions.begin();
-    const double same_type = prefix[hi] - prefix[lo];
-    // The true reward is a sum of non-negative contributions; the prefix-sum
-    // subtraction can dip a few ulps below zero, which must not leak into a
-    // payment below p_i^A.
-    p[i] += std::max(0.0, total - same_type);
-  }
-  return p;
+  // Stage 4: per-participant subtree queries. p[i] is the only write and
+  // indices are disjoint, so the query loop parallelizes bit-identically.
+  parallel_for_blocked(
+      n, threads, [&](std::uint64_t qb, std::uint64_t qe, unsigned) {
+        for (std::uint64_t i = qb; i < qe; ++i) {
+          const std::uint32_t node =
+              tree::node_of_participant(static_cast<std::uint32_t>(i));
+          if (tree.subtree_size(node) == 1) continue;  // leaf: no descendants
+          const std::uint32_t begin = tree.preorder_index(node);
+          const std::uint32_t end =
+              begin + tree.subtree_size(node);  // exclusive
+          // Whole-subtree contribution, then subtract the same-type share.
+          // The node's own contribution is of its own type, so it cancels.
+          const double total =
+              ws.contrib_prefix[end] - ws.contrib_prefix[begin];
+          const std::uint32_t t = types[i].value;
+          const auto* pos_begin = ws.type_positions.data() + ws.type_offsets[t];
+          const auto* pos_end =
+              ws.type_positions.data() + ws.type_offsets[t + 1];
+          const auto lo = std::lower_bound(pos_begin, pos_end, begin);
+          const auto hi = std::lower_bound(pos_begin, pos_end, end);
+          const double* prefix = ws.type_prefix.data() + ws.type_offsets[t];
+          const double sum_hi =
+              hi == pos_begin ? 0.0 : prefix[(hi - pos_begin) - 1];
+          const double sum_lo =
+              lo == pos_begin ? 0.0 : prefix[(lo - pos_begin) - 1];
+          const double same_type = sum_hi - sum_lo;
+          // The true reward is a sum of non-negative contributions; the
+          // prefix-sum subtraction can dip a few ulps below zero, which must
+          // not leak into a payment below p_i^A.
+          out[i] += std::max(0.0, total - same_type);
+        }
+      });
 }
 
 double solicitation_premium(std::span<const double> payments,

@@ -19,6 +19,7 @@
 // them to each other on random trees.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -40,6 +41,33 @@ std::vector<double> tree_payments(const tree::IncentiveTree& tree,
                                   std::span<const TaskType> types,
                                   std::span<const double> auction_payments,
                                   double discount_base);
+
+/// Reusable scratch for tree_payments_into: the per-type prefix structure
+/// flattened into CSR arrays (one offsets/positions/prefix triple instead
+/// of a vector-of-vectors per type), plus the depth-discount memo. All
+/// buffers regrow to high-water capacity once and are then reused, so a
+/// steady-state payment pass performs no allocations.
+struct PaymentWorkspace {
+  std::vector<double> contrib_prefix;        ///< per preorder pos, size nodes+1
+  std::vector<double> depth_discount;        ///< base^d memo, size max_depth+1
+  std::vector<std::uint32_t> type_offsets;   ///< per type, size num_types+1
+  std::vector<std::uint32_t> type_cursor;    ///< counting-sort scratch
+  std::vector<std::uint32_t> type_positions; ///< flat, ascending per type
+  std::vector<double> type_prefix;           ///< inclusive per-type prefix sums
+};
+
+/// Scratch-reusing, optionally parallel form of tree_payments. Writes the
+/// final payments into `out` (resized to the participant count, reusing
+/// capacity). The contribution fill and the per-participant subtree queries
+/// run blocked across `threads` workers (resolve_threads semantics; <= 1
+/// runs inline); every write is to a disjoint index, so the result is
+/// bit-identical to the serial pass — and to tree_payments() — at any
+/// thread count.
+void tree_payments_into(const tree::IncentiveTree& tree,
+                        std::span<const TaskType> types,
+                        std::span<const double> auction_payments,
+                        double discount_base, unsigned threads,
+                        PaymentWorkspace& ws, std::vector<double>& out);
 
 /// The solicitation premium sum_j (p_j - p_j^A). Sec. 7-C bounds it by
 /// sum_j p_j^A; tests assert the bound on every run.

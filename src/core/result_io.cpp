@@ -1,38 +1,31 @@
 #include "core/result_io.h"
 
-#include <cinttypes>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "common/atomic_file.h"
 #include "common/check.h"
+#include "common/num_io.h"
 
 namespace rit::core {
 
 namespace {
 constexpr const char* kHeader = "ritcs-record v1";
 
-std::string hex_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  return buf;
-}
+std::string hex_double(double v) { return rit::format_hex_double(v); }
 
 double parse_hex_double(const std::string& token, const char* what) {
-  char* end = nullptr;
-  const double v = std::strtod(token.c_str(), &end);
-  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty(),
+  const auto v = rit::parse_double(token);
+  RIT_CHECK_MSG(v.has_value(),
                 "record: bad double for " << what << ": '" << token << "'");
-  return v;
+  return *v;
 }
 
 std::uint64_t parse_u64(const std::string& token, const char* what) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
-  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty(),
+  const auto v = rit::parse_u64(token);
+  RIT_CHECK_MSG(v.has_value(),
                 "record: bad integer for " << what << ": '" << token << "'");
-  return v;
+  return *v;
 }
 
 /// Reads the next non-empty line and checks it starts with `key`, returning

@@ -82,6 +82,14 @@ RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
 RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
                             const RitConfig& config, rng::Rng& rng,
                             RitWorkspace& ws) {
+  RitResult res;
+  run_auction_phase_into(job, asks, config, rng, ws, res);
+  return res;
+}
+
+void run_auction_phase_into(const Job& job, std::span<const Ask> asks,
+                            const RitConfig& config, rng::Rng& rng,
+                            RitWorkspace& ws, RitResult& res) {
   RIT_TRACE_SPAN("rit.auction_phase");
   RIT_COUNTER_INC("rit.auctions_run");
   validate_asks(job, asks);
@@ -94,8 +102,11 @@ RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
                 "discount base must lie in (0,1), got "
                     << config.discount_base);
 
-  RitResult res;
   const auto n = static_cast<std::uint32_t>(asks.size());
+  res.success = false;
+  res.type_info.clear();
+  res.probability_degraded = false;
+  res.achieved_probability = 1.0;
   res.allocation.assign(n, 0);
   res.auction_payment.assign(n, 0.0);
   res.payment.assign(n, 0.0);
@@ -107,6 +118,10 @@ RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
   std::vector<std::uint32_t>& remaining = ws.remaining;
   remaining.resize(n);
   for (std::uint32_t j = 0; j < n; ++j) remaining[j] = asks[j].quantity;
+
+  // One per-type CSR build up front; each round then expands only its own
+  // type's askers instead of rescanning all N asks.
+  ws.type_index.build(job.num_types(), asks);
 
   bool all_allocated = true;
   for (std::uint32_t ti = 0; ti < job.num_types(); ++ti) {
@@ -128,7 +143,7 @@ RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
       ExtractedAsks& alpha = ws.alpha;
       {
         RIT_TRACE_SPAN("rit.extract");
-        extract_remaining_into(type, asks, remaining, alpha);
+        extract_remaining_into(type, ws.type_index, remaining, alpha);
       }
       if (alpha.empty()) break;  // nobody left who can serve this type
       CraParams params;
@@ -181,9 +196,9 @@ RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
   if (!res.success && config.zero_on_failure) {
     zero_result(res);
   } else {
-    res.payment = res.auction_payment;
+    res.payment.assign(res.auction_payment.begin(),
+                       res.auction_payment.end());
   }
-  return res;
 }
 
 RitResult run_rit(const Job& job, std::span<const Ask> asks,
@@ -196,19 +211,26 @@ RitResult run_rit(const Job& job, std::span<const Ask> asks,
 RitResult run_rit(const Job& job, std::span<const Ask> asks,
                   const tree::IncentiveTree& tree, const RitConfig& config,
                   rng::Rng& rng, RitWorkspace& ws) {
+  RitResult res;
+  run_rit_into(job, asks, tree, config, rng, ws, res);
+  return res;
+}
+
+void run_rit_into(const Job& job, std::span<const Ask> asks,
+                  const tree::IncentiveTree& tree, const RitConfig& config,
+                  rng::Rng& rng, RitWorkspace& ws, RitResult& out) {
   RIT_CHECK_MSG(tree.num_participants() == asks.size(),
                 "tree has " << tree.num_participants()
                             << " participants but " << asks.size()
                             << " asks were submitted");
-  RitResult res = run_auction_phase(job, asks, config, rng, ws);
-  if (!res.success) return res;  // fail closed: everything already zeroed
+  run_auction_phase_into(job, asks, config, rng, ws, out);
+  if (!out.success) return;  // fail closed: everything already zeroed
 
   std::vector<TaskType>& types = ws.types;
   types.resize(asks.size());
   for (std::size_t j = 0; j < asks.size(); ++j) types[j] = asks[j].type;
-  res.payment = tree_payments(tree, types, res.auction_payment,
-                              config.discount_base);
-  return res;
+  tree_payments_into(tree, types, out.auction_payment, config.discount_base,
+                     config.intra_threads, ws.payment, out.payment);
 }
 
 }  // namespace rit::core

@@ -22,6 +22,7 @@
 #include "core/config.h"
 #include "core/cra.h"
 #include "core/extract.h"
+#include "core/payment.h"
 #include "core/types.h"
 #include "rng/rng.h"
 #include "tree/incentive_tree.h"
@@ -125,6 +126,10 @@ struct RitWorkspace {
   CraWorkspace cra;
   CraOutcome round;
   ExtractedAsks alpha;
+  /// Per-type CSR over the ask vector, rebuilt once per auction so each
+  /// round's extraction touches only its own type's askers.
+  AskTypeIndex type_index;
+  PaymentWorkspace payment;
   std::vector<std::uint32_t> remaining;
   std::vector<TaskType> types;
 };
@@ -154,5 +159,18 @@ RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
 RitResult run_auction_phase(const Job& job, std::span<const Ask> asks,
                             const RitConfig& config, rng::Rng& rng,
                             RitWorkspace& ws);
+
+/// Result-reusing forms: identical draws and values, but the result's
+/// vectors are refilled in place, so a sweep that keeps one RitResult per
+/// worker performs no steady-state allocations in either phase. The
+/// RitResult-returning overloads delegate here.
+void run_rit_into(const Job& job, std::span<const Ask> asks,
+                  const tree::IncentiveTree& tree, const RitConfig& config,
+                  rng::Rng& rng, RitWorkspace& ws, RitResult& out);
+
+/// See run_rit_into.
+void run_auction_phase_into(const Job& job, std::span<const Ask> asks,
+                            const RitConfig& config, rng::Rng& rng,
+                            RitWorkspace& ws, RitResult& out);
 
 }  // namespace rit::core

@@ -7,7 +7,7 @@
 namespace rit::graph {
 
 Graph barabasi_albert(std::uint32_t num_nodes, std::uint32_t edges_per_node,
-                      rng::Rng& rng) {
+                      rng::Rng& rng, unsigned threads) {
   RIT_CHECK(edges_per_node >= 1);
   RIT_CHECK(num_nodes > edges_per_node);
   std::vector<Edge> edges;
@@ -60,10 +60,11 @@ Graph barabasi_albert(std::uint32_t num_nodes, std::uint32_t edges_per_node,
       endpoints.push_back(v);
     }
   }
-  return Graph(num_nodes, std::move(edges));
+  return Graph(num_nodes, std::move(edges), threads);
 }
 
-Graph erdos_renyi(std::uint32_t num_nodes, double p, rng::Rng& rng) {
+Graph erdos_renyi(std::uint32_t num_nodes, double p, rng::Rng& rng,
+                  unsigned threads) {
   RIT_CHECK(p >= 0.0 && p <= 1.0);
   std::vector<Edge> edges;
   if (p > 0.0 && num_nodes > 1) {
@@ -86,11 +87,11 @@ Graph erdos_renyi(std::uint32_t num_nodes, double p, rng::Rng& rng) {
       ++idx;
     }
   }
-  return Graph(num_nodes, std::move(edges));
+  return Graph(num_nodes, std::move(edges), threads);
 }
 
 Graph watts_strogatz(std::uint32_t num_nodes, std::uint32_t k, double beta,
-                     rng::Rng& rng) {
+                     rng::Rng& rng, unsigned threads) {
   RIT_CHECK(num_nodes >= 3);
   RIT_CHECK(k >= 2 && k % 2 == 0);
   RIT_CHECK(k < num_nodes);
@@ -110,7 +111,7 @@ Graph watts_strogatz(std::uint32_t num_nodes, std::uint32_t k, double beta,
       edges.push_back({v, u});  // influence is mutual in the ring model
     }
   }
-  return Graph(num_nodes, std::move(edges));
+  return Graph(num_nodes, std::move(edges), threads);
 }
 
 Graph star(std::uint32_t num_nodes) {
@@ -130,7 +131,8 @@ Graph path(std::uint32_t num_nodes) {
 }
 
 Graph configuration_model(std::uint32_t num_nodes, double exponent,
-                          std::uint32_t max_degree, rng::Rng& rng) {
+                          std::uint32_t max_degree, rng::Rng& rng,
+                          unsigned threads) {
   RIT_CHECK(num_nodes >= 2);
   RIT_CHECK(exponent > 1.0);
   RIT_CHECK(max_degree >= 1 && max_degree < num_nodes);
@@ -173,7 +175,7 @@ Graph configuration_model(std::uint32_t num_nodes, double exponent,
     }
     for (std::uint32_t v : picked) edges.push_back({u, v});
   }
-  return Graph(num_nodes, std::move(edges));
+  return Graph(num_nodes, std::move(edges), threads);
 }
 
 Graph complete(std::uint32_t num_nodes) {

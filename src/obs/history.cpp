@@ -1,14 +1,13 @@
 #include "obs/history.h"
 
 #include <cctype>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "common/atomic_file.h"
 #include "common/format_util.h"
+#include "common/num_io.h"
 
 #ifndef RIT_BUILD_FLAGS
 #define RIT_BUILD_FLAGS "unknown"
@@ -21,11 +20,7 @@ namespace rit::obs {
 
 namespace {
 
-std::string json_number(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+std::string json_number(double v) { return rit::format_double_g17(v); }
 
 // ---------------------------------------------------------------------------
 // Minimal JSON value + recursive-descent parser. Scoped to this file: the
@@ -42,10 +37,8 @@ struct JsonValue {
   std::vector<JsonValue> arr;
   std::vector<std::pair<std::string, JsonValue>> obj;  ///< insertion order
 
-  double as_double() const { return std::strtod(num.c_str(), nullptr); }
-  std::uint64_t as_u64() const {
-    return std::strtoull(num.c_str(), nullptr, 10);
-  }
+  double as_double() const { return rit::parse_double(num).value_or(0.0); }
+  std::uint64_t as_u64() const { return rit::parse_u64(num).value_or(0); }
   const JsonValue* find(const std::string& key) const {
     for (const auto& [k, v] : obj) {
       if (k == key) return &v;

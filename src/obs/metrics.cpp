@@ -1,23 +1,18 @@
 #include "obs/metrics.h"
 
-#include <cstdio>
-
 #include <vector>
 
 #include "common/atomic_file.h"
 #include "common/check.h"
 #include "common/format_util.h"
+#include "common/num_io.h"
 #include "stats/percentile.h"
 
 namespace rit::obs {
 
 namespace {
 
-std::string json_number(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+std::string json_number(double v) { return rit::format_double_g17(v); }
 
 }  // namespace
 

@@ -1,13 +1,12 @@
 #include "sim/checkpoint.h"
 
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/atomic_file.h"
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/num_io.h"
 #include "obs/obs.h"
 
 namespace rit::sim {
@@ -24,28 +23,20 @@ static_assert(sizeof(AggregateMetrics) ==
               "AggregateMetrics changed shape: update write_agg()/read_agg() "
               "in checkpoint.cpp (and this static_assert)");
 
-std::string hex_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  return buf;
-}
+std::string hex_double(double v) { return rit::format_hex_double(v); }
 
 double parse_hex_double(const std::string& token, const std::string& what) {
-  char* end = nullptr;
-  const double v = std::strtod(token.c_str(), &end);
-  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty(),
-                "checkpoint: bad double for " << what << ": '" << token
-                                              << "'");
-  return v;
+  const auto v = rit::parse_double(token);
+  RIT_CHECK_MSG(v.has_value(), "checkpoint: bad double for "
+                                   << what << ": '" << token << "'");
+  return *v;
 }
 
 std::uint64_t parse_u64(const std::string& token, const std::string& what) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
-  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !token.empty(),
-                "checkpoint: bad integer for " << what << ": '" << token
-                                               << "'");
-  return v;
+  const auto v = rit::parse_u64(token);
+  RIT_CHECK_MSG(v.has_value(), "checkpoint: bad integer for "
+                                   << what << ": '" << token << "'");
+  return *v;
 }
 
 /// Strict line reader over the (already checksum-verified) body.

@@ -1,12 +1,12 @@
 #include "sim/config_io.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
 #include "common/check.h"
+#include "common/num_io.h"
 
 namespace rit::sim {
 
@@ -19,21 +19,19 @@ std::string trim(const std::string& s) {
 }
 
 std::uint64_t parse_u64(const std::string& key, const std::string& value) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
-  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !value.empty(),
-                "config key '" << key << "' wants an integer, got '" << value
-                               << "'");
-  return v;
+  const auto v = rit::parse_u64(value);
+  RIT_CHECK_MSG(v.has_value(), "config key '" << key
+                                              << "' wants an unsigned integer, "
+                                                 "got '"
+                                              << value << "'");
+  return *v;
 }
 
 double parse_double(const std::string& key, const std::string& value) {
-  char* end = nullptr;
-  const double v = std::strtod(value.c_str(), &end);
-  RIT_CHECK_MSG(end != nullptr && *end == '\0' && !value.empty(),
-                "config key '" << key << "' wants a number, got '" << value
-                               << "'");
-  return v;
+  const auto v = rit::parse_double(value);
+  RIT_CHECK_MSG(v.has_value(), "config key '" << key << "' wants a number, got '"
+                                              << value << "'");
+  return *v;
 }
 }  // namespace
 
@@ -122,9 +120,10 @@ void write_scenario(const Scenario& s, std::ostream& out) {
   out << "demand_lo = " << s.demand_lo << "\n";
   out << "demand_hi = " << s.demand_hi << "\n";
   out << "k_max = " << s.k_max << "\n";
-  out << "cost_max = " << s.cost_max << "\n";
-  out << "h = " << s.mechanism.h << "\n";
-  out << "discount_base = " << s.mechanism.discount_base << "\n";
+  out << "cost_max = " << format_double_shortest(s.cost_max) << "\n";
+  out << "h = " << format_double_shortest(s.mechanism.h) << "\n";
+  out << "discount_base = " << format_double_shortest(s.mechanism.discount_base)
+      << "\n";
   out << "policy = "
       << (s.mechanism.round_budget_policy ==
                   core::RoundBudgetPolicy::kTheoretical
@@ -133,10 +132,10 @@ void write_scenario(const Scenario& s, std::ostream& out) {
       << "\n";
   out << "graph = " << to_string(s.graph) << "\n";
   out << "ba_edges = " << s.ba_edges_per_node << "\n";
-  out << "er_degree = " << s.er_degree << "\n";
+  out << "er_degree = " << format_double_shortest(s.er_degree) << "\n";
   out << "ws_k = " << s.ws_k << "\n";
-  out << "ws_beta = " << s.ws_beta << "\n";
-  out << "cm_exponent = " << s.cm_exponent << "\n";
+  out << "ws_beta = " << format_double_shortest(s.ws_beta) << "\n";
+  out << "cm_exponent = " << format_double_shortest(s.cm_exponent) << "\n";
   out << "cm_max_degree = " << s.cm_max_degree << "\n";
   out << "initial_joiners = " << s.initial_joiners << "\n";
   out << "seed = " << s.seed << "\n";

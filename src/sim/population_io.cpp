@@ -1,12 +1,11 @@
 #include "sim/population_io.h"
 
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/atomic_file.h"
 #include "common/check.h"
+#include "common/num_io.h"
 
 namespace rit::sim {
 
@@ -27,11 +26,10 @@ Population read_population(std::istream& in) {
     std::string first;
     if (!(ls >> first)) continue;  // blank line
     if (first == "type") continue;  // header row
-    char* end = nullptr;
-    const unsigned long type = std::strtoul(first.c_str(), &end, 10);
-    RIT_CHECK_MSG(end != nullptr && *end == '\0',
-                  "population line " << line_no << ": bad type '" << first
-                                     << "'");
+    const auto type = rit::parse_u32(first);
+    RIT_CHECK_MSG(type.has_value(), "population line " << line_no
+                                                       << ": bad type '"
+                                                       << first << "'");
     std::string qty_tok;
     std::string cost_tok;
     RIT_CHECK_MSG(static_cast<bool>(ls >> qty_tok >> cost_tok),
@@ -40,21 +38,19 @@ Population read_population(std::istream& in) {
     std::string trailing;
     RIT_CHECK_MSG(!(ls >> trailing),
                   "population line " << line_no << ": trailing tokens");
-    const unsigned long quantity = std::strtoul(qty_tok.c_str(), &end, 10);
-    RIT_CHECK_MSG(end != nullptr && *end == '\0',
-                  "population line " << line_no << ": bad quantity '"
-                                     << qty_tok << "'");
-    const double cost = std::strtod(cost_tok.c_str(), &end);
-    RIT_CHECK_MSG(end != nullptr && *end == '\0',
-                  "population line " << line_no << ": bad cost '" << cost_tok
-                                     << "'");
-    RIT_CHECK_MSG(quantity >= 1 && cost > 0.0,
+    const auto quantity = rit::parse_u32(qty_tok);
+    RIT_CHECK_MSG(quantity.has_value(), "population line " << line_no
+                                                           << ": bad quantity '"
+                                                           << qty_tok << "'");
+    const auto cost = rit::parse_double(cost_tok);
+    RIT_CHECK_MSG(cost.has_value(), "population line " << line_no
+                                                       << ": bad cost '"
+                                                       << cost_tok << "'");
+    RIT_CHECK_MSG(*quantity >= 1 && *cost > 0.0,
                   "population line " << line_no
                                      << ": quantity/cost out of range");
-    pop.truthful_asks.push_back(
-        core::Ask{TaskType{static_cast<std::uint32_t>(type)},
-                  static_cast<std::uint32_t>(quantity), cost});
-    pop.costs.push_back(cost);
+    pop.truthful_asks.push_back(core::Ask{TaskType{*type}, *quantity, *cost});
+    pop.costs.push_back(*cost);
   }
   RIT_CHECK_MSG(pop.size() > 0, "population file contained no users");
   return pop;
@@ -70,9 +66,8 @@ void write_population(const Population& population, std::ostream& out) {
   out << "type,quantity,cost\n";
   for (std::size_t j = 0; j < population.size(); ++j) {
     const core::Ask& a = population.truthful_asks[j];
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%a", population.costs[j]);
-    out << a.type.value << ',' << a.quantity << ',' << buf << '\n';
+    out << a.type.value << ',' << a.quantity << ','
+        << rit::format_hex_double(population.costs[j]) << '\n';
   }
 }
 

@@ -73,6 +73,15 @@ struct Scenario {
   /// (children of the platform before any solicitation).
   std::uint32_t initial_joiners = 10;
 
+  /// Worker threads for the deterministic intra-trial parallel passes of
+  /// workload generation (the graph CSR sort and the spanning-forest wave
+  /// scan; core::RitConfig::intra_threads covers the payment phase). Every
+  /// pass is bit-identical at any setting, so this knob is deliberately
+  /// excluded from scenario serialization and checkpoint identity: it can
+  /// never change what a trial computes, only how fast.
+  /// 1 = serial (default); 0 = one per hardware thread.
+  unsigned intra_threads = 1;
+
   std::uint64_t seed = 42;
 
   /// Stream seed for trial `t` and a component tag; all simulation

@@ -51,18 +51,21 @@ graph::Graph generate_graph(const Scenario& scenario, rng::Rng& rng) {
   const std::uint32_t n = scenario.num_users;
   switch (scenario.graph) {
     case GraphKind::kBarabasiAlbert:
-      return graph::barabasi_albert(n, scenario.ba_edges_per_node, rng);
+      return graph::barabasi_albert(n, scenario.ba_edges_per_node, rng,
+                                   scenario.intra_threads);
     case GraphKind::kErdosRenyi: {
       const double p =
           n > 1 ? std::min(1.0, scenario.er_degree / (n - 1)) : 0.0;
-      return graph::erdos_renyi(n, p, rng);
+      return graph::erdos_renyi(n, p, rng, scenario.intra_threads);
     }
     case GraphKind::kWattsStrogatz:
-      return graph::watts_strogatz(n, scenario.ws_k, scenario.ws_beta, rng);
+      return graph::watts_strogatz(n, scenario.ws_k, scenario.ws_beta, rng,
+                                  scenario.intra_threads);
     case GraphKind::kConfigurationModel:
       return graph::configuration_model(
           n, scenario.cm_exponent,
-          std::min(scenario.cm_max_degree, n - 1), rng);
+          std::min(scenario.cm_max_degree, n - 1), rng,
+          scenario.intra_threads);
     case GraphKind::kStar:
       return graph::star(n);
     case GraphKind::kPath:
@@ -80,6 +83,7 @@ TreeResult generate_tree(const Scenario& scenario, const graph::Graph& g) {
   opts.seeds.resize(seeds);
   std::iota(opts.seeds.begin(), opts.seeds.end(), 0u);
   opts.attach_unreached_to_root = true;
+  opts.threads = scenario.intra_threads;
   tree::SpanningForestResult forest = tree::build_spanning_forest(g, opts);
   RIT_CHECK_MSG(forest.tree.num_participants() == g.num_nodes(),
                 "expected every user to join the tree");

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
+#include "common/parallel.h"
 #include "obs/obs.h"
 
 namespace rit::tree {
@@ -37,30 +39,68 @@ SpanningForestResult build_spanning_forest(const graph::Graph& g,
   // BFS waves. Within a wave we iterate inviters in ascending id, so the
   // first inviter to claim a candidate is the smallest-index one — the
   // paper's tie-break. New joiners are appended in ascending graph id.
+  //
+  // Parallel path: workers scan disjoint contiguous blocks of the (sorted)
+  // wave, each collecting (candidate, inviter) pairs for still-unclaimed
+  // neighbours WITHOUT mutating inviter[] (reads race-free: nothing writes
+  // during the scan). The claims are then applied serially in worker order;
+  // since block order concatenates to the full ascending wave order, the
+  // first recorded claim for each candidate is exactly the claim the serial
+  // loop would have made, so the forest is bit-identical at any thread
+  // count. Below ~2k wave entries the spawn overhead beats the win.
+  const unsigned max_workers = rit::resolve_threads(opts.threads, n);
+  constexpr std::size_t kParallelWaveFloor = 2048;
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> claims(
+      max_workers);
+  std::vector<std::uint32_t> next;
   while (!wave.empty() && join_order.size() < cap) {
-    std::vector<std::uint32_t> next;
-    for (std::uint32_t u : wave) {
-      for (std::uint32_t v : g.out_neighbors(u)) {
-        if (inviter[v] != kUnset) continue;
-        inviter[v] = u;
-        next.push_back(v);
+    next.clear();
+    const unsigned t = rit::resolve_threads(max_workers, wave.size());
+    if (t > 1 && wave.size() >= kParallelWaveFloor) {
+      rit::parallel_for_blocked(
+          wave.size(), t,
+          [&](std::uint64_t begin, std::uint64_t end, unsigned w) {
+            auto& mine = claims[w];
+            mine.clear();
+            for (std::uint64_t i = begin; i < end; ++i) {
+              const std::uint32_t u = wave[i];
+              for (std::uint32_t v : g.out_neighbors(u)) {
+                if (inviter[v] == kUnset) mine.emplace_back(v, u);
+              }
+            }
+          });
+      for (unsigned w = 0; w < t; ++w) {
+        for (const auto& [v, u] : claims[w]) {
+          if (inviter[v] != kUnset) continue;
+          inviter[v] = u;
+          next.push_back(v);
+        }
+      }
+    } else {
+      for (std::uint32_t u : wave) {
+        for (std::uint32_t v : g.out_neighbors(u)) {
+          if (inviter[v] != kUnset) continue;
+          inviter[v] = u;
+          next.push_back(v);
+        }
       }
     }
     std::sort(next.begin(), next.end());
+    const std::size_t size_before = join_order.size();
     for (std::uint32_t v : next) {
       if (join_order.size() >= cap) break;
       join_order.push_back(v);
     }
     // Anyone marked in this wave but cut off by the cap must be un-marked.
+    // `next` is sorted and was appended front-to-back, so exactly its first
+    // `appended` entries made it in; the tail is the cut-off set.
     if (join_order.size() >= cap) {
-      for (std::uint32_t v : next) {
-        if (std::find(join_order.begin(), join_order.end(), v) ==
-            join_order.end()) {
-          inviter[v] = kUnset;
-        }
+      const std::size_t appended = join_order.size() - size_before;
+      for (std::size_t k = appended; k < next.size(); ++k) {
+        inviter[next[k]] = kUnset;
       }
     }
-    wave = std::move(next);
+    std::swap(wave, next);
     // Drop cut-off nodes from the frontier.
     std::erase_if(wave, [&](std::uint32_t v) { return inviter[v] == kUnset; });
   }

@@ -29,6 +29,13 @@ struct SpanningForestOptions {
   /// who discover the job independently. Keeps participant count == graph
   /// node count, which the simulation scenarios rely on.
   bool attach_unreached_to_root = true;
+  /// Worker threads for the BFS wave scan (0 = one per hardware thread).
+  /// Workers collect invitation candidates over disjoint blocks of the
+  /// ascending wave without touching shared state; claims are then merged
+  /// serially in worker order, which replays the serial first-claim /
+  /// smallest-inviter tie-break exactly. The forest is bit-identical at any
+  /// setting — the knob trades wall-clock for cores, never output.
+  unsigned threads = 1;
 };
 
 struct SpanningForestResult {

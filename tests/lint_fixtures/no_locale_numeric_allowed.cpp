@@ -1,0 +1,19 @@
+// Fixture: the same calls, allowlisted (e.g. an integer-only snprintf whose
+// format string has no radix character to localize).
+#include <cstdio>
+#include <cstdlib>
+
+double parse_field(const char* text) {
+  // rit-lint: allow(no-locale-numeric)
+  return std::strtod(text, nullptr);
+}
+
+unsigned long long parse_count(const char* text) {
+  // rit-lint: allow(no-locale-numeric)
+  return std::strtoull(text, nullptr, 10);
+}
+
+void format_field(char* buf, std::size_t n, unsigned v) {
+  // rit-lint: allow(no-locale-numeric)
+  std::snprintf(buf, n, "\\u%04x", v);
+}

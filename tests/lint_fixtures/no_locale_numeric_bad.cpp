@@ -1,0 +1,15 @@
+// Fixture: locale-dependent numeric parse/format on a result-IO path.
+#include <cstdio>
+#include <cstdlib>
+
+double parse_field(const char* text) {
+  return std::strtod(text, nullptr);  // radix char follows the host locale
+}
+
+unsigned long long parse_count(const char* text) {
+  return std::strtoull(text, nullptr, 10);  // accepts "-1" as 2^64-1
+}
+
+void format_field(char* buf, std::size_t n, double v) {
+  std::snprintf(buf, n, "%.17g", v);  // writes "0,5" under de_DE
+}

@@ -61,6 +61,8 @@ const FixtureCase kFixtures[] = {
      "no_wallclock_in_results_allowed.cpp", "src/sim/scratch.cpp"},
     {"no-wallclock-in-history", "no_wallclock_in_history_bad.cpp",
      "no_wallclock_in_history_allowed.cpp", "src/obs/history_scratch.cpp"},
+    {"no-locale-numeric", "no_locale_numeric_bad.cpp",
+     "no_locale_numeric_allowed.cpp", "src/core/result_io_scratch.cpp"},
     {"no-fast-math", "no_fast_math_bad.cmake", "no_fast_math_allowed.cmake",
      "src/CMakeLists.txt"},
     {"no-long-double", "no_long_double_bad.cpp",

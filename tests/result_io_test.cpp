@@ -91,6 +91,9 @@ TEST(ResultIo, AuditCatchesTamperedFile) {
   std::string doubled = "\npayment";
   for (double p : rec.result.payment) {
     char buf[64];
+    // Deliberately the legacy printf-%a writer: this test forges a record
+    // in the historical on-disk form to prove read_record still takes it.
+    // rit-lint: allow(no-locale-numeric)
     std::snprintf(buf, sizeof(buf), " %a", p * 2 + 1.0);
     doubled += buf;
   }

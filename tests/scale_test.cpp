@@ -1,0 +1,161 @@
+// Bit-identity of the intra-trial parallel passes (ctest -L scale).
+//
+// Every knob behind --intra-threads — the graph CSR edge sort, the
+// spanning-forest wave scan, and the flat payment pass — promises
+// bit-identical output at any thread count (fixed blocked partition,
+// disjoint writes, worker-order merges). These tests pin that promise at
+// threads {1, 2, 8} on instances big enough to actually engage the
+// parallel paths (the edge sort needs >= 64k edges, the wave scan >= 2k
+// frontier nodes), and end-to-end on a full simulated trial.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/payment.h"
+#include "core/rit.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "rng/rng.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+#include "tree/builders.h"
+
+namespace rit {
+namespace {
+
+const unsigned kThreadMatrix[] = {1, 2, 8};
+
+void expect_doubles_identical(const std::vector<double>& a,
+                              const std::vector<double>& b,
+                              const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << what << "[" << i << "]: " << a[i] << " vs " << b[i];
+  }
+}
+
+TEST(ScaleIdentity, GraphCsrIdenticalAcrossThreads) {
+  // ~90k edges: the parallel block-sort + ordered-merge path engages.
+  const std::uint32_t n = 30000;
+  rng::Rng rng(21);
+  const graph::Graph serial = graph::barabasi_albert(n, 3, rng, 1);
+  ASSERT_GE(serial.num_edges(), 1u << 16);
+  for (unsigned t : kThreadMatrix) {
+    rng::Rng rng_t(21);
+    const graph::Graph g = graph::barabasi_albert(n, 3, rng_t, t);
+    ASSERT_EQ(g.num_edges(), serial.num_edges()) << "threads=" << t;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      const auto a = serial.out_neighbors(u);
+      const auto b = g.out_neighbors(u);
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "threads=" << t << " node " << u;
+    }
+  }
+}
+
+TEST(ScaleIdentity, SpanningForestIdenticalAcrossThreads) {
+  const std::uint32_t n = 50000;
+  rng::Rng rng(22);
+  const graph::Graph g = graph::barabasi_albert(n, 3, rng);
+  tree::SpanningForestOptions opts;
+  opts.seeds = {0, 1, 2, 3, 4};
+  opts.threads = 1;
+  const tree::SpanningForestResult serial = tree::build_spanning_forest(g, opts);
+  for (unsigned t : kThreadMatrix) {
+    opts.threads = t;
+    const tree::SpanningForestResult forest =
+        tree::build_spanning_forest(g, opts);
+    EXPECT_EQ(forest.tree.parents(), serial.tree.parents())
+        << "threads=" << t;
+    EXPECT_EQ(forest.graph_of, serial.graph_of) << "threads=" << t;
+    EXPECT_EQ(forest.joined, serial.joined) << "threads=" << t;
+  }
+}
+
+TEST(ScaleIdentity, CappedForestIdenticalAcrossThreads) {
+  // max_users cuts a wave mid-append: the un-marking of cut-off candidates
+  // must also replay identically under the parallel scan.
+  const std::uint32_t n = 40000;
+  rng::Rng rng(23);
+  const graph::Graph g = graph::barabasi_albert(n, 3, rng);
+  tree::SpanningForestOptions opts;
+  opts.seeds = {0, 1, 2};
+  opts.max_users = n / 2;
+  opts.attach_unreached_to_root = false;
+  opts.threads = 1;
+  const tree::SpanningForestResult serial = tree::build_spanning_forest(g, opts);
+  for (unsigned t : kThreadMatrix) {
+    opts.threads = t;
+    const tree::SpanningForestResult forest =
+        tree::build_spanning_forest(g, opts);
+    EXPECT_EQ(forest.tree.parents(), serial.tree.parents())
+        << "threads=" << t;
+    EXPECT_EQ(forest.graph_of, serial.graph_of) << "threads=" << t;
+  }
+}
+
+TEST(ScaleIdentity, PaymentPassIdenticalAcrossThreads) {
+  const std::uint32_t n = 100000;
+  rng::Rng rng(24);
+  const auto tree = tree::random_recursive_tree(n, 0.05, rng);
+  std::vector<TaskType> types(n);
+  std::vector<double> auction(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    types[i] = TaskType{static_cast<std::uint32_t>(rng.uniform_index(10))};
+    auction[i] = rng.bernoulli(0.3) ? rng.uniform01() * 10.0 : 0.0;
+  }
+  const std::vector<double> serial =
+      core::tree_payments(tree, types, auction, 0.5);
+  for (unsigned t : kThreadMatrix) {
+    core::PaymentWorkspace ws;
+    std::vector<double> out;
+    core::tree_payments_into(tree, types, auction, 0.5, t, ws, out);
+    expect_doubles_identical(out, serial, "payment");
+  }
+}
+
+TEST(ScaleIdentity, FullTrialIdenticalAcrossThreads) {
+  // End-to-end: workload generation (graph sort + wave scan) and the
+  // mechanism (payment pass) both honor intra_threads; allocation and
+  // payments must come out bit-identical.
+  sim::Scenario base;
+  base.num_users = 30000;
+  base.tasks_per_type = 150;
+  base.seed = 7;
+  base.mechanism.round_budget_policy =
+      core::RoundBudgetPolicy::kRunToCompletion;
+
+  base.intra_threads = 1;
+  base.mechanism.intra_threads = 1;
+  const sim::TrialInstance ref_inst = sim::make_instance(base, 0);
+  rng::Rng ref_rng(ref_inst.mechanism_seed);
+  const core::RitResult ref =
+      core::run_rit(ref_inst.job, ref_inst.population.truthful_asks,
+                    ref_inst.tree, base.mechanism, ref_rng);
+
+  for (unsigned t : kThreadMatrix) {
+    sim::Scenario s = base;
+    s.intra_threads = t;
+    s.mechanism.intra_threads = t;
+    const sim::TrialInstance inst = sim::make_instance(s, 0);
+    EXPECT_EQ(inst.tree.parents(), ref_inst.tree.parents())
+        << "threads=" << t;
+    EXPECT_EQ(inst.mechanism_seed, ref_inst.mechanism_seed);
+    rng::Rng mech_rng(inst.mechanism_seed);
+    const core::RitResult got =
+        core::run_rit(inst.job, inst.population.truthful_asks, inst.tree,
+                      s.mechanism, mech_rng);
+    EXPECT_EQ(got.success, ref.success) << "threads=" << t;
+    EXPECT_EQ(got.allocation, ref.allocation) << "threads=" << t;
+    expect_doubles_identical(got.auction_payment, ref.auction_payment,
+                             "auction_payment");
+    expect_doubles_identical(got.payment, ref.payment, "payment");
+  }
+}
+
+}  // namespace
+}  // namespace rit

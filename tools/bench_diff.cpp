@@ -35,6 +35,7 @@
 #include "cli/svg_chart.h"
 #include "cli/table.h"
 #include "common/format_util.h"
+#include "common/num_io.h"
 #include "obs/history.h"
 #include "obs/perf_counters.h"
 
@@ -130,13 +131,13 @@ int main(int argc, char** argv) {
     const std::string value =
         eq == std::string::npos ? "" : arg.substr(eq + 1);
     if (key == "threshold") {
-      opts.rel_threshold = std::strtod(value.c_str(), nullptr);
+      opts.rel_threshold = rit::parse_double(value).value_or(opts.rel_threshold);
     } else if (key == "abs-floor-ms") {
-      opts.abs_floor_ms = std::strtod(value.c_str(), nullptr);
+      opts.abs_floor_ms = rit::parse_double(value).value_or(opts.abs_floor_ms);
     } else if (key == "counter-threshold") {
-      opts.counter_rel_threshold = std::strtod(value.c_str(), nullptr);
+      opts.counter_rel_threshold = rit::parse_double(value).value_or(opts.counter_rel_threshold);
     } else if (key == "counter-floor") {
-      opts.counter_abs_floor = std::strtod(value.c_str(), nullptr);
+      opts.counter_abs_floor = rit::parse_double(value).value_or(opts.counter_abs_floor);
     } else if (key == "all") {
       show_all = true;
     } else if (key == "markdown") {

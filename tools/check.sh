@@ -27,6 +27,12 @@
 #                 not regress against themselves (generous thresholds keep
 #                 the leg honest on noisy machines; skipped with a notice
 #                 when the kernel refuses perf_event_open)
+#  10. scale-smoke pinned small-N bench_scale ladder (--scale=1000, tops
+#                 out at 10k users) run twice with --intra-threads=2 into
+#                 fresh ledgers + ritcs-bench-diff self-diff — keeps the
+#                 million-user scale path (parallel passes, flat hot
+#                 structures, the ladder harness itself) exercised end to
+#                 end in every gate run
 #
 # Build trees live under build-check/ so the gate never disturbs your
 # incremental build/. Exits non-zero on the first failing leg.
@@ -39,7 +45,7 @@ for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --help|-h)
-      sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,38p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -136,6 +142,22 @@ done
 # on a loaded CI box.
 "$BENCH_DIFF" --threshold=0.6 --abs-floor-ms=250 \
   "$PERF_TMP/a.jsonl" "$PERF_TMP/b.jsonl"
+
+# --- 10. scale smoke: the million-user path at toy size, self-diffed --------
+# Same record/diff discipline as leg 9, but through bench_scale: the pinned
+# --scale=1000 ladder tops out at 10k users, small enough for CI while still
+# running graph generation, forest build and the payment pass through the
+# parallel code paths (--intra-threads=2; results are bit-identical to
+# serial, so only the timings vary between the two runs).
+step "scale smoke (bench_scale ledger self-diff)"
+for ledger in scale_a scale_b; do
+  "$BUILD_ROOT/main/bench/bench_scale" \
+    --trials=1 --scale=1000 --intra-threads=2 \
+    --csv=none --json=none "$PERF_FLAG" \
+    --history-out="$PERF_TMP/$ledger.jsonl" > "$PERF_TMP/$ledger.log"
+done
+"$BENCH_DIFF" --threshold=0.6 --abs-floor-ms=250 \
+  "$PERF_TMP/scale_a.jsonl" "$PERF_TMP/scale_b.jsonl"
 
 echo
 echo "check.sh: OK"

@@ -113,6 +113,26 @@ const std::vector<TokenRule>& token_rules() {
        {},
        /*result_path_only=*/false,
        /*path_includes=*/{"history"}},
+      {"no-locale-numeric",
+       "the strtod/snprintf family reads the global locale's radix "
+       "character, so a result written under de_DE prints \"0,5\" and the "
+       "read-back under C rejects it; numbers that cross a file boundary "
+       "must go through rit::parse_double / parse_u64 / format_* "
+       "(common/num_io.h), which are locale-independent and reject the "
+       "strtoull sign/whitespace/overflow laxness",
+       FileClass::kCpp,
+       {"strtod", "strtof", "strtold", "strtol", "strtoll", "strtoul",
+        "strtoull", "strtoimax", "strtoumax", "atof", "atoi", "atol",
+        "atoll", "stod", "stof", "stold", "stoi", "stol", "stoll", "stoul",
+        "stoull", "sscanf", "scanf", "sprintf", "snprintf", "vsnprintf",
+        "vsprintf"},
+       {},
+       {},
+       /*result_path_only=*/false,
+       /*path_includes=*/{"result_io", "config_io", "checkpoint",
+                          "population_io", "cli/args", "obs/history",
+                          "format_util", "num_io", "bench_diff",
+                          "bench_support"}},
       {"no-fast-math",
        "-ffast-math / -Ofast license reassociation and FTZ, so the same "
        "seed stops reproducing the same floats across compilers",
