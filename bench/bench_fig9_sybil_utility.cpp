@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "bench_support.h"
-#include "sim/sybil_experiment.h"
+#include "attack/sybil_experiment.h"
 
 int main(int argc, char** argv) {
   using namespace rit;
@@ -42,12 +42,12 @@ int main(int argc, char** argv) {
   s.initial_joiners = 10;
   apply_options(opts, s);
 
-  sim::SybilExperimentConfig config;
+  attack::SybilExperimentConfig config;
   config.trials = opts.trials;
   config.threads = opts.threads;
 
   std::vector<std::vector<double>> rows;
-  for (const sim::SybilSeriesPoint& point : sim::run_sybil_experiment(s, config)) {
+  for (const attack::SybilSeriesPoint& point : attack::run_sybil_experiment(s, config)) {
     std::fprintf(stderr, "  identities=%u done\n", point.identities);
     std::vector<double> row{static_cast<double>(point.identities)};
     for (const auto& series : point.utility) {

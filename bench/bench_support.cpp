@@ -13,6 +13,7 @@
 #include "common/parallel.h"
 #include "common/format_util.h"
 #include "common/log.h"
+#include "common/num_io.h"
 #include "obs/history.h"
 #include "obs/obs.h"
 #include "obs/perf_counters.h"
@@ -129,14 +130,14 @@ std::uint64_t sweep_config_hash(const BenchOptions& opts) {
     fp += '|';
     fp += v;
   };
-  field(std::to_string(opts.trials));
+  field(format_u64(opts.trials));
   field(format_double(opts.scale, 6));
-  field(std::to_string(opts.points));
+  field(format_u64(opts.points));
   field(sim::to_string(opts.graph));
   field(opts.theoretical ? "theoretical" : "run-to-completion");
   field(opts.paper_ratio ? "paper-ratio" : "-");
   field(opts.paper_kmax ? "paper-kmax" : "-");
-  field(std::to_string(opts.max_trial_failures));
+  field(format_u64(opts.max_trial_failures));
   field(format_double(opts.trial_timeout_ms, 6));
   // --threads and --intra-threads are deliberately NOT hashed: both knobs
   // are bit-identical by construction (fixed partition, fixed merge order),
@@ -293,7 +294,7 @@ void finish(const BenchOptions& opts) {
     std::cout << "=== per-phase breakdown — " << opts.name << " ===\n";
     cli::Table table({"phase", "count", "total_ms", "self_ms", "self_%"});
     for (const obs::PhaseStat& ph : phases) {
-      table.add_row({ph.name, std::to_string(ph.count),
+      table.add_row({ph.name, format_u64(ph.count),
                      format_double(ph.total_ms, 3),
                      format_double(ph.self_ms, 3),
                      format_double(instrumented_ms > 0.0
@@ -343,7 +344,7 @@ void finish(const BenchOptions& opts) {
                              perf_avail.counter[obs::kPerfCacheMisses] &&
                              refs > 0;
         table.add_row(
-            {pp.name, std::to_string(pp.count),
+            {pp.name, format_u64(pp.count),
              cell(perf_avail.counter[obs::kPerfCycles], cycles),
              cell(perf_avail.counter[obs::kPerfInstructions], instr),
              ipc_ok ? format_double(static_cast<double>(instr) /
@@ -374,7 +375,7 @@ void finish(const BenchOptions& opts) {
       cli::CsvWriter csv(p.string(),
                          {"trial", "seed", "kind", "phase", "reason"});
       for (const sim::TrialFault& f : faults.sorted_by_trial()) {
-        csv.add_row({std::to_string(f.trial), std::to_string(f.seed),
+        csv.add_row({format_u64(f.trial), format_u64(f.seed),
                      sim::to_string(f.kind), f.phase, f.reason});
       }
       csv.close();

@@ -9,7 +9,6 @@
 #include <iostream>
 
 #include "baselines/geometric_referral.h"
-#include "cli/table.h"
 #include "common/format_util.h"
 #include "core/payment.h"
 #include "tree/incentive_tree.h"

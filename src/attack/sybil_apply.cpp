@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "common/check.h"
 #include "obs/obs.h"
 
 namespace rit::attack {

@@ -1,4 +1,4 @@
-#include "sim/sybil_experiment.h"
+#include "attack/sybil_experiment.h"
 
 #include "attack/sybil_apply.h"
 #include "attack/sybil_plan.h"
@@ -7,11 +7,11 @@
 #include "core/rit.h"
 #include "sim/parallel.h"
 
-namespace rit::sim {
+namespace rit::attack {
 
 namespace {
-std::uint32_t pick_and_upgrade_victim(const Scenario& scenario,
-                                      TrialInstance& inst,
+std::uint32_t pick_and_upgrade_victim(const sim::Scenario& scenario,
+                                      sim::TrialInstance& inst,
                                       const SybilExperimentConfig& config) {
   rng::Rng probe_rng(inst.mechanism_seed ^ 0x9999);
   const core::RitResult probe =
@@ -33,7 +33,7 @@ std::uint32_t pick_and_upgrade_victim(const Scenario& scenario,
 }  // namespace
 
 std::vector<SybilSeriesPoint> run_sybil_experiment(
-    const Scenario& scenario, const SybilExperimentConfig& config) {
+    const sim::Scenario& scenario, const SybilExperimentConfig& config) {
   RIT_CHECK(config.delta_lo >= 2);
   RIT_CHECK(config.delta_hi >= config.delta_lo);
   RIT_CHECK(config.delta_hi <= config.victim_capability);
@@ -55,9 +55,9 @@ std::vector<SybilSeriesPoint> run_sybil_experiment(
     std::vector<Worker> workers(
         rit::resolve_threads(config.threads, config.trials));
     for (Worker& wk : workers) wk.utility.resize(config.ask_values.size());
-    parallel_trials(
+    sim::parallel_trials(
         config.trials, workers, [&](Worker& wk, std::uint64_t trial) {
-          TrialInstance inst = make_instance(scenario, trial);
+          sim::TrialInstance inst = sim::make_instance(scenario, trial);
           const std::uint32_t victim =
               pick_and_upgrade_victim(scenario, inst, config);
 
@@ -65,7 +65,7 @@ std::vector<SybilSeriesPoint> run_sybil_experiment(
           // values so the series are directly comparable. The ask value is
           // patched into the plan afterwards.
           rng::Rng plan_rng(inst.mechanism_seed ^ (delta * 2654435761ULL));
-          attack::SybilPlan plan = attack::random_plan(
+          SybilPlan plan = random_plan(
               inst.tree, inst.population.truthful_asks, victim, delta,
               config.ask_values.front(), plan_rng);
 
@@ -73,7 +73,7 @@ std::vector<SybilSeriesPoint> run_sybil_experiment(
             for (auto& identity : plan.identities) {
               identity.value = config.ask_values[a];
             }
-            const attack::AttackedInstance attacked = attack::apply_sybil(
+            const AttackedInstance attacked = apply_sybil(
                 inst.tree, inst.population.truthful_asks, plan);
             rng::Rng rng(inst.mechanism_seed);
             const core::RitResult r =
@@ -100,4 +100,4 @@ std::vector<SybilSeriesPoint> run_sybil_experiment(
   return out;
 }
 
-}  // namespace rit::sim
+}  // namespace rit::attack

@@ -1,7 +1,12 @@
 // The Fig. 9 experiment as a reusable component: designate a victim, sweep
 // sybil-attack sizes and ask values, and measure the attacker's expected
-// utility against the honest reference. Used by bench_fig9_sybil_utility,
-// the ritcs CLI, and the integration tests.
+// utility against the honest reference. Used by bench_fig9_sybil_utility
+// and the integration tests.
+//
+// Lives in attack/ (tier 4), not sim/ (tier 3): the experiment composes
+// the sybil-attack machinery (sybil_plan, sybil_apply) with the trial
+// runner, and the layering DAG says attack may depend on sim, never the
+// reverse.
 #pragma once
 
 #include <cstdint>
@@ -10,7 +15,7 @@
 #include "sim/runner.h"
 #include "stats/online_stats.h"
 
-namespace rit::sim {
+namespace rit::attack {
 
 struct SybilExperimentConfig {
   /// The victim's private unit cost (the paper's c_29 = 5.5).
@@ -47,6 +52,6 @@ struct SybilSeriesPoint {
 /// generate the identities") but identical across ask values so the series
 /// differ only in the asks.
 std::vector<SybilSeriesPoint> run_sybil_experiment(
-    const Scenario& scenario, const SybilExperimentConfig& config);
+    const sim::Scenario& scenario, const SybilExperimentConfig& config);
 
-}  // namespace rit::sim
+}  // namespace rit::attack

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <numeric>
 
-#include "common/check.h"
 #include "core/extract.h"
 
 namespace rit::baselines {

@@ -15,7 +15,7 @@ std::string format_with_commas(long long v) {
   unsigned long long mag =
       negative ? 0ULL - static_cast<unsigned long long>(v)
                : static_cast<unsigned long long>(v);
-  std::string digits = std::to_string(mag);
+  std::string digits = format_u64(mag);
   std::string out;
   out.reserve(digits.size() + digits.size() / 3 + 1);
   std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;

@@ -91,4 +91,16 @@ std::string format_double_fixed(double v, int precision) {
   return big;
 }
 
+std::string format_u64(std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v, 10);
+  return std::string(buf, res.ptr);
+}
+
+std::string format_i64(std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v, 10);
+  return std::string(buf, res.ptr);
+}
+
 }  // namespace rit

@@ -51,4 +51,13 @@ std::string format_double_shortest(double v);
 /// Fixed-point decimal in the style of printf "%.*f".
 std::string format_double_fixed(double v, int precision);
 
+/// Decimal integer formatting. Functionally what std::to_string does for
+/// integers, but kept here so every number on an IO boundary routes
+/// through one audited surface (the boundary-io-num-io lint rule) — and
+/// because std::to_string's *float* overloads are locale-dependent, so
+/// banning the whole name keeps an accidental double from slipping through
+/// an implicit conversion.
+std::string format_u64(std::uint64_t v);
+std::string format_i64(std::int64_t v);
+
 }  // namespace rit

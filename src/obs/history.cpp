@@ -72,7 +72,7 @@ class JsonParser {
 
   void fail(const char* what) {
     if (err_.empty()) {
-      err_ = std::string(what) + " at offset " + std::to_string(pos_);
+      err_ = std::string(what) + " at offset " + rit::format_u64(pos_);
     }
   }
 
@@ -275,7 +275,7 @@ void append_counters_json(
   for (const auto& [name, v] : counters) {
     if (!first) out += ',';
     first = false;
-    out += '"' + json_escape(name) + "\":" + std::to_string(v);
+    out += '"' + json_escape(name) + "\":" + rit::format_u64(v);
   }
   out += '}';
 }
@@ -383,18 +383,18 @@ EnvFingerprint collect_env_fingerprint() {
 
 std::string history_record_json(const HistoryRecord& rec) {
   std::string out = "{\"schema_version\":" +
-                    std::to_string(rec.schema_version) + ",\"bench\":\"" +
+                    rit::format_u64(rec.schema_version) + ",\"bench\":\"" +
                     json_escape(rec.bench) + "\"";
   out += ",\"env\":{\"cpu_model\":\"" + json_escape(rec.env.cpu_model) +
-         "\",\"cores\":" + std::to_string(rec.env.cores) +
+         "\",\"cores\":" + rit::format_u64(rec.env.cores) +
          ",\"governor\":\"" + json_escape(rec.env.governor) +
          "\",\"compiler\":\"" + json_escape(rec.env.compiler) +
          "\",\"build_flags\":\"" + json_escape(rec.env.build_flags) +
          "\",\"git_sha\":\"" + json_escape(rec.env.git_sha) + "\"}";
-  out += ",\"threads\":" + std::to_string(rec.threads) +
-         ",\"trials\":" + std::to_string(rec.trials) +
+  out += ",\"threads\":" + rit::format_u64(rec.threads) +
+         ",\"trials\":" + rit::format_u64(rec.trials) +
          ",\"scale\":" + json_number(rec.scale) +
-         ",\"points\":" + std::to_string(rec.points) +
+         ",\"points\":" + rit::format_u64(rec.points) +
          ",\"wall_ms\":" + json_number(rec.wall_ms);
   out += ",\"phases\":[";
   bool first = true;
@@ -402,7 +402,7 @@ std::string history_record_json(const HistoryRecord& rec) {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"" + json_escape(p.name) +
-           "\",\"count\":" + std::to_string(p.count) +
+           "\",\"count\":" + rit::format_u64(p.count) +
            ",\"total_ms\":" + json_number(p.total_ms) +
            ",\"self_ms\":" + json_number(p.self_ms) + ",\"counters\":";
     append_counters_json(out, p.counters);
@@ -416,7 +416,7 @@ std::string history_record_json(const HistoryRecord& rec) {
     if (!first) out += ',';
     first = false;
     out += '"' + json_escape(name) +
-           "\":{\"count\":" + std::to_string(s.count) +
+           "\":{\"count\":" + rit::format_u64(s.count) +
            ",\"mean\":" + json_number(s.mean) +
            ",\"m2\":" + json_number(s.m2) +
            ",\"min\":" + json_number(s.min) +
@@ -440,7 +440,7 @@ bool parse_history_record(const std::string& line, HistoryRecord& out,
   std::uint64_t schema = 0;
   if (!get_u64(root, "schema_version", schema, error)) return false;
   if (schema != HistoryRecord::kSchemaVersion) {
-    error = "unknown schema_version " + std::to_string(schema);
+    error = "unknown schema_version " + rit::format_u64(schema);
     return false;
   }
   rec.schema_version = static_cast<std::uint32_t>(schema);

@@ -201,7 +201,7 @@ std::string serialize_checkpoint(const CheckpointData& data) {
     }
   }
   std::string body = os.str();
-  body += "checksum " + std::to_string(fnv1a64(body)) + "\n";
+  body += "checksum " + format_u64(fnv1a64(body)) + "\n";
   return body;
 }
 

@@ -13,6 +13,7 @@
 #include "common/atomic_file.h"
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/num_io.h"
 #include "sim/chaos.h"
 #include "sim/checkpoint.h"
 #include "sim/fault.h"
@@ -184,7 +185,7 @@ TEST(CheckpointFormat, WrongVersionIsRejectedEvenWithValidChecksum) {
   // A well-formed file from a hypothetical v2 writer: correct checksum,
   // unknown header. Version validation must fire on its own.
   std::string body = "ritcs-checkpoint v2\nconfig 1\n";
-  body += "checksum " + std::to_string(fnv1a64(body)) + "\n";
+  body += "checksum " + format_u64(fnv1a64(body)) + "\n";
   EXPECT_THROW(parse_checkpoint(body, "test"), CheckFailure);
 }
 

@@ -1,0 +1,6 @@
+// Fixture: the allowlist directive suppresses the finding on its line.
+#include <string>
+
+std::string result_row(double payment) {
+  return std::to_string(payment);  // rit-lint: allow(boundary-io-num-io)
+}

@@ -1,0 +1,6 @@
+// Fixture: formatting a number in a result-IO path without going through
+// common/num_io.h must be flagged — std::to_string(double) is
+// locale-dependent and truncates to 6 significant digits.
+#include <string>
+
+std::string result_row(double payment) { return std::to_string(payment); }

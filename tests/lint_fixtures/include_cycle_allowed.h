@@ -1,0 +1,6 @@
+// Fixture: the allowlist directive suppresses the cycle finding at its
+// anchor include.
+#pragma once
+#include "core/cycle_scratch.h"  // rit-lint: allow(include-cycle)
+
+int cyclic();

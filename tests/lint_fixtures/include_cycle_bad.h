@@ -1,0 +1,6 @@
+// Fixture: a header in an include cycle (here the degenerate self-include)
+// must be flagged — no file in a cycle compiles stand-alone.
+#pragma once
+#include "core/cycle_scratch.h"
+
+int cyclic();

@@ -1,0 +1,5 @@
+// Fixture: a core/ (tier 2) file reaching up into sim/ (tier 3) must be
+// flagged — the mechanism core stays a pure function of (config, seed).
+#include "sim/runner.h"
+
+int mechanism_step() { return 0; }

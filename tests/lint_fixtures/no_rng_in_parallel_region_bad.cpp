@@ -1,0 +1,17 @@
+// Fixture: drawing from (or capturing) an Rng inside a
+// parallel_for_blocked callback must be flagged — RNG order has to stay
+// serial so results are bit-identical at any thread count.
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "rng/rng.h"
+
+void fill_noise(std::vector<double>& out, rit::rng::Rng& rng) {
+  rit::parallel_for_blocked(
+      out.size(), 4, [&](std::uint64_t lo, std::uint64_t hi, unsigned) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          out[i] = rng.next_double();
+        }
+      });
+}

@@ -1,0 +1,5 @@
+// Fixture: the allowlist directive marks the include as deliberately
+// load-bearing (e.g. included for side effects), silencing the note.
+#include "common/scratch_helper.h"  // rit-lint: allow(unused-include)
+
+int unrelated_work() { return 42; }

@@ -1,0 +1,5 @@
+// Fixture: a .cpp that includes a repo header but mentions none of its
+// exported names gets the (report-only) IWYU-lite note.
+#include "common/scratch_helper.h"
+
+int unrelated_work() { return 42; }

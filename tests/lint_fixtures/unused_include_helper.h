@@ -1,0 +1,10 @@
+// Companion fixture for the unused-include pair: a clean header whose
+// exported names (ScratchHelper, scratch_helper_sum) the bad includer
+// never mentions.
+#pragma once
+
+struct ScratchHelper {
+  int value{0};
+};
+
+int scratch_helper_sum(const ScratchHelper& a, const ScratchHelper& b);

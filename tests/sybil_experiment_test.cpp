@@ -1,13 +1,13 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
-#include "sim/sybil_experiment.h"
+#include "attack/sybil_experiment.h"
 
-namespace rit::sim {
+namespace rit::attack {
 namespace {
 
-Scenario tiny_scenario() {
-  Scenario s;
+sim::Scenario tiny_scenario() {
+  sim::Scenario s;
   s.num_users = 400;
   s.num_types = 4;
   s.demand_lo = 10;
@@ -100,4 +100,4 @@ TEST(SybilExperiment, RejectsInvalidConfig) {
 }
 
 }  // namespace
-}  // namespace rit::sim
+}  // namespace rit::attack

@@ -12,8 +12,10 @@
 #   3. tests      ctest over the full suite (includes `ctest -L lint`:
 #                 rit_lint rule fixtures + the live-tree scan + the
 #                 header self-sufficiency object library)
-#   4. lint       rit_lint --root . (explicit, so the finding list prints
-#                 even when invoked outside ctest)
+#   4. lint       rit_lint --root . --baseline tools/lint/lint_baseline.txt
+#                 (explicit, so the finding list prints even when invoked
+#                 outside ctest; the checked-in baseline is empty — the
+#                 flag keeps the gate honest about the adoption mechanism)
 #   5. tidy       clang-tidy build via -DRIT_TIDY=ON (skipped: no clang-tidy)
 #   6. obs-off    RIT_OBS_ENABLED=OFF compile leg (tracing macros must
 #                 compile away cleanly)
@@ -33,6 +35,10 @@
 #                 million-user scale path (parallel passes, flat hot
 #                 structures, the ladder harness itself) exercised end to
 #                 end in every gate run
+#  11. asan+ubsan RIT_SANITIZE=address,undefined build + full ctest
+#                 (memory errors and UB in every code path the suite
+#                 reaches; skipped with a notice when the toolchain cannot
+#                 link the sanitizer runtimes)
 #
 # Build trees live under build-check/ so the gate never disturbs your
 # incremental build/. Exits non-zero on the first failing leg.
@@ -45,7 +51,7 @@ for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --help|-h)
-      sed -n '2,38p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,44p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -76,11 +82,12 @@ ctest --test-dir "$BUILD_ROOT/main" --output-on-failure -j "$JOBS"
 
 # --- 4. repo lint, explicitly ----------------------------------------------
 step "rit_lint (live tree)"
-"$BUILD_ROOT/main/tools/lint/rit_lint" --root "$ROOT"
+"$BUILD_ROOT/main/tools/lint/rit_lint" --root "$ROOT" \
+  --baseline "$ROOT/tools/lint/lint_baseline.txt"
 
 if [[ $FAST -eq 1 ]]; then
   echo
-  echo "check.sh: --fast requested; skipping tidy / obs-off / tsan / chaos legs"
+  echo "check.sh: --fast requested; skipping tidy / obs-off / sanitizer / chaos legs"
   echo "check.sh: OK"
   exit 0
 fi
@@ -158,6 +165,29 @@ for ledger in scale_a scale_b; do
 done
 "$BENCH_DIFF" --threshold=0.6 --abs-floor-ms=250 \
   "$PERF_TMP/scale_a.jsonl" "$PERF_TMP/scale_b.jsonl"
+
+# --- 11. ASan+UBSan over the full suite --------------------------------------
+# TSan (leg 7) covers data races but is incompatible with ASan, so the
+# memory/UB leg is a separate build tree. Probe first: some toolchains
+# (minimal containers, odd cross setups) compile -fsanitize=address but
+# cannot link the runtime, and a missing runtime should skip the leg with
+# a notice, not fail the gate.
+step "ASan+UBSan build + full ctest"
+SAN_PROBE_DIR="$(mktemp -d "${TMPDIR:-/tmp}/ritcs-san-probe.XXXXXX")"
+echo 'int main() { return 0; }' > "$SAN_PROBE_DIR/probe.cpp"
+if c++ -fsanitize=address,undefined -o "$SAN_PROBE_DIR/probe" \
+     "$SAN_PROBE_DIR/probe.cpp" > /dev/null 2>&1 \
+   && "$SAN_PROBE_DIR/probe" > /dev/null 2>&1; then
+  rm -rf "$SAN_PROBE_DIR"
+  cmake -B "$BUILD_ROOT/asan" -S . -DRIT_WERROR=ON \
+    -DRIT_SANITIZE=address,undefined
+  cmake --build "$BUILD_ROOT/asan" -j "$JOBS"
+  ctest --test-dir "$BUILD_ROOT/asan" --output-on-failure -j "$JOBS"
+else
+  rm -rf "$SAN_PROBE_DIR"
+  echo "check.sh: toolchain cannot build+run -fsanitize=address,undefined" \
+       "— leg skipped (install the compiler's sanitizer runtimes to enable)"
+fi
 
 echo
 echo "check.sh: OK"

@@ -1,0 +1,60 @@
+#include "baseline.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rit::lint {
+
+std::optional<Baseline> load_baseline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  Baseline baseline;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string rule, file, extra;
+    if (!(fields >> rule)) continue;  // blank / comment-only line
+    if (!(fields >> file) || (fields >> extra)) {
+      return std::nullopt;  // malformed: not exactly two fields
+    }
+    baseline.entries.emplace(rule, file);
+  }
+  return baseline;
+}
+
+std::vector<Finding> apply_baseline(const Baseline& baseline,
+                                    const std::vector<Finding>& findings,
+                                    std::size_t* suppressed) {
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::kError &&
+        baseline.entries.count({f.rule, f.file}) != 0) {
+      ++*suppressed;
+      continue;
+    }
+    kept.push_back(f);
+  }
+  return kept;
+}
+
+std::string serialize_baseline(const std::vector<Finding>& findings) {
+  std::set<std::pair<std::string, std::string>> entries;
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::kError) entries.emplace(f.rule, f.file);
+  }
+  std::string out =
+      "# rit_lint baseline: temporarily accepted (rule, file) pairs.\n"
+      "# One `<rule> <file>` per line; regenerate with\n"
+      "#   rit_lint --root . --baseline tools/lint/lint_baseline.txt "
+      "--update-baseline\n"
+      "# Keep this file empty: fix violations instead of baselining them.\n";
+  for (const auto& [rule, file] : entries) {
+    out += rule + " " + file + "\n";
+  }
+  return out;
+}
+
+}  // namespace rit::lint

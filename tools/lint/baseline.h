@@ -1,0 +1,45 @@
+// Lint baselines: the adoption mechanism that lets a new rule land
+// without a flag-day. A baseline file records (rule, file) pairs that are
+// temporarily accepted; `rit_lint --baseline <file>` suppresses exactly
+// those, so only *new* debt fails the gate, and `--update-baseline`
+// regenerates the file when debt is paid down. Entries are (rule, file) —
+// not line numbers — so unrelated edits cannot churn the baseline.
+//
+// The checked-in baseline (tools/lint/lint_baseline.txt) is deliberately
+// empty: every violation the architecture rules flagged at introduction
+// was fixed in the same change. The machinery stays so the *next* rule
+// can ratchet instead of big-banging.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linter.h"
+
+namespace rit::lint {
+
+struct Baseline {
+  std::set<std::pair<std::string, std::string>> entries;  // (rule, file)
+};
+
+/// Parses a baseline file: one `<rule> <file>` pair per line, '#' starts a
+/// comment, blank lines ignored. Empty optional when the file cannot be
+/// read or a line is malformed.
+std::optional<Baseline> load_baseline(const std::string& path);
+
+/// Splits `findings` into kept (returned) and suppressed (counted into
+/// `*suppressed`). Only error-severity findings are ever suppressed —
+/// baselining a report-only note would be meaningless.
+std::vector<Finding> apply_baseline(const Baseline& baseline,
+                                    const std::vector<Finding>& findings,
+                                    std::size_t* suppressed);
+
+/// Serializes the error findings as baseline lines (sorted, deduplicated),
+/// with a header comment documenting the format.
+std::string serialize_baseline(const std::vector<Finding>& findings);
+
+}  // namespace rit::lint

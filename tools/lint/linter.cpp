@@ -1,7 +1,10 @@
+// The rule layer of rit_lint: the declarative token-rule table, the
+// structural rules, and scan() orchestration. Lexical machinery lives in
+// scanner.cpp; the include-graph rules live in include_graph.cpp; output
+// rendering and baselines live in output.cpp / baseline.cpp.
 #include "linter.h"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -9,24 +12,29 @@
 #include <set>
 #include <sstream>
 
+#include "include_graph.h"
+#include "scanner.h"
+
 namespace rit::lint {
 namespace {
 
-bool is_word(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
+using internal::FileClass;
+using internal::line_has_token;
+using internal::Prepped;
+using internal::token_matches_at;
 
 // ---------------------------------------------------------------------------
-// Rule table. Token rules are pure data; the two structural rules
-// (no-unordered-iteration-in-results, merge-coverage-guard) are engine
-// checks registered at the bottom of rule_infos().
+// Rule table. Token rules are pure data; the structural rules
+// (no-unordered-iteration-in-results, no-bare-catch-all,
+// merge-coverage-guard, no-rng-in-parallel-region) and the include-graph
+// rules (layer-violation, include-cycle, unused-include) are engine checks
+// registered at the bottom of rule_infos().
 // ---------------------------------------------------------------------------
-
-enum class FileClass { kCpp, kBuild };
 
 struct TokenRule {
   const char* id;
   const char* summary;
+  const char* rationale;
   FileClass file_class;
   // Word-bounded literal tokens: a match only counts when the characters
   // adjacent to word-character token edges are non-word.
@@ -45,11 +53,27 @@ struct TokenRule {
   std::vector<const char*> path_includes{};
 };
 
+// The numeric-IO boundary files: everything that writes or parses numbers
+// across a file boundary. Shared by no-locale-numeric (bans the
+// locale-reading C formatting family) and boundary-io-num-io (requires
+// the remaining formatting to route through common/num_io.h).
+const std::vector<const char*>& numeric_io_paths() {
+  static const std::vector<const char*> kPaths = {
+      "result_io",  "config_io",   "checkpoint", "population_io",
+      "cli/args",   "obs/history", "format_util", "num_io",
+      "bench_diff", "bench_support"};
+  return kPaths;
+}
+
 const std::vector<TokenRule>& token_rules() {
   static const std::vector<TokenRule> kRules = {
       {"no-std-rand",
        "libc/std PRNGs (std::rand, rand, srand, *rand48) are seeded "
        "globally and unspecified across platforms; use rng::Rng",
+       "The libc PRNG family keeps hidden global state and its output "
+       "sequence is implementation-defined, so a trial that touches it is "
+       "neither replayable from a seed nor portable across platforms. "
+       "Every draw must come from an explicitly seeded rng::Rng stream.",
        FileClass::kCpp,
        {"std::rand", "rand(", "srand", "rand_r", "drand48", "lrand48",
         "mrand48", "random("},
@@ -58,6 +82,10 @@ const std::vector<TokenRule>& token_rules() {
       {"no-random-device",
        "std::random_device is nondeterministic by design; only src/rng/ "
        "may touch entropy sources",
+       "std::random_device reads an entropy source, which is "
+       "nondeterministic by design — a single call anywhere in a trial "
+       "path breaks seed replay. Only the rng subsystem may ever touch "
+       "entropy, and only behind an explicit opt-in.",
        FileClass::kCpp,
        {"random_device"},
        {},
@@ -66,6 +94,11 @@ const std::vector<TokenRule>& token_rules() {
        "<random> distributions leave the mapping from engine output to "
        "values unspecified — two standard libraries produce different "
        "streams from the same seed; use the explicit samplers in rng::Rng",
+       "The C++ standard specifies distribution *statistics*, not the "
+       "algorithm: libstdc++ and libc++ produce different values from the "
+       "same engine and seed. The explicit samplers on rng::Rng are "
+       "written out in full precisely so every toolchain draws the same "
+       "stream.",
        FileClass::kCpp,
        {},
        {R"(\b\w+_distribution\b)"},
@@ -73,6 +106,10 @@ const std::vector<TokenRule>& token_rules() {
       {"no-std-engine",
        "std engines (mt19937, minstd_rand, ...) invite std::shuffle / "
        "distribution use and duplicate the repo-wide rng::Rng stream",
+       "A second engine family fragments the repo-wide seeded-stream "
+       "discipline (one xoshiro256 stream per trial, split via "
+       "splitmix64) and invites std::shuffle / distribution use, both of "
+       "which are implementation-defined. Everything draws from rng::Rng.",
        FileClass::kCpp,
        {"mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
         "default_random_engine", "ranlux24", "ranlux48", "knuth_b",
@@ -84,6 +121,11 @@ const std::vector<TokenRule>& token_rules() {
        "std::shuffle's permutation algorithm is implementation-defined "
        "for a given engine; use rng-based shuffling "
        "(rng::sample_without_replacement_into / Fisher-Yates over Rng)",
+       "Which permutation std::shuffle produces for a given engine state "
+       "is implementation-defined, so the same seed yields different "
+       "orders on different standard libraries. Use Fisher-Yates over "
+       "rng::Rng (rng::sample_without_replacement_into), which pins the "
+       "algorithm.",
        FileClass::kCpp,
        {"std::shuffle", "random_shuffle"},
        {},
@@ -93,6 +135,11 @@ const std::vector<TokenRule>& token_rules() {
        "result path make output depend on when it ran; results must be a "
        "function of (config, seed) only — use stats::Timer / steady_clock "
        "for durations",
+       "A wall-clock read in a result path makes emitted bytes depend on "
+       "when the run happened, so two runs of the same (config, seed) "
+       "stop being comparable. Durations belong to stats::Timer "
+       "(steady_clock); timestamps belong only to logs, which are not "
+       "results.",
        FileClass::kCpp,
        {"system_clock", "std::time", "time(nullptr)", "time(NULL)",
         "gettimeofday", "localtime", "gmtime", "strftime", "asctime",
@@ -105,6 +152,10 @@ const std::vector<TokenRule>& token_rules() {
        "records, breaking the contract that re-running the same binary "
        "yields byte-comparable records; identify records by git SHA + env "
        "fingerprint + file position instead",
+       "The perf ledger's regression gate byte-compares records across "
+       "runs; a timestamp would make every record unique and the diff "
+       "meaningless. Records are identified by git SHA, environment "
+       "fingerprint and file position instead of time.",
        FileClass::kCpp,
        {"system_clock", "std::time", "time(nullptr)", "time(NULL)",
         "gettimeofday", "localtime", "gmtime", "strftime", "asctime",
@@ -120,6 +171,11 @@ const std::vector<TokenRule>& token_rules() {
        "must go through rit::parse_double / parse_u64 / format_* "
        "(common/num_io.h), which are locale-independent and reject the "
        "strtoull sign/whitespace/overflow laxness",
+       "strtod, snprintf and friends read the process-global locale's "
+       "radix character: a checkpoint written under de_DE prints \"0,5\" "
+       "and fails read-back under C. strtoull additionally wraps \"-1\" "
+       "to 2^64-1 silently. The from_chars/to_chars wrappers in "
+       "common/num_io.h are locale-independent, bit-exact and strict.",
        FileClass::kCpp,
        {"strtod", "strtof", "strtold", "strtol", "strtoll", "strtoul",
         "strtoull", "strtoimax", "strtoumax", "atof", "atoi", "atol",
@@ -129,13 +185,37 @@ const std::vector<TokenRule>& token_rules() {
        {},
        {},
        /*result_path_only=*/false,
-       /*path_includes=*/{"result_io", "config_io", "checkpoint",
-                          "population_io", "cli/args", "obs/history",
-                          "format_util", "num_io", "bench_diff",
-                          "bench_support"}},
+       /*path_includes=*/{}},  // bound to numeric_io_paths() below
+      {"boundary-io-num-io",
+       "float/number formatting in the result/config/checkpoint/history "
+       "IO paths must route through common/num_io.h (format_double_*, "
+       "format_u64, parse_*) — std::to_string(double) and stream float "
+       "manipulators are locale- or precision-lossy, and raw "
+       "from_chars/to_chars calls belong centralized in num_io",
+       "Generalizes no-locale-numeric from 'do not call the C locale "
+       "family' to 'every number that crosses a file boundary goes "
+       "through common/num_io.h'. std::to_string(double) formats via the "
+       "global locale and truncates to 6 digits; stream precision "
+       "manipulators scatter formatting policy across call sites; and a "
+       "raw std::from_chars/to_chars call, while locale-safe, duplicates "
+       "the one place (num_io) whose round-trip behavior is pinned by "
+       "tests. Use format_double_g17 / format_double_shortest / "
+       "format_hex_double / format_u64 / parse_double / parse_u64.",
+       FileClass::kCpp,
+       {"std::to_string", "from_chars", "to_chars", "setprecision",
+        "std::hexfloat", "std::scientific", "std::defaultfloat",
+        "std::fixed", "precision("},
+       {},
+       {"common/num_io"},
+       /*result_path_only=*/false,
+       /*path_includes=*/{}},  // bound to numeric_io_paths() below
       {"no-fast-math",
        "-ffast-math / -Ofast license reassociation and FTZ, so the same "
        "seed stops reproducing the same floats across compilers",
+       "-ffast-math and friends license the compiler to reassociate "
+       "float expressions and flush denormals, so the same seed stops "
+       "reproducing the same payment totals across compilers and "
+       "optimization levels. The flags are banned from every build file.",
        FileClass::kBuild,
        {"-ffast-math", "-funsafe-math-optimizations", "-Ofast",
         "/fp:fast", "-ffp-contract=fast"},
@@ -144,6 +224,10 @@ const std::vector<TokenRule>& token_rules() {
       {"no-long-double",
        "long double is 80-bit on x86, 128-bit on aarch64, 64-bit on "
        "MSVC — metrics computed with it are not portable; use double",
+       "long double is 80-bit x87 on x86 Linux, 128-bit on aarch64 and "
+       "plain double on MSVC, so any metric computed with it differs "
+       "across platforms. All metrics are double by policy "
+       "(-Wdouble-promotion guards the other direction).",
        FileClass::kCpp,
        {"long double"},
        {},
@@ -152,324 +236,15 @@ const std::vector<TokenRule>& token_rules() {
   return kRules;
 }
 
-// ---------------------------------------------------------------------------
-// Lexical preprocessing
-// ---------------------------------------------------------------------------
-
-}  // namespace
-
-std::string strip_comments_and_strings(const std::string& content) {
-  std::string out;
-  out.reserve(content.size());
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  } state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-
-  const std::size_t n = content.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = content[i];
-    const char next = i + 1 < n ? content[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !is_word(content[i - 1]))) {
-          // Raw string: R"delim( ... )delim"
-          std::size_t paren = content.find('(', i + 2);
-          if (paren != std::string::npos) {
-            raw_delim = ")" + content.substr(i + 2, paren - (i + 2)) + "\"";
-            state = State::kRawString;
-            for (std::size_t k = i; k <= paren; ++k) {
-              out += content[k] == '\n' ? '\n' : ' ';
-            }
-            i = paren;
-          } else {
-            out += c;
-          }
-        } else if (c == '"') {
-          state = State::kString;
-          out += ' ';
-        } else if (c == '\'' && i > 0 && !is_word(content[i - 1])) {
-          state = State::kChar;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-          if (next == '\n') out.back() = '\n';
-        } else if (c == '"') {
-          state = State::kCode;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-          out += ' ';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::kRawString:
-        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (std::size_t k = 0; k < raw_delim.size(); ++k) out += ' ';
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-    }
+// Effective path_includes for a rule: the two numeric-IO rules share the
+// boundary list without duplicating it in the table.
+const std::vector<const char*>& effective_path_includes(
+    const TokenRule& rule) {
+  const std::string id = rule.id;
+  if (id == "no-locale-numeric" || id == "boundary-io-num-io") {
+    return numeric_io_paths();
   }
-  return out;
-}
-
-namespace {
-
-// Build files (cmake, sh) only have '#' line comments — but a '#' directive
-// line may itself carry a rit-lint allow, which is parsed from the raw
-// content, so stripping to spaces here is safe.
-std::string strip_hash_comments(const std::string& content) {
-  std::string out;
-  out.reserve(content.size());
-  bool in_comment = false;
-  for (char c : content) {
-    if (c == '\n') {
-      in_comment = false;
-      out += '\n';
-    } else if (c == '#') {
-      in_comment = true;
-      out += ' ';
-    } else {
-      out += in_comment ? ' ' : c;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& s) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : s) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  lines.push_back(cur);
-  return lines;
-}
-
-// Collapses runs of whitespace so multi-space tokens ("long double")
-// match regardless of alignment.
-std::string normalize_ws(const std::string& line) {
-  std::string out;
-  out.reserve(line.size());
-  bool prev_space = false;
-  for (char c : line) {
-    const bool space = c == ' ' || c == '\t';
-    if (space) {
-      if (!prev_space) out += ' ';
-    } else {
-      out += c;
-    }
-    prev_space = space;
-  }
-  return out;
-}
-
-bool token_matches_at(const std::string& line, std::size_t pos,
-                      const std::string& token) {
-  if (line.compare(pos, token.size(), token) != 0) return false;
-  if (is_word(token.front()) && pos > 0 && is_word(line[pos - 1])) {
-    return false;
-  }
-  const std::size_t end = pos + token.size();
-  if (is_word(token.back()) && end < line.size() && is_word(line[end])) {
-    return false;
-  }
-  return true;
-}
-
-bool line_has_token(const std::string& line, const std::string& token) {
-  for (std::size_t pos = line.find(token); pos != std::string::npos;
-       pos = line.find(token, pos + 1)) {
-    if (token_matches_at(line, pos, token)) return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Allowlist directives (parsed from RAW content, before stripping)
-// ---------------------------------------------------------------------------
-
-struct AllowSet {
-  std::set<std::string> file_rules;                     // allow-file(...)
-  std::map<std::size_t, std::set<std::string>> lines;   // line -> rules
-  bool allows(const std::string& rule, std::size_t line) const {
-    if (file_rules.count(rule) != 0 || file_rules.count("*") != 0) {
-      return true;
-    }
-    // A directive covers its own line and the line after it, so a
-    // standalone "// rit-lint: allow(x)" comment shields the next line.
-    for (std::size_t l = line > 1 ? line - 1 : line; l <= line; ++l) {
-      auto it = lines.find(l);
-      if (it != lines.end() &&
-          (it->second.count(rule) != 0 || it->second.count("*") != 0)) {
-        return true;
-      }
-    }
-    return false;
-  }
-};
-
-void parse_rule_list(const std::string& text, std::set<std::string>* out) {
-  std::string cur;
-  for (char c : text) {
-    if (c == ',' || c == ' ' || c == '\t') {
-      if (!cur.empty()) out->insert(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  if (!cur.empty()) out->insert(cur);
-}
-
-AllowSet parse_allows(const std::vector<std::string>& raw_lines) {
-  AllowSet allows;
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-    const std::string& line = raw_lines[i];
-    const std::size_t tag = line.find("rit-lint:");
-    if (tag == std::string::npos) continue;
-    const std::string rest = line.substr(tag + 9);
-    for (const auto& [kw, file_scope] :
-         {std::pair<const char*, bool>{"allow-file(", true},
-          std::pair<const char*, bool>{"allow(", false}}) {
-      std::size_t at = rest.find(kw);
-      if (at == std::string::npos) continue;
-      at += std::string(kw).size();
-      const std::size_t close = rest.find(')', at);
-      if (close == std::string::npos) continue;
-      const std::string list = rest.substr(at, close - at);
-      if (file_scope) {
-        parse_rule_list(list, &allows.file_rules);
-      } else {
-        parse_rule_list(list, &allows.lines[i + 1]);
-      }
-    }
-  }
-  return allows;
-}
-
-// ---------------------------------------------------------------------------
-// Per-file preprocessed view
-// ---------------------------------------------------------------------------
-
-FileClass classify(const std::string& path) {
-  auto ends_with = [&](const char* suf) {
-    const std::string s(suf);
-    return path.size() >= s.size() &&
-           path.compare(path.size() - s.size(), s.size(), s) == 0;
-  };
-  if (ends_with("CMakeLists.txt") || ends_with(".cmake") ||
-      ends_with(".sh")) {
-    return FileClass::kBuild;
-  }
-  return FileClass::kCpp;
-}
-
-struct Prepped {
-  const SourceFile* src{nullptr};
-  FileClass file_class{FileClass::kCpp};
-  std::vector<std::string> lines;  // stripped + whitespace-normalized
-  AllowSet allows;
-  bool result_path{false};
-};
-
-const char* const kResultPathHints[] = {"report", "csv",    "json",
-                                        "_io",    "export", "render",
-                                        "statement", "svg", "table"};
-
-Prepped prep(const SourceFile& f) {
-  Prepped p;
-  p.src = &f;
-  p.file_class = classify(f.path);
-  p.allows = parse_allows(split_lines(f.content));
-  const std::string stripped = p.file_class == FileClass::kBuild
-                                   ? strip_hash_comments(f.content)
-                                   : strip_comments_and_strings(f.content);
-  for (const std::string& line : split_lines(stripped)) {
-    p.lines.push_back(normalize_ws(line));
-  }
-  for (const char* hint : kResultPathHints) {
-    if (f.path.find(hint) != std::string::npos) p.result_path = true;
-  }
-  if (!p.result_path) {
-    for (const std::string& line : p.lines) {
-      if (line_has_token(line, "std::ostream") ||
-          line_has_token(line, "std::ofstream")) {
-        p.result_path = true;
-        break;
-      }
-    }
-  }
-  return p;
-}
-
-bool path_excluded(const std::string& path,
-                   const std::vector<const char*>& excludes) {
-  for (const char* sub : excludes) {
-    if (path.find(sub) != std::string::npos) return true;
-  }
-  return false;
-}
-
-void emit(const Prepped& p, std::size_t line_no, const std::string& rule,
-          const std::string& message, std::vector<Finding>* out) {
-  if (p.allows.allows(rule, line_no)) return;
-  out->push_back(Finding{p.src->path, line_no, rule, message});
+  return rule.path_includes;
 }
 
 // ---------------------------------------------------------------------------
@@ -480,9 +255,12 @@ void run_token_rules(const Prepped& p, std::vector<Finding>* out) {
   for (const TokenRule& rule : token_rules()) {
     if (rule.file_class != p.file_class) continue;
     if (rule.result_path_only && !p.result_path) continue;
-    if (path_excluded(p.src->path, rule.path_excludes)) continue;
-    if (!rule.path_includes.empty() &&
-        !path_excluded(p.src->path, rule.path_includes)) {
+    if (internal::path_contains_any(p.src->path, rule.path_excludes)) {
+      continue;
+    }
+    const std::vector<const char*>& includes = effective_path_includes(rule);
+    if (!includes.empty() &&
+        !internal::path_contains_any(p.src->path, includes)) {
       continue;
     }
     std::vector<std::regex> regexes;
@@ -510,7 +288,8 @@ void run_token_rules(const Prepped& p, std::vector<Finding>* out) {
         }
       }
       if (hit) {
-        emit(p, i + 1, rule.id, "'" + what + "': " + rule.summary, out);
+        internal::emit(p, i + 1, rule.id, "'" + what + "': " + rule.summary,
+                       Severity::kError, out);
       }
     }
   }
@@ -547,7 +326,9 @@ std::set<std::string> unordered_idents(const Prepped& p) {
           ++i;
         }
         std::string name;
-        while (i < line.size() && is_word(line[i])) name += line[i++];
+        while (i < line.size() && internal::is_word(line[i])) {
+          name += line[i++];
+        }
         if (!name.empty() &&
             std::isdigit(static_cast<unsigned char>(name[0])) == 0) {
           idents.insert(name);
@@ -612,13 +393,14 @@ void run_unordered_iteration_rule(
   for (std::size_t i = 0; i < p.lines.size(); ++i) {
     for (const std::string& ident : idents) {
       if (iterates(p.lines[i], ident)) {
-        emit(p, i + 1, kId,
-             "iterating unordered container '" + ident +
-                 "' in a result path: hash order differs between runs and "
-                 "platforms, so emitted reports / accumulated floats are "
-                 "nondeterministic; sort keys first or use std::map at the "
-                 "boundary",
-             out);
+        internal::emit(
+            p, i + 1, kId,
+            "iterating unordered container '" + ident +
+                "' in a result path: hash order differs between runs and "
+                "platforms, so emitted reports / accumulated floats are "
+                "nondeterministic; sort keys first or use std::map at the "
+                "boundary",
+            Severity::kError, out);
         break;
       }
     }
@@ -687,11 +469,82 @@ void run_bare_catch_all_rule(const Prepped& p, std::vector<Finding>* out) {
         std::count(joined.begin() + static_cast<std::ptrdiff_t>(scanned),
                    joined.begin() + static_cast<std::ptrdiff_t>(at), '\n'));
     scanned = at;
-    emit(p, line_no, kId,
-         "'catch (...)' swallows the exception without rethrowing or "
-         "recording it; contain faults visibly (rethrow, or record into a "
-         "ledger/log) or annotate the intent with rit-lint: allow",
-         out);
+    internal::emit(
+        p, line_no, kId,
+        "'catch (...)' swallows the exception without rethrowing or "
+        "recording it; contain faults visibly (rethrow, or record into a "
+        "ledger/log) or annotate the intent with rit-lint: allow",
+        Severity::kError, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural rule: no-rng-in-parallel-region
+// ---------------------------------------------------------------------------
+
+// The intra-trial parallel passes (docs/scaling.md) are bit-identical to
+// serial only because every Rng draw happens OUTSIDE the
+// parallel_for_blocked callbacks: the blocked partition reorders execution
+// across workers, so a shared stream drawn inside a callback would consume
+// values in a thread-count-dependent order. Lexically: within the argument
+// extent of a parallel_for_blocked(...) call, any mention of the Rng type
+// or an rng-named object (rng, probe_rng, trial_rng, ...) is flagged.
+void run_rng_in_parallel_region_rule(const Prepped& p,
+                                     std::vector<Finding>* out) {
+  static const char* kId = "no-rng-in-parallel-region";
+  if (p.file_class != FileClass::kCpp) return;
+  std::string joined;
+  std::vector<std::size_t> line_start;  // offset of each line in `joined`
+  for (const std::string& line : p.lines) {
+    line_start.push_back(joined.size());
+    joined += line;
+    joined += '\n';
+  }
+  const auto line_of = [&line_start](std::size_t off) {
+    std::size_t lo = 0, hi = line_start.size();
+    while (lo + 1 < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      (line_start[mid] <= off ? lo : hi) = mid;
+    }
+    return lo + 1;  // 1-based
+  };
+
+  static const std::regex kRngRe(R"(\b\w*[Rr]ng\b)");
+  static const std::string kCall = "parallel_for_blocked";
+  for (std::size_t at = joined.find(kCall); at != std::string::npos;
+       at = joined.find(kCall, at + kCall.size())) {
+    if (!token_matches_at(joined, at, kCall)) continue;
+    std::size_t i = at + kCall.size();
+    while (i < joined.size() && (joined[i] == ' ' || joined[i] == '\n')) ++i;
+    if (i >= joined.size() || joined[i] != '(') continue;
+    // Paren-match the full argument extent (comments/strings stripped, so
+    // every paren is code). This covers the callback body wherever the
+    // lambda sits in the argument list.
+    const std::size_t args_begin = i;
+    int depth = 0;
+    for (; i < joined.size(); ++i) {
+      if (joined[i] == '(') ++depth;
+      if (joined[i] == ')' && --depth == 0) break;
+    }
+    const std::string extent =
+        joined.substr(args_begin, i >= joined.size() ? std::string::npos
+                                                     : i - args_begin);
+    for (auto it =
+             std::sregex_iterator(extent.begin(), extent.end(), kRngRe);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t off =
+          args_begin + static_cast<std::size_t>(it->position(0));
+      internal::emit(
+          p, line_of(off), kId,
+          "'" + it->str(0) +
+              "' inside a parallel_for_blocked callback: the blocked "
+              "partition reorders execution across workers, so drawing "
+              "from (or capturing) an Rng here consumes the stream in a "
+              "thread-count-dependent order and breaks bit-identical "
+              "parallelism (docs/scaling.md); draw everything the region "
+              "needs before the parallel call",
+          Severity::kError, out);
+    }
   }
 }
 
@@ -749,30 +602,92 @@ void collect_merge_info(const Prepped& p, std::vector<MergeDef>* defs,
 std::vector<RuleInfo> rule_infos() {
   std::vector<RuleInfo> infos;
   for (const TokenRule& r : token_rules()) {
-    infos.push_back(RuleInfo{r.id, r.summary});
+    infos.push_back(RuleInfo{r.id, r.summary, r.rationale});
   }
   infos.push_back(RuleInfo{
       "no-unordered-iteration-in-results",
       "iterating std::unordered_map/set while writing reports/CSV/JSON "
       "(or summing into reported floats) leaks hash order into results; "
-      "sort keys first or use std::map at the boundary"});
+      "sort keys first or use std::map at the boundary",
+      "Hash order differs between runs, platforms and standard-library "
+      "versions, so iterating an unordered container while emitting rows "
+      "— or while summing floats that get reported — makes results "
+      "nondeterministic. The Ledger::balanced() conservation sum was "
+      "exactly this bug. Sort keys at the boundary or use std::map."});
   infos.push_back(RuleInfo{
       "no-bare-catch-all",
       "a `catch (...)` handler that neither rethrows nor records what it "
       "caught (ledger/log/abort) silently swallows faults; contain them "
-      "visibly or annotate with rit-lint: allow"});
+      "visibly or annotate with rit-lint: allow",
+      "catch (...) erases the failure's identity; a handler that neither "
+      "rethrows nor records turns every crash into silent data loss — a "
+      "faulted trial that just disappears from the aggregate. The "
+      "fault-tolerant runner catches everything but files each catch in "
+      "a FaultLedger; anything quieter needs an annotated justification."});
   infos.push_back(RuleInfo{
       "merge-coverage-guard",
       "a struct with a self-merge `void merge(const T&)` must carry a "
       "static_assert(sizeof(T) == ...) field-coverage guard so a new "
-      "field cannot be silently dropped from aggregation"});
+      "field cannot be silently dropped from aggregation",
+      "Parallel sweeps combine per-worker accumulators via merge(); a "
+      "field added to the struct but not to merge() is silently dropped "
+      "from every aggregate — the exact bug AggregateMetrics hit before "
+      "PR 2. A static_assert on sizeof(T) next to the merge forces the "
+      "author of the new field to revisit the merge."});
+  infos.push_back(RuleInfo{
+      "no-rng-in-parallel-region",
+      "no Rng capture or draw inside a parallel_for_blocked callback — "
+      "the blocked partition reorders execution across workers, so RNG "
+      "order must stay serial (docs/scaling.md)",
+      "The intra-trial parallel passes are bit-identical to serial only "
+      "because every Rng draw happens before the parallel region: "
+      "parallel_for_blocked partitions work across workers, so a stream "
+      "drawn inside the callback would consume values in a "
+      "thread-count-dependent order, and the same seed would produce "
+      "different results at different --intra-threads. Draw everything "
+      "the region needs up front (the Graph constructor keeps its edge "
+      "draws serial for exactly this reason)."});
+  infos.push_back(RuleInfo{
+      "layer-violation",
+      "an #include whose target module sits above the includer in the "
+      "declared layering DAG (common/rng -> graph/tree -> core/stats -> "
+      "sim/obs -> attack/baselines/extensions/platform -> "
+      "cli/bench/tools)",
+      "The layering DAG keeps the mechanism core free of sim/IO "
+      "dependencies: core must stay a pure function of (config, seed) so "
+      "the paper's guarantees are auditable in isolation, and lower "
+      "tiers must stay reusable without dragging the world in. An "
+      "include that reaches *up* the DAG inverts that — fix it by "
+      "inverting the dependency or moving the shared code down. Two "
+      "declared instrumentation edges (tree -> obs, core -> obs; the obs "
+      "macros compile away under RIT_OBS_ENABLED=OFF) are part of the "
+      "declared DAG, not violations of it."});
+  infos.push_back(RuleInfo{
+      "include-cycle",
+      "a strongly connected component in the #include graph — headers in "
+      "a cycle cannot be compiled stand-alone and their module boundary "
+      "is fiction",
+      "An #include cycle means no file in it can be understood (or "
+      "compiled) without the others: the header self-sufficiency gate "
+      "breaks, incremental rebuilds cascade, and the layering between "
+      "the files is unenforceable. Break cycles with forward "
+      "declarations or by moving the shared type down a layer."});
+  infos.push_back(RuleInfo{
+      "unused-include",
+      "(report-only) IWYU-lite: a .cpp includes a repo header none of "
+      "whose exported names appear in the file",
+      "Every unnecessary include is a false dependency edge: it widens "
+      "rebuilds and quietly erodes the layering the DAG rules enforce. "
+      "The heuristic is lexical (does the includer mention any name the "
+      "header or its re-exports declare?) and deliberately report-only: "
+      "it never gates, it just points at candidates for removal."});
   return infos;
 }
 
 std::vector<Finding> scan(const std::vector<SourceFile>& files) {
   std::vector<Prepped> prepped;
   prepped.reserve(files.size());
-  for (const SourceFile& f : files) prepped.push_back(prep(f));
+  for (const SourceFile& f : files) prepped.push_back(internal::prep(f));
 
   std::map<std::string, const Prepped*> by_path;
   for (const Prepped& p : prepped) by_path[p.src->path] = &p;
@@ -784,17 +699,26 @@ std::vector<Finding> scan(const std::vector<SourceFile>& files) {
     run_token_rules(p, &findings);
     run_unordered_iteration_rule(p, by_path, &findings);
     run_bare_catch_all_rule(p, &findings);
+    run_rng_in_parallel_region_rule(p, &findings);
     collect_merge_info(p, &merge_defs, &guarded_types);
   }
   for (const MergeDef& def : merge_defs) {
     if (guarded_types.count(def.type) != 0) continue;
-    emit(*def.file, def.line, "merge-coverage-guard",
-         "'" + def.type + "::merge' has no static_assert(sizeof(" +
-             def.type +
-             ") == ...) coverage guard; add one next to the merge "
-             "definition so new fields cannot be dropped from aggregation",
-         &findings);
+    internal::emit(
+        *def.file, def.line, "merge-coverage-guard",
+        "'" + def.type + "::merge' has no static_assert(sizeof(" +
+            def.type +
+            ") == ...) coverage guard; add one next to the merge "
+            "definition so new fields cannot be dropped from aggregation",
+        Severity::kError, &findings);
   }
+
+  // Architecture rules over the whole scan set.
+  internal::run_layering_rule(prepped, &findings);
+  const internal::IncludeGraph graph =
+      internal::build_include_graph(prepped);
+  internal::run_include_cycle_rule(graph, &findings);
+  internal::run_unused_include_rule(graph, &findings);
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -812,6 +736,45 @@ std::vector<Finding> scan(const std::vector<SourceFile>& files) {
 
 std::vector<Finding> scan_file(const SourceFile& file) {
   return scan(std::vector<SourceFile>{file});
+}
+
+std::vector<EscapeRecord> collect_escapes(
+    const std::vector<SourceFile>& files) {
+  // Only directives naming a real rule (or '*') count: an allow() with an
+  // unknown id suppresses nothing, so it is not an escape — this also
+  // keeps directive-shaped doc examples ("allow(<rule-id>)") out of the
+  // inventory.
+  std::set<std::string> known{"*"};
+  for (const RuleInfo& info : rule_infos()) known.insert(info.id);
+  std::vector<EscapeRecord> records;
+  for (const SourceFile& f : files) {
+    // Blank string literals but keep comments: a directive in a comment is
+    // a real escape; directive-shaped *data* in a string literal (the lint
+    // self-tests) is not. Build files have no string/comment ambiguity
+    // that matters here — directives ride '#' comments.
+    const std::string view =
+        internal::classify(f.path) == internal::FileClass::kBuild
+            ? f.content
+            : internal::strip_strings_keep_comments(f.content);
+    const internal::AllowSet allows =
+        internal::parse_allows(internal::split_lines(view));
+    for (const auto& [line, rules] : allows.lines) {
+      for (const std::string& rule : rules) {
+        if (known.count(rule) == 0) continue;
+        records.push_back(EscapeRecord{f.path, line, rule, false});
+      }
+    }
+    for (const std::string& rule : allows.file_rules) {
+      if (known.count(rule) == 0) continue;
+      records.push_back(EscapeRecord{f.path, 0, rule, true});
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const EscapeRecord& a, const EscapeRecord& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return records;
 }
 
 std::vector<SourceFile> collect_tree(const std::string& root) {

@@ -9,18 +9,31 @@
 // field that merge() silently drops. This linter turns those conventions
 // into machine-checked invariants.
 //
-// The engine is deliberately lexical: it strips comments and string
-// literals, then matches word-bounded tokens and a few structural
-// patterns. That keeps rules declarative (see kRules in linter.cpp),
-// fast, and free of a compiler dependency — at the cost of heuristic
-// precision, which the allowlist escape hatch compensates for:
+// The engine has four layers (one file each under tools/lint/):
+//   scanner.{h,cpp}        lexical: comment/string stripping, tokens,
+//                          allowlist directives, per-file preprocessing
+//   include_graph.{h,cpp}  architectural: the #include dependency graph,
+//                          the declared module layering DAG, cycle
+//                          detection, the IWYU-lite heuristic
+//   linter.{h,cpp}         the rule table and scan orchestration (this
+//                          public surface)
+//   output.{h,cpp} +       text/json/sarif rendering and the baseline
+//   baseline.{h,cpp}       adoption machinery for the CLI
+//
+// Line-scoped rules stay deliberately lexical: strip comments and string
+// literals, then match word-bounded tokens and a few structural patterns.
+// That keeps rules declarative (see kRules in linter.cpp), fast, and free
+// of a compiler dependency — at the cost of heuristic precision, which
+// the allowlist escape hatch compensates for:
 //
 //   some_call();  // rit-lint: allow(<rule-id>)     (this line + the next)
 //   // rit-lint: allow-file(<rule-id>)              (whole file)
 //
 // Every rule has fixture-based self-tests under tests/lint_fixtures/
-// (ctest -L lint) and the live tree is scanned as a test, so a banned
-// pattern landing in src/ fails the suite.
+// (ctest -L lint), the live tree is scanned as a test, and the set of
+// escape directives in the live tree is itself inventoried against a
+// checked-in budget (tests/lint_escapes_expected.txt), so neither banned
+// patterns nor silent suppressions can accumulate.
 #pragma once
 
 #include <cstddef>
@@ -29,19 +42,28 @@
 
 namespace rit::lint {
 
+/// Finding severity. Errors gate (exit status, baselines, CI); notes are
+/// report-only — today just the IWYU-lite unused-include heuristic, whose
+/// precision is deliberately below gating quality.
+enum class Severity { kError, kNote };
+
 /// One violation. `line` is 1-based; `rule` is the stable rule id used in
-/// allowlist directives.
+/// allowlist directives and baselines.
 struct Finding {
   std::string file;
   std::size_t line{0};
   std::string rule;
   std::string message;
+  Severity severity{Severity::kError};
 };
 
-/// Static description of a rule (for --list-rules and the docs).
+/// Static description of a rule: `summary` is the one-line message shown
+/// in listings; `rationale` is the paragraph behind `--explain <rule>`
+/// and SARIF fullDescription.
 struct RuleInfo {
   std::string id;
   std::string summary;
+  std::string rationale;
 };
 
 /// An in-memory file handed to the scanner. `path` should be
@@ -52,18 +74,35 @@ struct SourceFile {
   std::string content;
 };
 
+/// One `// rit-lint: allow(...)` / `allow-file(...)` escape directive
+/// found in a file's comments (directives inside string literals — lint
+/// test data — do not count).
+struct EscapeRecord {
+  std::string file;
+  std::size_t line{0};
+  std::string rule;
+  bool file_scope{false};
+};
+
 /// All rules the engine knows, in reporting order.
 std::vector<RuleInfo> rule_infos();
 
 /// Scans a set of files as one unit. Cross-file rules (merge-coverage-guard
 /// pairs a merge() definition with its static_assert guard, possibly in a
 /// sibling .cpp; unordered-iteration pairs a .cpp with declarations in its
-/// same-stem header) only see guards/declarations inside `files`, so pass
-/// the whole tree for a tree-level verdict.
+/// same-stem header; the include-graph rules resolve includes against the
+/// whole set) only see what is inside `files`, so pass the whole tree for
+/// a tree-level verdict.
 std::vector<Finding> scan(const std::vector<SourceFile>& files);
 
 /// Convenience: scans a single file in isolation (fixture self-tests).
 std::vector<Finding> scan_file(const SourceFile& file);
+
+/// Inventories every escape directive in `files`, in (file, line) order.
+/// The escape-budget test diffs this against the checked-in expected list
+/// so a new suppression requires an explicit test update.
+std::vector<EscapeRecord> collect_escapes(
+    const std::vector<SourceFile>& files);
 
 /// Walks `root` and collects the scan set: *.h *.hpp *.cpp *.cc under
 /// src/ bench/ tests/ tools/ examples/, plus build files (CMakeLists.txt,

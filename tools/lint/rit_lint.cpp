@@ -1,12 +1,19 @@
 // rit_lint CLI: scans the tree (or explicit files) for violations of the
-// repo's determinism / portability / aggregation-coverage invariants.
+// repo's determinism / portability / architecture invariants.
 //
-//   rit_lint --root <repo>            scan src/ bench/ tests/ tools/ ...
-//   rit_lint --root <repo> a.cpp b.h  scan just those files (repo-relative)
-//   rit_lint --list-rules             print every rule id + rationale
+//   rit_lint --root <repo>             scan src/ bench/ tests/ tools/ ...
+//   rit_lint --root <repo> a.cpp b.h   scan just those files (repo-relative)
+//   rit_lint --format=text|json|sarif  output format (default text)
+//   rit_lint --baseline <file>         suppress errors recorded in <file>
+//   rit_lint --update-baseline         rewrite <file> from current findings
+//   rit_lint --explain <rule>          print a rule's full rationale
+//   rit_lint --list-rules              print every rule id + summary
 //
-// Exit status: 0 clean, 1 findings, 2 usage/IO error. Wired into ctest as
-// the `lint_tree` test (label: lint) and into tools/check.sh.
+// Exit status: 0 clean (after baseline), 1 unbaselined errors, 2 usage/IO
+// error. Report-only notes never affect the exit status. With json/sarif
+// the findings go to stdout and the human summary to stderr, so the output
+// stays machine-parseable (CI uploads the SARIF verbatim). Wired into
+// ctest as the `lint_tree` test (label: lint) and into tools/check.sh.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -14,13 +21,17 @@
 #include <string>
 #include <vector>
 
+#include "baseline.h"
 #include "linter.h"
+#include "output.h"
 
 namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--root <dir>] [--list-rules] [file...]\n";
+            << " [--root <dir>] [--format=text|json|sarif]"
+               " [--baseline <file> [--update-baseline]]"
+               " [--explain <rule>] [--list-rules] [file...]\n";
   return 2;
 }
 
@@ -28,14 +39,39 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string baseline_path;
+  std::string explain_rule;
   std::vector<std::string> explicit_files;
+  rit::lint::OutputFormat format = rit::lint::OutputFormat::kText;
   bool list_rules = false;
+  bool update_baseline = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
       if (i + 1 >= argc) return usage(argv[0]);
       root = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      if (!rit::lint::parse_output_format(arg.substr(9), &format)) {
+        std::cerr << "rit_lint: unknown format '" << arg.substr(9)
+                  << "' (expected text, json or sarif)\n";
+        return 2;
+      }
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      if (!rit::lint::parse_output_format(argv[++i], &format)) {
+        std::cerr << "rit_lint: unknown format '" << argv[i]
+                  << "' (expected text, json or sarif)\n";
+        return 2;
+      }
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      baseline_path = argv[++i];
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg == "--explain") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      explain_rule = argv[++i];
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -47,6 +83,24 @@ int main(int argc, char** argv) {
     } else {
       explicit_files.push_back(arg);
     }
+  }
+
+  if (update_baseline && baseline_path.empty()) {
+    std::cerr << "rit_lint: --update-baseline requires --baseline <file>\n";
+    return 2;
+  }
+
+  if (!explain_rule.empty()) {
+    for (const rit::lint::RuleInfo& info : rit::lint::rule_infos()) {
+      if (info.id == explain_rule) {
+        std::cout << info.id << "\n  " << info.summary << "\n\n"
+                  << info.rationale << "\n";
+        return 0;
+      }
+    }
+    std::cerr << "rit_lint: unknown rule '" << explain_rule
+              << "' (see --list-rules)\n";
+    return 2;
   }
 
   if (list_rules) {
@@ -78,12 +132,52 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<rit::lint::Finding> findings = rit::lint::scan(files);
-  for (const rit::lint::Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-              << f.message << "\n";
+  std::vector<rit::lint::Finding> findings = rit::lint::scan(files);
+
+  std::size_t suppressed = 0;
+  if (!baseline_path.empty()) {
+    if (update_baseline) {
+      std::ofstream out(baseline_path, std::ios::binary);
+      out << rit::lint::serialize_baseline(findings);
+      if (!out.good()) {
+        std::cerr << "rit_lint: cannot write baseline '" << baseline_path
+                  << "'\n";
+        return 2;
+      }
+    }
+    const auto baseline = rit::lint::load_baseline(baseline_path);
+    if (!baseline) {
+      std::cerr << "rit_lint: cannot read baseline '" << baseline_path
+                << "' (missing or malformed)\n";
+      return 2;
+    }
+    findings =
+        rit::lint::apply_baseline(*baseline, findings, &suppressed);
   }
-  std::cout << "rit_lint: " << findings.size() << " finding(s) in "
-            << files.size() << " file(s) scanned\n";
-  return findings.empty() ? 0 : 1;
+
+  std::size_t errors = 0, notes = 0;
+  for (const rit::lint::Finding& f : findings) {
+    (f.severity == rit::lint::Severity::kNote ? notes : errors) += 1;
+  }
+
+  switch (format) {
+    case rit::lint::OutputFormat::kText:
+      std::cout << rit::lint::render_text(findings);
+      break;
+    case rit::lint::OutputFormat::kJson:
+      std::cout << rit::lint::render_json(findings);
+      break;
+    case rit::lint::OutputFormat::kSarif:
+      std::cout << rit::lint::render_sarif(findings);
+      break;
+  }
+
+  // Summary to stderr so json/sarif stdout stays machine-parseable.
+  std::ostream& summary =
+      format == rit::lint::OutputFormat::kText ? std::cout : std::cerr;
+  summary << "rit_lint: " << errors << " error(s), " << notes
+          << " note(s) in " << files.size() << " file(s) scanned";
+  if (suppressed != 0) summary << " (" << suppressed << " baselined)";
+  summary << "\n";
+  return errors == 0 ? 0 : 1;
 }
