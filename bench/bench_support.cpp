@@ -18,6 +18,7 @@
 #include "obs/obs.h"
 #include "obs/perf_counters.h"
 #include "obs/trace_export.h"
+#include "platform/supervisor.h"
 #include "sim/runner.h"
 
 namespace rit::bench {
@@ -48,6 +49,13 @@ BenchOptions parse_options(int argc, char** argv, const std::string& name,
   opts.checkpoint_path = args.get_string("checkpoint", "");
   opts.checkpoint_every = args.get_u64("checkpoint-every", 0);
   opts.resume = args.get_bool("resume", false);
+  opts.supervised = args.get_bool("supervised", false);
+  opts.shards = static_cast<unsigned>(args.get_u64("shards", 0));
+  opts.shard_mem_mb = args.get_u64("shard-mem-mb", 0);
+  opts.shard_cpu_s = args.get_u64("shard-cpu-s", 0);
+  opts.shard_retries =
+      static_cast<unsigned>(args.get_u64("shard-retries", 2));
+  opts.heartbeat_timeout_ms = args.get_u64("heartbeat-timeout-ms", 0);
   const std::string summary =
       args.get_string("json", "bench_results/BENCH_" + name + ".json");
   opts.summary_path = summary == "none" ? "" : summary;
@@ -74,6 +82,11 @@ BenchOptions parse_options(int argc, char** argv, const std::string& name,
                 "--checkpoint-every requires --checkpoint=PATH");
   RIT_CHECK_MSG(opts.trial_timeout_ms >= 0.0,
                 "--trial-timeout-ms must be >= 0");
+  RIT_CHECK_MSG(opts.supervised ||
+                    (opts.shards == 0 && opts.shard_mem_mb == 0 &&
+                     opts.shard_cpu_s == 0 && opts.heartbeat_timeout_ms == 0),
+                "--shards/--shard-mem-mb/--shard-cpu-s/"
+                "--heartbeat-timeout-ms require --supervised");
 
   // Record every span from here on; finish() turns this into the per-phase
   // breakdown. When the build has RIT_OBS_ENABLED=0 the trace simply stays
@@ -152,14 +165,20 @@ sim::AggregateMetrics run_point(
     const std::function<void(std::uint64_t, std::uint64_t)>& progress) {
   const bool default_policy =
       opts.max_trial_failures == 0 && opts.trial_timeout_ms == 0.0;
-  if (opts.checkpoint_path.empty() && default_policy) {
+  if (!opts.supervised && opts.checkpoint_path.empty() && default_policy) {
     // The historical path, byte-identical (including the exact serial code
     // for one thread).
     return sim::run_many_parallel(scenario, opts.trials, opts.threads,
                                   progress);
   }
   SweepState& sweep = *opts.sweep;
-  const unsigned resolved = rit::resolve_threads(opts.threads, opts.trials);
+  // Supervised runs partition by shard instead of thread; both knobs bind
+  // the checkpoint the same way (partition width), so a checkpoint written
+  // in-process at --threads=K resumes supervised at --shards=K and vice
+  // versa — the partition, fold order, and merge order are identical.
+  const unsigned resolved =
+      opts.supervised ? rit::resolve_threads(opts.shards, opts.trials)
+                      : rit::resolve_threads(opts.threads, opts.trials);
   if (!opts.checkpoint_path.empty() && !sweep.session) {
     sim::CheckpointSession::Params p;
     p.path = opts.checkpoint_path;
@@ -174,9 +193,27 @@ sim::AggregateMetrics run_point(
   sim::GuardPolicy policy;
   policy.max_trial_failures = opts.max_trial_failures;
   policy.trial_timeout_ms = opts.trial_timeout_ms;
-  sim::GuardedResult r =
-      sim::run_many_guarded(scenario, opts.trials, resolved, policy,
-                            sweep.session.get(), sweep.next_point, progress);
+  sim::GuardedResult r;
+  if (opts.supervised) {
+    platform::SupervisorOptions sup;
+    sup.shards = opts.shards;
+    sup.shard_mem_mb = opts.shard_mem_mb;
+    sup.shard_cpu_s = opts.shard_cpu_s;
+    sup.shard_retries = opts.shard_retries;
+    sup.heartbeat_timeout_ms = opts.heartbeat_timeout_ms;
+    sup.checkpoint_path = opts.checkpoint_path;
+    sup.checkpoint_every = opts.checkpoint_every;
+    sup.resume = opts.resume;
+    sup.config_hash = sweep_config_hash(opts);
+    sup.seed = opts.seed;
+    r = platform::run_many_supervised(scenario, opts.trials, sup, policy,
+                                      sweep.session.get(), sweep.next_point,
+                                      progress);
+  } else {
+    r = sim::run_many_guarded(scenario, opts.trials, resolved, policy,
+                              sweep.session.get(), sweep.next_point,
+                              progress);
+  }
   ++sweep.next_point;
   sweep.faults.merge(r.faults);
   return r.metrics;
@@ -190,8 +227,12 @@ void emit(const std::string& title, const BenchOptions& opts,
             << " graph=" << sim::to_string(opts.graph)
             << (opts.theoretical ? " budget=theoretical"
                                  : " budget=run-to-completion")
-            << " threads=" << rit::resolve_threads(opts.threads, opts.trials)
-            << ")\n";
+            << " threads=" << rit::resolve_threads(opts.threads, opts.trials);
+  if (opts.supervised) {
+    std::cout << " supervised shards="
+              << platform::resolve_shards(opts.shards, opts.trials);
+  }
+  std::cout << ")\n";
   cli::Table table(header);
   for (const auto& row : rows) table.add_numeric_row(row, precision);
   table.print(std::cout);

@@ -37,6 +37,25 @@
 //                           config/seed/thread mismatch); resumed sweeps are
 //                           bit-identical to uninterrupted ones
 //
+// Process isolation (see docs/robustness.md, "Process isolation &
+// supervision"):
+//   --supervised            run each sweep point through the shard
+//                           supervisor: K forked worker processes, one per
+//                           residue class, monitored for signal deaths,
+//                           OOM kills, and hangs. Bit-identical to the
+//                           in-process engine at --threads=K.
+//   --shards=K              worker processes (default 0 = hardware
+//                           concurrency; replaces --threads when
+//                           supervised)
+//   --shard-mem-mb=M        per-shard RLIMIT_AS budget in MB (0 = off)
+//   --shard-cpu-s=S         per-shard RLIMIT_CPU budget in seconds (0 = off)
+//   --shard-retries=R       worker deaths tolerated per shard before the
+//                           shard is quarantined and the sweep aborts
+//                           (default 2); relaunches back off exponentially
+//   --heartbeat-timeout-ms=T  SIGKILL a shard whose heartbeat stalls for T
+//                           ms (0 = watchdog off); with --checkpoint the
+//                           relaunch resumes from the shard's last cut
+//
 // Observability (see docs/observability.md):
 //   --trace-out=PATH    write a Chrome-trace / Perfetto JSON of every span
 //   --metrics-out=PATH  write the global metrics registry as JSON
@@ -120,6 +139,14 @@ struct BenchOptions {
   std::string checkpoint_path;  // empty = disabled
   std::uint64_t checkpoint_every{0};
   bool resume{false};
+  /// Process isolation (--supervised and friends); see
+  /// platform::SupervisorOptions for the semantics of each knob.
+  bool supervised{false};
+  unsigned shards{0};
+  std::uint64_t shard_mem_mb{0};
+  std::uint64_t shard_cpu_s{0};
+  unsigned shard_retries{2};
+  std::uint64_t heartbeat_timeout_ms{0};
 
   /// Shared across copies: run_point() advances it, finish() reports it.
   std::shared_ptr<SweepState> sweep{std::make_shared<SweepState>()};

@@ -26,8 +26,10 @@ CsvWriter::~CsvWriter() {
   }
 }
 
-std::string CsvWriter::escape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+std::string csv_quote(const std::string& cell) {
+  // A lone '\r' needs quoting too: RFC 4180 row separators are CRLF, so an
+  // unquoted carriage return splits the row for any compliant reader.
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out = "\"";
   for (char ch : cell) {
     if (ch == '"') out += '"';
@@ -44,7 +46,7 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
                                << columns_);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i != 0) buffer_ += ',';
-    buffer_ += escape(cells[i]);
+    buffer_ += csv_quote(cells[i]);
   }
   buffer_ += '\n';
 }

@@ -12,6 +12,14 @@
 
 namespace rit::cli {
 
+/// RFC 4180 quoting for one CSV cell: returns `cell` unchanged unless it
+/// contains a comma, double quote, CR, or LF, in which case the cell is
+/// wrapped in double quotes with embedded quotes doubled. Every CSV cell
+/// in the tree routes through this (CsvWriter uses it internally) so that
+/// free-form text — fault-ledger reasons carrying exception messages, for
+/// example — can never corrupt the row format.
+std::string csv_quote(const std::string& cell);
+
 class CsvWriter {
  public:
   /// Remembers `path` and buffers the header row. The file itself is only
@@ -37,8 +45,6 @@ class CsvWriter {
   const std::string& path() const { return path_; }
 
  private:
-  static std::string escape(const std::string& cell);
-
   std::string path_;
   std::string buffer_;
   std::size_t columns_;

@@ -1,8 +1,13 @@
 #include "sim/chaos.h"
 
+#include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <memory>
+#include <new>
 #include <sstream>
+#include <vector>
 
 #include "common/atomic_file.h"
 #include "common/check.h"
@@ -51,6 +56,36 @@ void inject_after_trial(const ChaosSpec& spec, std::uint64_t trial,
                         TrialMetrics& metrics) {
   if (spec.nan_on_trial == trial) {
     metrics.avg_utility_rit = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+void raise_signal(int signal_number) { std::raise(signal_number); }
+
+void alloc_bomb() {
+  // Allocate in 16 MB slabs and touch every page so the memory is really
+  // committed; under an RLIMIT_AS budget the allocator throws bad_alloc
+  // almost immediately. Model a hard OOM kill by aborting: the kernel's
+  // OOM killer sends an uncatchable signal, so a containable bad_alloc
+  // would be the wrong failure class for the supervisor tests.
+  constexpr std::size_t kSlab = 16u << 20;
+  std::vector<std::unique_ptr<char[]>> slabs;
+  try {
+    for (;;) {
+      slabs.emplace_back(new char[kSlab]);
+      char* p = slabs.back().get();
+      for (std::size_t i = 0; i < kSlab; i += 4096) p[i] = 1;
+    }
+  } catch (const std::bad_alloc&) {
+    std::abort();
+  }
+  std::abort();  // unreachable; keeps [[noreturn]] honest
+}
+
+void spin_forever() {
+  // Volatile sink so the loop cannot be optimized into a no-op.
+  volatile std::uint64_t sink = 0;
+  for (;;) {
+    sink = sink + 1;
   }
 }
 

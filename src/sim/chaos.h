@@ -38,9 +38,44 @@ struct ChaosSpec {
   /// kNever disables.
   std::uint64_t kill_after_checkpoints{kNever};
 
+  // Process-death injectors, honored only by the supervised shard workers
+  // (src/platform/shard_worker.h): these kill the *process*, so the
+  // in-process guarded runner never fires them. All keyed on the global
+  // trial index, like the trial injectors above.
+  /// Deliver `signal_number` to the worker process (raise) when it reaches
+  /// this trial — the SIGKILL/SIGSEGV/SIGABRT death matrix.
+  std::uint64_t signal_on_trial{kNever};
+  int signal_number{9};  // SIGKILL
+  /// Allocation bomb: on this trial, allocate-and-touch until the process
+  /// hits its rlimit (std::bad_alloc), then abort — a hard OOM death.
+  std::uint64_t oom_on_trial{kNever};
+  /// Spin forever on this trial without ever returning — drives the
+  /// supervisor's heartbeat watchdog (the in-process --trial-timeout-ms
+  /// check is post-hoc and cannot catch this).
+  std::uint64_t hang_on_trial{kNever};
+  /// By default the supervisor strips the process-death injectors from a
+  /// shard's retry attempts (a deterministic injector would otherwise
+  /// refire forever); set this to keep them firing on every attempt — the
+  /// quarantine-budget-exhaustion tests need a shard that never recovers.
+  bool process_chaos_every_attempt{false};
+
   bool any_trial_injector() const {
     return throw_on_trial != kNever || nan_on_trial != kNever ||
            delay_on_trial != kNever || fault_rate > 0.0;
+  }
+
+  bool any_process_injector() const {
+    return signal_on_trial != kNever || oom_on_trial != kNever ||
+           hang_on_trial != kNever;
+  }
+
+  /// Copy with the process-death injectors disarmed (retry attempts).
+  ChaosSpec without_process_injectors() const {
+    ChaosSpec out = *this;
+    out.signal_on_trial = kNever;
+    out.oom_on_trial = kNever;
+    out.hang_on_trial = kNever;
+    return out;
   }
 };
 
@@ -61,6 +96,20 @@ void inject_before_trial(const ChaosSpec& spec, std::uint64_t trial);
 /// Runs the after-trial injectors: NaN poisoning of the returned metrics.
 void inject_after_trial(const ChaosSpec& spec, std::uint64_t trial,
                         TrialMetrics& metrics);
+
+// Process-death primitives behind the ChaosSpec process injectors. Only
+// the supervised shard workers call these (in a forked child the
+// supervisor will reap and retry); nothing in the in-process path does.
+/// Delivers `signal_number` to the calling process via raise(). Does not
+/// return for fatal dispositions (SIGKILL/SIGSEGV/SIGABRT defaults).
+void raise_signal(int signal_number);
+/// Allocates and touches memory until the allocator gives up
+/// (std::bad_alloc — under an RLIMIT_AS budget that happens fast), then
+/// aborts: a hard OOM kill, not a containable exception. Never returns.
+[[noreturn]] void alloc_bomb();
+/// Spins forever on the monotonic clock; models a livelocked trial that
+/// only a pre-emptive supervisor can stop. Never returns.
+[[noreturn]] void spin_forever();
 
 /// File-corruption helpers for the corrupt-checkpoint rejection tests.
 /// Both throw CheckFailure if `path` cannot be read or rewritten.

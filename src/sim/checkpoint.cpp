@@ -276,6 +276,42 @@ CheckpointData parse_checkpoint(const std::string& content,
 
 namespace {
 
+constexpr const char* kAbortedHeader = "ritcs-aborted v1";
+
+}  // namespace
+
+AbortedRecord parse_aborted(const std::string& content,
+                            const std::string& path_for_errors) {
+  std::istringstream in(content);
+  std::string header, point_line, reason_line;
+  RIT_CHECK_MSG(static_cast<bool>(std::getline(in, header)) &&
+                    header == kAbortedHeader,
+                "aborted record '" << path_for_errors
+                                   << "': bad header '" << header << "'");
+  RIT_CHECK_MSG(static_cast<bool>(std::getline(in, point_line)) &&
+                    point_line.compare(0, 6, "point ") == 0,
+                "aborted record '" << path_for_errors
+                                   << "': missing point line");
+  RIT_CHECK_MSG(static_cast<bool>(std::getline(in, reason_line)) &&
+                    reason_line.compare(0, 7, "reason ") == 0,
+                "aborted record '" << path_for_errors
+                                   << "': missing reason line");
+  AbortedRecord rec;
+  rec.point = parse_u64(point_line.substr(6), "aborted point");
+  rec.reason = reason_line.substr(7);
+  std::ostringstream rest;
+  rest << in.rdbuf();
+  const CheckpointData data = parse_checkpoint(rest.str(), path_for_errors);
+  RIT_CHECK_MSG(data.completed.size() == 1,
+                "aborted record '" << path_for_errors
+                                   << "': wants exactly one partial result");
+  rec.partial.metrics = data.completed[0].agg;
+  rec.partial.faults = data.completed[0].faults;
+  return rec;
+}
+
+namespace {
+
 void check_binding(const std::string& path, const char* what,
                    std::uint64_t file_value, std::uint64_t run_value) {
   RIT_CHECK_MSG(file_value == run_value,
@@ -359,6 +395,32 @@ void CheckpointSession::complete_point(std::uint64_t point,
   data_.has_partial = false;
   data_.partial_workers.clear();
   save();
+}
+
+void CheckpointSession::save_aborted(std::uint64_t point,
+                                     const GuardedResult& partial,
+                                     const std::string& reason) const {
+  // One completed-point image carries the partial merge; the surrounding
+  // header pins the point index and the human-readable reason. The reason
+  // is flattened to one line (the record is line-oriented).
+  CheckpointData data;
+  data.config_hash = params_.config_hash;
+  data.seed = params_.seed;
+  data.threads = params_.threads;
+  data.trials = params_.trials;
+  data.every = params_.every;
+  data.completed.push_back(WorkerCheckpoint{partial.metrics, partial.faults});
+  std::string flat = reason;
+  for (char& ch : flat) {
+    if (ch == '\n' || ch == '\r') ch = ' ';
+  }
+  std::ostringstream os;
+  os << kAbortedHeader << "\n"
+     << "point " << point << "\n"
+     << "reason " << flat << "\n"
+     << serialize_checkpoint(data);
+  write_file_atomic(aborted_path(), os.str());
+  RIT_COUNTER_INC("sim.aborts_flushed");
 }
 
 void CheckpointSession::save() {

@@ -64,6 +64,23 @@ std::string serialize_checkpoint(const CheckpointData& data);
 CheckpointData parse_checkpoint(const std::string& content,
                                 const std::string& path_for_errors);
 
+/// Forensic record of an aborted sweep point: the partial aggregate and
+/// fault ledger the run had folded when it gave up, plus why. Written to
+/// `<checkpoint path>.aborted` — deliberately NOT a resumable cut (at
+/// abort time the per-worker states are mid-chunk and no cursor describes
+/// them consistently), just the evidence an operator needs.
+struct AbortedRecord {
+  std::uint64_t point{0};
+  std::string reason;
+  GuardedResult partial;
+};
+
+/// Parses the `.aborted` artifact (header + reason + a checksummed
+/// checkpoint body carrying the partial result); throws CheckFailure on
+/// any corruption.
+AbortedRecord parse_aborted(const std::string& content,
+                            const std::string& path_for_errors);
+
 /// One sweep's checkpoint lifecycle: load-or-create, per-point queries,
 /// atomic saves. Construction with resume=true validates an existing file
 /// against the run's bindings and refuses to resume on mismatch; with
@@ -97,6 +114,16 @@ class CheckpointSession {
 
   /// Marks `point` complete (clearing any partial cut) and writes.
   void complete_point(std::uint64_t point, const GuardedResult& result);
+
+  /// Flushes a forensic `.aborted` artifact next to the checkpoint file
+  /// (see AbortedRecord): the partial aggregate + fault ledger at the
+  /// moment the run gave up, and the abort reason. Does not touch the
+  /// checkpoint file itself.
+  void save_aborted(std::uint64_t point, const GuardedResult& partial,
+                    const std::string& reason) const;
+
+  /// The `.aborted` sibling path this session writes.
+  std::string aborted_path() const { return params_.path + ".aborted"; }
 
   std::uint64_t checkpoints_written() const { return written_; }
   const Params& params() const { return params_; }

@@ -22,6 +22,8 @@ const char* to_string(FaultKind kind) {
       return "non-finite";
     case FaultKind::kTimeout:
       return "timeout";
+    case FaultKind::kWorkerDeath:
+      return "worker-death";
   }
   return "unknown";
 }
@@ -30,6 +32,7 @@ FaultKind parse_fault_kind(const std::string& name) {
   if (name == "exception") return FaultKind::kException;
   if (name == "non-finite") return FaultKind::kNonFinite;
   if (name == "timeout") return FaultKind::kTimeout;
+  if (name == "worker-death") return FaultKind::kWorkerDeath;
   RIT_CHECK_MSG(false, "unknown fault kind '" << name << "'");
   return FaultKind::kException;
 }

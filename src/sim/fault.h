@@ -14,9 +14,11 @@
 namespace rit::sim {
 
 enum class FaultKind : std::uint8_t {
-  kException,  // the trial threw
-  kNonFinite,  // metrics came back NaN/inf
-  kTimeout,    // exceeded the --trial-timeout-ms watchdog deadline
+  kException,    // the trial threw
+  kNonFinite,    // metrics came back NaN/inf
+  kTimeout,      // exceeded the --trial-timeout-ms watchdog deadline
+  kWorkerDeath,  // a supervised shard process died (signal/OOM/hang); the
+                 // entry's trial/seed/phase are the shard's last breadcrumb
 };
 
 const char* to_string(FaultKind kind);

@@ -92,6 +92,7 @@ GuardedResult run_trials_guarded(std::uint64_t trials, unsigned threads,
   std::atomic<bool> aborting{false};
   std::mutex abort_mu;
   std::exception_ptr abort_error;
+  std::string abort_reason;
 
   // Per-trial timing stat only on the genuinely parallel path, mirroring
   // the pre-guarded split between run_many and run_many_parallel (keeps
@@ -121,6 +122,12 @@ GuardedResult run_trials_guarded(std::uint64_t trials, unsigned threads,
       case FaultKind::kNonFinite:
         RIT_COUNTER_INC("sim.faults_nonfinite");
         break;
+      case FaultKind::kWorkerDeath:
+        // Worker deaths are recorded by the supervisor (src/platform/),
+        // never by the in-process containment path; the case exists so the
+        // switch stays exhaustive.
+        RIT_COUNTER_INC("sim.faults_worker_death");
+        break;
     }
     const std::uint64_t count =
         fault_count.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -132,7 +139,8 @@ GuardedResult run_trials_guarded(std::uint64_t trials, unsigned threads,
            << to_string(kind) << ": " << reason
            << " — failure budget exhausted (" << count << " fault(s) > "
               "--max-trial-failures=" << policy.max_trial_failures << ")";
-        abort_error = std::make_exception_ptr(rit::CheckFailure(os.str()));
+        abort_reason = os.str();
+        abort_error = std::make_exception_ptr(rit::CheckFailure(abort_reason));
       }
       aborting.store(true, std::memory_order_relaxed);
     }
@@ -220,7 +228,22 @@ GuardedResult run_trials_guarded(std::uint64_t trials, unsigned threads,
 
   {
     std::lock_guard<std::mutex> lock(abort_mu);
-    if (abort_error) std::rethrow_exception(abort_error);
+    if (abort_error) {
+      if (session != nullptr) {
+        // Forensic flush before the abort surfaces: the partial aggregate
+        // and every contained fault land in `<checkpoint>.aborted`. This is
+        // evidence, not a resumable cut — the per-worker states are
+        // mid-chunk here, so no cursor value describes them consistently
+        // and writing them as a partial would corrupt resume.
+        GuardedResult partial;
+        for (const WorkerState& w : workers) {
+          partial.metrics.merge(w.agg);
+          partial.faults.merge(w.faults);
+        }
+        session->save_aborted(point, partial, abort_reason);
+      }
+      std::rethrow_exception(abort_error);
+    }
   }
 
   if (record_trial_stat) {

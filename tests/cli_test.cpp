@@ -108,6 +108,18 @@ TEST(Csv, WritesHeaderRowsAndEscapes) {
   std::remove(path.c_str());
 }
 
+TEST(Csv, QuoteEscapesAllMetacharacters) {
+  EXPECT_EQ(csv_quote("plain"), "plain");
+  EXPECT_EQ(csv_quote(""), "");
+  EXPECT_EQ(csv_quote("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv_quote("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(csv_quote("two\nlines"), "\"two\nlines\"");
+  // A lone '\r' with no '\n' is the classic gap: RFC 4180 separates rows
+  // with CRLF, so an unquoted bare carriage return splits the row.
+  EXPECT_EQ(csv_quote("bare\rreturn"), "\"bare\rreturn\"");
+  EXPECT_EQ(csv_quote("\r"), "\"\r\"");
+}
+
 TEST(Csv, RowWidthMismatchThrows) {
   const std::string path = ::testing::TempDir() + "/ritcs_cli_test2.csv";
   CsvWriter w(path, {"a", "b"});

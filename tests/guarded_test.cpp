@@ -9,7 +9,9 @@
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -143,6 +145,38 @@ TEST(Guarded, FaultsOverBudgetAbort) {
   policy.chaos.fault_rate = 1.0;  // every trial throws
   EXPECT_THROW(run_trials_guarded(5, 2, policy, synthetic_body()),
                CheckFailure);
+}
+
+TEST(Guarded, AbortFlushesForensicsToAbortedArtifact) {
+  // Budget exhaustion with a session must not lose the evidence: the
+  // partial aggregate and the full fault ledger land in `.aborted` before
+  // the CheckFailure surfaces.
+  const fs::path dir = scratch("aborted_flush");
+  CheckpointSession::Params p;
+  p.path = (dir / "run.ckpt").string();
+  p.config_hash = 5;
+  p.threads = 2;
+  p.trials = 8;
+  CheckpointSession session(p);
+
+  GuardPolicy policy;
+  policy.max_trial_failures = 1;
+  policy.chaos.fault_rate = 1.0;  // every trial throws; budget blows fast
+  EXPECT_THROW(
+      run_trials_guarded(8, 2, policy, synthetic_body(), seed_of, &session),
+      CheckFailure);
+
+  std::ifstream in(session.aborted_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing " << session.aborted_path();
+  std::ostringstream content;
+  content << in.rdbuf();
+  const AbortedRecord rec =
+      parse_aborted(content.str(), session.aborted_path());
+  EXPECT_EQ(rec.point, 0u);
+  EXPECT_NE(rec.reason.find("failure budget exhausted"), std::string::npos)
+      << rec.reason;
+  EXPECT_FALSE(rec.partial.faults.empty());
+  EXPECT_GE(rec.partial.metrics.failed_trials, 2u);
 }
 
 TEST(Guarded, NonFiniteMetricsAreQuarantined) {

@@ -1,0 +1,11 @@
+// Fixture: process isolation routes through the supervisor facade, which
+// owns the fork/reap/rlimit lifecycle inside src/platform/. Naming the
+// facade (and words like forked or killed in prose) must not trip the
+// word-bounded token match.
+namespace rit::platform {
+struct SupervisorOptions;
+}
+
+// The supervisor relaunches forked workers that were killed or rlimited;
+// callers never touch the primitives directly.
+int isolation_entry_point(const rit::platform::SupervisorOptions& opts);

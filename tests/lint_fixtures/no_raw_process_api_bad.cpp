@@ -1,0 +1,15 @@
+// Fixture: raw process primitives outside src/platform/ must be flagged.
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+int spawn_and_reap() {
+  struct rlimit lim = {0, 0};
+  setrlimit(RLIMIT_CORE, &lim);
+  const pid_t pid = fork();
+  if (pid == 0) _exit(0);
+  kill(pid, 9);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return status;
+}

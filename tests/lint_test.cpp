@@ -82,6 +82,8 @@ const FixtureCase kFixtures[] = {
      "src/CMakeLists.txt"},
     {"no-long-double", "no_long_double_bad.cpp",
      "no_long_double_allowed.cpp", "src/sim/scratch.cpp"},
+    {"no-raw-process-api", "no_raw_process_api_bad.cpp",
+     "no_raw_process_api_allowed.cpp", "src/sim/scratch.cpp"},
     {"no-unordered-iteration-in-results",
      "no_unordered_iteration_in_results_bad.cpp",
      "no_unordered_iteration_in_results_allowed.cpp",

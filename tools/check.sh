@@ -39,6 +39,12 @@
 #                 (memory errors and UB in every code path the suite
 #                 reaches; skipped with a notice when the toolchain cannot
 #                 link the sanitizer runtimes)
+#  12. supervisor-smoke  SIGKILL a supervised, checkpointed bench_scale
+#                 mid-sweep (the forked shard workers die with it via
+#                 PR_SET_PDEATHSIG), resume it, and require the resumed
+#                 CSV's deterministic columns to byte-match an undisturbed
+#                 reference run; then ritcs-bench-diff self-diffs the two
+#                 ledgers — see docs/robustness.md
 #
 # Build trees live under build-check/ so the gate never disturbs your
 # incremental build/. Exits non-zero on the first failing leg.
@@ -51,7 +57,7 @@ for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --help|-h)
-      sed -n '2,44p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,50p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -188,6 +194,53 @@ else
   echo "check.sh: toolchain cannot build+run -fsanitize=address,undefined" \
        "— leg skipped (install the compiler's sanitizer runtimes to enable)"
 fi
+
+# --- 12. supervisor smoke: SIGKILL a supervised sweep, resume, compare ------
+# The process-isolation path end to end, outside any test harness: a
+# supervised bench_scale run is SIGKILLed mid-sweep (taking its forked
+# shard workers with it via PR_SET_PDEATHSIG), then resumed from the shard
+# checkpoints. The deterministic CSV columns (users, tasks_per_type,
+# success_rate) must byte-match an undisturbed reference; the runtime
+# columns are wall clock and legitimately differ, so the ledger pair goes
+# through the same generous ritcs-bench-diff gate as legs 9/10.
+step "supervisor smoke (kill -9 a supervised sweep, resume, compare)"
+SUP_TMP="$PERF_TMP/supervisor"
+mkdir -p "$SUP_TMP"
+"$BUILD_ROOT/main/bench/bench_scale" \
+  --trials=4 --scale=1000 --supervised --shards=2 \
+  --csv="$SUP_TMP/ref.csv" --json=none "$PERF_FLAG" \
+  --history-out="$SUP_TMP/sup_ref.jsonl" > "$SUP_TMP/ref.log"
+"$BUILD_ROOT/main/bench/bench_scale" \
+  --trials=4 --scale=1000 --supervised --shards=2 \
+  --checkpoint="$SUP_TMP/sweep.ckpt" --checkpoint-every=1 \
+  --csv="$SUP_TMP/killed.csv" --json=none "$PERF_FLAG" \
+  --history-out="$SUP_TMP/sup_killed.jsonl" > "$SUP_TMP/killed.log" 2>&1 &
+SUP_PID=$!
+# Wait for a shard checkpoint to exist (a point is in flight), then kill
+# the whole supervised run the hard way. If the run won the race and
+# already finished, the kill is a no-op and the resume below is one too —
+# the comparison holds either way.
+for _ in $(seq 1 400); do
+  [[ -e "$SUP_TMP/sweep.ckpt.shard0" ]] && break
+  kill -0 "$SUP_PID" 2> /dev/null || break
+  sleep 0.025
+done
+kill -9 "$SUP_PID" 2> /dev/null || true
+wait "$SUP_PID" 2> /dev/null || true
+"$BUILD_ROOT/main/bench/bench_scale" \
+  --trials=4 --scale=1000 --supervised --shards=2 \
+  --checkpoint="$SUP_TMP/sweep.ckpt" --checkpoint-every=1 --resume=true \
+  --csv="$SUP_TMP/resumed.csv" --json=none "$PERF_FLAG" \
+  --history-out="$SUP_TMP/sup_resumed.jsonl" > "$SUP_TMP/resumed.log"
+cut -d, -f1,2,7 "$SUP_TMP/ref.csv" > "$SUP_TMP/ref.det"
+cut -d, -f1,2,7 "$SUP_TMP/resumed.csv" > "$SUP_TMP/resumed.det"
+if ! cmp "$SUP_TMP/ref.det" "$SUP_TMP/resumed.det"; then
+  echo "check.sh: resumed supervised sweep diverged from reference" >&2
+  diff "$SUP_TMP/ref.det" "$SUP_TMP/resumed.det" >&2 || true
+  exit 1
+fi
+"$BENCH_DIFF" --threshold=0.6 --abs-floor-ms=250 \
+  "$SUP_TMP/sup_ref.jsonl" "$SUP_TMP/sup_resumed.jsonl"
 
 echo
 echo "check.sh: OK"

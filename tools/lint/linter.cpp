@@ -221,6 +221,24 @@ const std::vector<TokenRule>& token_rules() {
         "/fp:fast", "-ffp-contract=fast"},
        {},
        {}},
+      {"no-raw-process-api",
+       "raw process primitives (fork, execve, kill, waitpid, setrlimit, "
+       "prctl, ...) outside src/platform/ scatter lifecycle management the "
+       "supervisor owns; route process isolation through "
+       "platform/supervisor.h",
+       "Forking, signaling, reaping and rlimiting are full of sharp edges "
+       "this repo has already paid for once: PDEATHSIG races, pipe "
+       "deadlocks, zombie leaks, fork-while-threaded undefined behavior. "
+       "The supervisor (src/platform/) centralizes every one of those "
+       "decisions behind run_trials_supervised; a second call site would "
+       "re-litigate them unreviewed. std::raise is deliberately not "
+       "listed: sim/chaos.cpp raises signals in-process by design.",
+       FileClass::kCpp,
+       {"fork(", "vfork", "execve", "execv(", "execvp", "execl(", "execlp",
+        "execle", "posix_spawn", "waitpid", "wait4(", "waitid", "kill(",
+        "killpg", "setrlimit", "getrlimit", "prlimit", "ptrace", "prctl"},
+       {},
+       {"src/platform/"}},
       {"no-long-double",
        "long double is 80-bit on x86, 128-bit on aarch64, 64-bit on "
        "MSVC — metrics computed with it are not portable; use double",

@@ -6,14 +6,20 @@
 //   ritcs --mode=run [--config=FILE] [--trials=N] [--threads=T]
 //                    [--max-trial-failures=N] [--trial-timeout-ms=T]
 //                    [--checkpoint=PATH] [--checkpoint-every=K] [--resume]
-//                    [overrides...]
+//                    [--supervised] [--shards=K] [--shard-mem-mb=M]
+//                    [--shard-cpu-s=S] [--shard-retries=R]
+//                    [--heartbeat-timeout-ms=T] [overrides...]
 //       Run a scenario and print aggregate metrics across trials, fanned
 //       out over T worker threads (0 = hardware concurrency, 1 = exact
 //       serial path). With --population=FILE (CSV: type,quantity,cost)
 //       runs one trial over your own user data instead of a synthetic
 //       population. The robustness flags (docs/robustness.md) quarantine
 //       faulted trials within a failure budget, watchdog slow trials, and
-//       checkpoint progress for bit-identical --resume.
+//       checkpoint progress for bit-identical --resume. --supervised runs
+//       each residue class of trials in its own forked worker process
+//       under rlimit budgets: a worker that segfaults, OOMs, or hangs is
+//       recorded in the fault ledger and retried with backoff, resuming
+//       from its own checkpoint cut (docs/robustness.md).
 //   ritcs --mode=explain [--config=FILE] [--user=J] [overrides...]
 //       Run one trial and print the payment explanation for user J (or the
 //       user with the largest solicitation reward when J is omitted).
@@ -49,6 +55,7 @@
 #include "core/audit.h"
 #include "core/result_io.h"
 #include "core/rit.h"
+#include "platform/supervisor.h"
 #include "sim/config_io.h"
 #include "sim/guarded.h"
 #include "sim/population_io.h"
@@ -140,6 +147,14 @@ int mode_run(cli::Args& args) {
   const std::string checkpoint = args.get_string("checkpoint", "");
   const std::uint64_t checkpoint_every = args.get_u64("checkpoint-every", 0);
   const bool resume = args.get_bool("resume", false);
+  const bool supervised = args.get_bool("supervised", false);
+  const auto shards = static_cast<unsigned>(args.get_u64("shards", 0));
+  const std::uint64_t shard_mem_mb = args.get_u64("shard-mem-mb", 0);
+  const std::uint64_t shard_cpu_s = args.get_u64("shard-cpu-s", 0);
+  const auto shard_retries =
+      static_cast<unsigned>(args.get_u64("shard-retries", 2));
+  const std::uint64_t heartbeat_timeout_ms =
+      args.get_u64("heartbeat-timeout-ms", 0);
   args.finish();
   RIT_CHECK_MSG(checkpoint.empty() ? !resume : true,
                 "--resume requires --checkpoint=PATH");
@@ -147,6 +162,11 @@ int mode_run(cli::Args& args) {
                 "--checkpoint-every requires --checkpoint=PATH");
   RIT_CHECK_MSG(policy.trial_timeout_ms >= 0.0,
                 "--trial-timeout-ms must be >= 0");
+  RIT_CHECK_MSG(supervised ||
+                    (shards == 0 && shard_mem_mb == 0 && shard_cpu_s == 0 &&
+                     heartbeat_timeout_ms == 0),
+                "--shards/--shard-mem-mb/--shard-cpu-s/"
+                "--heartbeat-timeout-ms require --supervised");
   if (!population.empty()) return run_with_population(s, population);
 
   const auto progress = [](std::uint64_t done, std::uint64_t total) {
@@ -154,12 +174,18 @@ int mode_run(cli::Args& args) {
     if (done == total) std::cerr << "\n";
   };
   sim::GuardedResult result;
-  if (checkpoint.empty() && policy.max_trial_failures == 0 &&
+  if (!supervised && checkpoint.empty() && policy.max_trial_failures == 0 &&
       policy.trial_timeout_ms == 0.0) {
     // No robustness flags: the historical path, byte-identical output.
     result.metrics = sim::run_many_parallel(s, trials, threads, progress);
   } else {
-    const unsigned resolved = rit::resolve_threads(threads, trials);
+    // A supervised run partitions by shard instead of thread; the binding
+    // is the same (partition width), so in-process and supervised
+    // checkpoints are interchangeable at matching counts.
+    const unsigned resolved =
+        supervised ? platform::resolve_shards(shards, trials)
+                   : rit::resolve_threads(threads, trials);
+    std::uint64_t config_hash = 0;
     std::unique_ptr<sim::CheckpointSession> session;
     if (!checkpoint.empty()) {
       // Bind the checkpoint to the full scenario (serialized config) plus
@@ -167,9 +193,10 @@ int mode_run(cli::Args& args) {
       std::ostringstream cfg;
       sim::write_scenario(s, cfg);
       cfg << "trials " << trials << "\n";
+      config_hash = fnv1a64(cfg.str());
       sim::CheckpointSession::Params p;
       p.path = checkpoint;
-      p.config_hash = fnv1a64(cfg.str());
+      p.config_hash = config_hash;
       p.seed = s.seed;
       p.threads = resolved;
       p.trials = trials;
@@ -177,8 +204,25 @@ int mode_run(cli::Args& args) {
       p.resume = resume;
       session = std::make_unique<sim::CheckpointSession>(std::move(p));
     }
-    result = sim::run_many_guarded(s, trials, resolved, policy, session.get(),
-                                   /*point=*/0, progress);
+    if (supervised) {
+      platform::SupervisorOptions sup;
+      sup.shards = shards;
+      sup.shard_mem_mb = shard_mem_mb;
+      sup.shard_cpu_s = shard_cpu_s;
+      sup.shard_retries = shard_retries;
+      sup.heartbeat_timeout_ms = heartbeat_timeout_ms;
+      sup.checkpoint_path = checkpoint;
+      sup.checkpoint_every = checkpoint_every;
+      sup.resume = resume;
+      sup.config_hash = config_hash;
+      sup.seed = s.seed;
+      result = platform::run_many_supervised(s, trials, sup, policy,
+                                             session.get(), /*point=*/0,
+                                             progress);
+    } else {
+      result = sim::run_many_guarded(s, trials, resolved, policy,
+                                     session.get(), /*point=*/0, progress);
+    }
   }
   const sim::AggregateMetrics& agg = result.metrics;
   cli::Table t({"metric", "mean", "ci95", "min", "max"});
