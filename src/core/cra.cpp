@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+// rit-lint: allow-file(testkit-only-injection)
+#include "common/bug_inject.h"
 #include "common/check.h"
 #include "obs/obs.h"
 
@@ -49,7 +51,11 @@ void sorted_order_with_shuffled_ties(std::span<const double> asks,
   std::sort(order.begin(), order.end(),
             [&](std::uint32_t a, std::uint32_t b) {
               if (asks[a] != asks[b]) return asks[a] < asks[b];
+#if RIT_BUG_ENABLED(RIT_BUG_CRA_TIEBREAK)
+              return a > b;  // planted: ties enter the shuffle reversed
+#else
               return a < b;
+#endif
             });
   for (std::size_t i = 0; i < order.size();) {
     std::size_t j = i + 1;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+// rit-lint: allow-file(testkit-only-injection)
+#include "common/bug_inject.h"
 #include "common/check.h"
 #include "common/parallel.h"
 #include "obs/obs.h"
@@ -75,8 +77,14 @@ void tree_payments_into(const tree::IncentiveTree& tree,
   // (base, depth), so the memo changes nothing bitwise.
   ws.depth_discount.resize(static_cast<std::size_t>(tree.max_depth()) + 1);
   for (std::size_t d = 0; d < ws.depth_discount.size(); ++d) {
+#if RIT_BUG_ENABLED(RIT_BUG_DISCOUNT_DEPTH)
+    // planted: every contribution discounted one level too deep
+    ws.depth_discount[d] = discount(discount_base,
+                                    static_cast<std::uint32_t>(d) + 1);
+#else
     ws.depth_discount[d] = discount(discount_base,
                                     static_cast<std::uint32_t>(d));
+#endif
   }
 
   // Contribution of each node laid out in preorder; a subtree is then a
@@ -127,8 +135,14 @@ void tree_payments_into(const tree::IncentiveTree& tree,
     const std::uint32_t t = types[i].value;
     const std::uint32_t slot = ws.type_cursor[t]++;
     ws.type_positions[slot] = static_cast<std::uint32_t>(pos);
+#if RIT_BUG_ENABLED(RIT_BUG_PREFIX_CARRY)
+    // planted: the second slot of each group forgets the first entry
+    ws.type_prefix[slot] =
+        slot <= ws.type_offsets[t] + 1 ? c : ws.type_prefix[slot - 1] + c;
+#else
     ws.type_prefix[slot] =
         slot == ws.type_offsets[t] ? c : ws.type_prefix[slot - 1] + c;
+#endif
   }
   // Stage 3 (serial): scan the contributions into a prefix sum in place.
   for (std::size_t pos = 0; pos < nodes; ++pos) {

@@ -1,0 +1,87 @@
+#include "testkit/harness.h"
+
+#include <exception>
+#include <optional>
+
+#include "core/rit.h"
+#include "testkit/invariants.h"
+#include "testkit/oracle.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::testkit {
+namespace {
+
+struct RunAttempt {
+  std::optional<core::RitResult> result;
+  std::string error;
+};
+
+RunAttempt run_production(const FuzzCase& c) {
+  RunAttempt attempt;
+  try {
+    const core::Job job(c.demand);
+    std::vector<std::uint32_t> tree_parents(c.parents.size() + 1, 0);
+    for (std::size_t j = 0; j < c.parents.size(); ++j) {
+      tree_parents[j + 1] = c.parents[j];
+    }
+    const tree::IncentiveTree tree(tree_parents);
+    rng::Rng rng(c.mech_seed);
+    attempt.result = core::run_rit(job, c.asks, tree, c.config, rng);
+  } catch (const std::exception& e) {
+    attempt.error = e.what();
+  }
+  return attempt;
+}
+
+RunAttempt run_oracle(const FuzzCase& c) {
+  RunAttempt attempt;
+  try {
+    attempt.result = oracle_run_rit(c);
+  } catch (const std::exception& e) {
+    attempt.error = e.what();
+  }
+  return attempt;
+}
+
+}  // namespace
+
+CaseOutcome check_case(const FuzzCase& c) {
+  CaseOutcome outcome;
+  const RunAttempt prod = run_production(c);
+  const RunAttempt oracle = run_oracle(c);
+
+  // Consistent rejection of a malformed case is the contract; divergent
+  // exception behavior is a real differential finding.
+  if (!prod.result && !oracle.result) return outcome;
+  if (!prod.result) {
+    outcome.ok = false;
+    outcome.signature = "prod-exception";
+    outcome.details = prod.error;
+    return outcome;
+  }
+  if (!oracle.result) {
+    outcome.ok = false;
+    outcome.signature = "oracle-exception";
+    outcome.details = oracle.error;
+    return outcome;
+  }
+
+  const OracleDiff diff = diff_results(*prod.result, *oracle.result);
+  if (!diff.match) {
+    outcome.ok = false;
+    outcome.signature = "oracle-mismatch:" + diff.field;
+    outcome.details = diff.detail;
+    return outcome;
+  }
+
+  const InvariantReport report = check_invariants(c, *prod.result);
+  if (!report.ok()) {
+    outcome.ok = false;
+    outcome.signature = "invariant:" + report.violations.front().name;
+    outcome.details = report.violations.front().detail;
+    return outcome;
+  }
+  return outcome;
+}
+
+}  // namespace rit::testkit

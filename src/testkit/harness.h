@@ -1,0 +1,39 @@
+// The per-case check the fuzz loop runs: production vs oracle vs paper
+// invariants, with every failure mapped to a stable signature class.
+//
+// Signature classes (stable strings — they name corpus repro files and
+// drive shrinking, so they must not depend on memory addresses, wall
+// clock, or platform):
+//
+//   ""                         the case passed
+//   "prod-exception"           production threw, oracle did not
+//   "oracle-exception"         oracle threw, production did not
+//   "oracle-mismatch:<field>"  field-by-field differential mismatch
+//   "invariant:<name>"         a pathwise paper invariant failed
+//
+// A case that BOTH implementations reject (CheckFailure on malformed
+// input) passes: consistent rejection is the contract. "crash" is not
+// produced here — the fuzz runner's supervisor assigns it when the check
+// dies in its sandboxed process instead of returning.
+#pragma once
+
+#include <string>
+
+#include "testkit/fuzz_case.h"
+
+namespace rit::testkit {
+
+struct CaseOutcome {
+  bool ok{true};
+  /// Signature class ("" when ok). See the taxonomy above.
+  std::string signature;
+  /// Human-facing context for reports; not part of the class identity.
+  std::string details;
+};
+
+/// Runs production and oracle on `c` (each with a fresh
+/// rng::Rng(c.mech_seed)), diffs them, and checks the paper invariants on
+/// the production result.
+CaseOutcome check_case(const FuzzCase& c);
+
+}  // namespace rit::testkit

@@ -1,0 +1,196 @@
+#include "testkit/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/num_io.h"
+#include "tree/incentive_tree.h"
+
+namespace rit::testkit {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+double tol_for(double scale) { return kRelTol * std::max(std::abs(scale), 1.0); }
+
+void violate(InvariantReport& report, const std::string& name,
+             const std::string& detail) {
+  report.violations.push_back(InvariantViolation{name, detail});
+}
+
+}  // namespace
+
+InvariantReport check_invariants(const FuzzCase& c,
+                                 const core::RitResult& result) {
+  InvariantReport report;
+  const std::size_t n = c.asks.size();
+  if (result.allocation.size() != n || result.auction_payment.size() != n ||
+      result.payment.size() != n || c.costs.size() != n ||
+      c.parents.size() != n) {
+    violate(report, "shape", "result/case vector sizes disagree");
+    return report;
+  }
+
+  // Finiteness: a NaN anywhere poisons every downstream aggregate.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!std::isfinite(result.auction_payment[j]) ||
+        !std::isfinite(result.payment[j])) {
+      violate(report, "finiteness",
+              "participant " + format_u64(j) + " has a non-finite payment");
+      return report;
+    }
+  }
+
+  // Allocation bounds: x_j <= k_j always; per-type totals == m_i exactly
+  // when the run succeeded (budget feasibility of Alg. 3).
+  for (std::size_t j = 0; j < n; ++j) {
+    if (result.allocation[j] > c.asks[j].quantity) {
+      violate(report, "allocation-bounds",
+              "participant " + format_u64(j) + " allocated " +
+                  format_u64(result.allocation[j]) + " > quantity " +
+                  format_u64(c.asks[j].quantity));
+    }
+  }
+  std::vector<std::uint64_t> per_type(c.demand.size(), 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (c.asks[j].type.value < per_type.size()) {
+      per_type[c.asks[j].type.value] += result.allocation[j];
+    }
+  }
+  if (result.success) {
+    for (std::size_t t = 0; t < c.demand.size(); ++t) {
+      if (per_type[t] != c.demand[t]) {
+        violate(report, "allocation-bounds",
+                "success with type " + format_u64(t) + " allocated " +
+                    format_u64(per_type[t]) + " != demand " +
+                    format_u64(c.demand[t]));
+      }
+    }
+  }
+
+  // Fail-closed zeroing (Alg. 3 lines 26-28).
+  if (!result.success && c.config.zero_on_failure) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (result.allocation[j] != 0 || result.auction_payment[j] != 0.0 ||
+          result.payment[j] != 0.0) {
+        violate(report, "fail-closed",
+                "failed run kept a non-zero allocation/payment at "
+                "participant " +
+                    format_u64(j));
+        break;
+      }
+    }
+  }
+
+  // Success consistency: the flag must agree with the per-type ledger.
+  bool ledger_complete = true;
+  for (const core::TypeAuctionInfo& info : result.type_info) {
+    if (info.allocated != info.demanded) ledger_complete = false;
+  }
+  if (result.type_info.size() == c.demand.size() &&
+      result.success != ledger_complete) {
+    violate(report, "success-consistency",
+            std::string("success flag is ") +
+                (result.success ? "true" : "false") +
+                " but the per-type ledger says otherwise");
+  }
+
+  // Payment floor: tree shares are sums of non-negative contributions, so
+  // p_j >= p_j^A >= 0.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (result.auction_payment[j] < -tol_for(0.0)) {
+      violate(report, "payment-floor",
+              "negative auction payment at participant " + format_u64(j));
+    }
+    if (result.payment[j] <
+        result.auction_payment[j] - tol_for(result.auction_payment[j])) {
+      violate(report, "payment-floor",
+              "participant " + format_u64(j) + " paid " +
+                  format_double_g17(result.payment[j]) +
+                  " below its auction payment " +
+                  format_double_g17(result.auction_payment[j]));
+    }
+  }
+
+  // Individual rationality (Thm 1): a truthful participant (c_j <= a_j)
+  // never ends with negative utility — every unit it wins clears at a
+  // price at or above its ask.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (c.costs[j] > c.asks[j].value) continue;  // not a truthful bid
+    const double utility = result.utility_of(static_cast<std::uint32_t>(j),
+                                             c.costs[j]);
+    if (utility < -tol_for(result.payment[j])) {
+      violate(report, "individual-rationality",
+              "truthful participant " + format_u64(j) +
+                  " has negative utility " + format_double_g17(utility));
+    }
+  }
+
+  // Share algebra (Sec. 7-C): the solicitation premium is the sum of the
+  // per-participant tree shares, and each descendant at depth d feeds at
+  // most its (d-1) distinct-type strict ancestors base^d of its auction
+  // payment, so the premium is bounded by
+  // sum_j (depth_j - 1) * base^depth_j * p_j^A.
+  double premium = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    premium += result.payment[j] - result.auction_payment[j];
+  }
+  const double reported =
+      result.total_payment() - result.total_auction_payment();
+  if (std::abs(premium - reported) > tol_for(reported)) {
+    violate(report, "share-conservation",
+            "premium from per-participant shares " +
+                format_double_g17(premium) + " != total_payment - "
+                "total_auction_payment " +
+                format_double_g17(reported));
+  }
+  if (premium < -tol_for(0.0)) {
+    violate(report, "share-algebra",
+            "negative solicitation premium " + format_double_g17(premium));
+  }
+  try {
+    std::vector<std::uint32_t> tree_parents(n + 1, 0);
+    for (std::size_t j = 0; j < n; ++j) tree_parents[j + 1] = c.parents[j];
+    const tree::IncentiveTree tree(tree_parents);
+    double bound = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint32_t d =
+          tree.depth(tree::node_of_participant(static_cast<std::uint32_t>(j)));
+      if (d < 2) continue;  // depth-1 nodes have no non-root ancestor
+      bound += static_cast<double>(d - 1) *
+               std::pow(c.config.discount_base, static_cast<double>(d)) *
+               result.auction_payment[j];
+    }
+    if (premium > bound + tol_for(bound)) {
+      violate(report, "share-algebra",
+              "premium " + format_double_g17(premium) +
+                  " exceeds the geometric bound " + format_double_g17(bound));
+    }
+  } catch (const CheckFailure&) {
+    violate(report, "shape", "case parent vector is not a valid tree");
+  }
+
+  // Probability floor: achieved_probability is a probability, and under
+  // the theoretical budget with healthy parameters the whole phase keeps
+  // the H guarantee (Lemma 6.3).
+  if (!(result.achieved_probability >= -tol_for(1.0) &&
+        result.achieved_probability <= 1.0 + tol_for(1.0))) {
+    violate(report, "probability-floor",
+            "achieved_probability " +
+                format_double_g17(result.achieved_probability) +
+                " outside [0,1]");
+  }
+  if (c.config.round_budget_policy == core::RoundBudgetPolicy::kTheoretical &&
+      !result.probability_degraded &&
+      result.achieved_probability < c.config.h - tol_for(c.config.h)) {
+    violate(report, "probability-floor",
+            "achieved_probability " +
+                format_double_g17(result.achieved_probability) +
+                " below configured H " + format_double_g17(c.config.h) +
+                " without a degraded flag");
+  }
+  return report;
+}
+
+}  // namespace rit::testkit

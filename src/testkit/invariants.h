@@ -1,0 +1,47 @@
+// Pathwise paper invariants as reusable checkers.
+//
+// Every property here must hold on EVERY run of the mechanism, not just in
+// expectation, so a single fuzz case (or any test/bench that has a
+// RitResult in hand) can assert them directly:
+//
+//   allocation-bounds     x_j <= k_j, and per-type totals == m_i on success
+//   fail-closed           !success + zero_on_failure => everything zeroed
+//   finiteness            every payment/allocation field is finite
+//   payment-floor         p_j >= p_j^A >= 0 (tree shares are non-negative)
+//   individual-rationality U_j = p_j - x_j c_j >= 0 for truthful
+//                         participants (c_j <= a_j), Thm 1
+//   share-algebra         the solicitation premium equals the sum of tree
+//                         shares and respects the per-descendant geometric
+//                         bound (depth-1 distinct-type ancestors at
+//                         discount base^depth), Sec. 7-C
+//   probability-floor     achieved_probability in [0,1], and >= H under
+//                         kTheoretical with healthy (non-degraded) budgets
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rit.h"
+#include "testkit/fuzz_case.h"
+
+namespace rit::testkit {
+
+/// One violated invariant. `name` is the stable identifier used in
+/// failure signatures; `detail` is human-facing context.
+struct InvariantViolation {
+  std::string name;
+  std::string detail;
+};
+
+struct InvariantReport {
+  std::vector<InvariantViolation> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Checks every pathwise invariant of `result` against the case that
+/// produced it. Never throws on well-formed inputs; a malformed pairing
+/// (size mismatches) is itself reported as a violation.
+InvariantReport check_invariants(const FuzzCase& c,
+                                 const core::RitResult& result);
+
+}  // namespace rit::testkit

@@ -1,0 +1,54 @@
+// Seeded scenario generation and the mutation grammar of the fuzzer.
+//
+// random_case() samples a complete FuzzCase — job demand vector, clustered
+// ask values (ties are where tie-break bugs hide), per-participant costs,
+// a tree drawn from a shape family that deliberately includes the
+// adversarial extremes (deep chains, wide stars, combs, spanning forests
+// of a scale-free social graph), and a wildly varied RitConfig. mutate()
+// applies one structured edit from the grammar below, repairing the case
+// so it stays well-formed (parents always reference earlier nodes, values
+// stay positive and finite, quantities stay within kMaxAskQuantity).
+//
+// Everything draws from the passed rng::Rng only: the same seed produces
+// the same case byte for byte, which is what makes the corpus replayable.
+#pragma once
+
+#include "rng/rng.h"
+#include "testkit/fuzz_case.h"
+
+namespace rit::testkit {
+
+struct GenParams {
+  std::uint32_t max_types{6};
+  std::uint32_t max_participants{220};
+  std::uint32_t max_demand{12};
+  std::uint32_t max_quantity{8};
+};
+
+/// Samples a fresh well-formed case.
+FuzzCase random_case(const GenParams& params, rng::Rng& rng);
+FuzzCase random_case(rng::Rng& rng);
+
+/// The mutation grammar. Every mutation preserves well-formedness.
+enum class Mutation : std::uint32_t {
+  kTweakValue,     // re-price one ask (often onto another ask's value: ties)
+  kTweakQuantity,  // re-roll one ask's quantity
+  kTweakDemand,    // re-roll one type's demand
+  kRetype,         // move one ask to another task type
+  kAddAsk,         // append a participant under a random existing node
+  kDropAsk,        // remove a participant, re-parenting its children
+  kReparent,       // move one subtree to a different (earlier) node
+  kGraftChain,     // graft a same-typed chain under a random node
+  kTweakConfig,    // re-roll one mechanism config knob
+  kReseed,         // new mechanism seed, same scenario
+};
+inline constexpr std::uint32_t kNumMutations = 10;
+
+/// Applies one specific mutation.
+FuzzCase apply_mutation(const FuzzCase& base, Mutation mutation,
+                        rng::Rng& rng);
+
+/// Applies one uniformly chosen mutation.
+FuzzCase mutate(const FuzzCase& base, rng::Rng& rng);
+
+}  // namespace rit::testkit

@@ -1,0 +1,52 @@
+// Greedy structured shrinking of failing fuzz cases.
+//
+// A raw failing case from the mutation loop has hundreds of participants
+// and an arbitrary config; the shrinker minimizes it while preserving the
+// failure *signature class* (e.g. "oracle-mismatch:payment"), so the
+// committed repro demonstrates the same defect with as little scenario as
+// possible. Passes are greedy and run in a fixed order until a fixpoint
+// or the check budget is exhausted:
+//
+//   1. participant chunk removal (delta-debugging over the tree, children
+//      of a removed node re-parented to its nearest surviving ancestor)
+//   2. demand reduction (each type toward 0)
+//   3. quantity reduction (each ask toward 1)
+//   4. value canonicalization (each ask toward 1.0 — collapses clusters)
+//   5. tree simplification (hoist nodes toward the root, full flatten)
+//   6. config canonicalization (defaults knob by knob)
+//
+// The shrinker itself draws no randomness: given the same case, signature
+// and check function it produces the same minimized case, which is what
+// lets the golden repro test pin its output byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "testkit/fuzz_case.h"
+
+namespace rit::testkit {
+
+/// Evaluates a candidate case and returns its failure signature class, or
+/// "" when the case passes. Shrinking only accepts candidates whose class
+/// matches the original failure's.
+using CaseCheck = std::function<std::string(const FuzzCase&)>;
+
+struct ShrinkResult {
+  FuzzCase best;
+  /// check() invocations spent (accepted + rejected candidates).
+  std::uint32_t checks_used{0};
+};
+
+/// Minimizes `failing` (whose check() class is `signature`) under a hard
+/// budget of `max_checks` candidate evaluations.
+ShrinkResult shrink(const FuzzCase& failing, const std::string& signature,
+                    const CaseCheck& check, std::uint32_t max_checks);
+
+/// Removes every participant j with keep[j] == 0, re-parenting surviving
+/// children to their nearest surviving ancestor. Exposed for tests.
+FuzzCase remove_participants(const FuzzCase& c,
+                             const std::vector<char>& keep);
+
+}  // namespace rit::testkit

@@ -1,0 +1,7 @@
+// The same gates under a file-scope escape (how the two allow-listed core
+// injection sites declare themselves).
+// rit-lint: allow-file(testkit-only-injection)
+#if RIT_BUG_ENABLED(2)
+int planted_branch() { return 2; }
+#endif
+int injected_id = RIT_TESTKIT_INJECT_BUG;

@@ -1,0 +1,6 @@
+// A planted-bug gate outside the declared injection seam: every line
+// touching the injection macros must be flagged.
+#if RIT_BUG_ENABLED(2)
+int planted_branch() { return 2; }
+#endif
+int injected_id = RIT_TESTKIT_INJECT_BUG;

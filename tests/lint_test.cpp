@@ -103,6 +103,8 @@ const FixtureCase kFixtures[] = {
     {"unused-include", "unused_include_bad.cpp",
      "unused_include_allowed.cpp", "src/sim/scratch_unused.cpp",
      "unused_include_helper.h", "src/common/scratch_helper.h"},
+    {"testkit-only-injection", "testkit_only_injection_bad.cpp",
+     "testkit_only_injection_allowed.cpp", "src/sim/scratch.cpp"},
 };
 
 TEST(LintFixtures, EveryRuleHasABadFixtureThatFires) {

@@ -199,6 +199,40 @@ TEST(Rng, SampleWithoutReplacementRejectsOverdraw) {
   EXPECT_THROW(rng.sample_without_replacement(3, 4), CheckFailure);
 }
 
+TEST(Rng, SampleWithoutReplacementKZeroConsumesNoDraws) {
+  // k == 0 must be a true no-op on the stream: mechanism paths branch on
+  // "anything to sample?" and the branch must not desynchronize replay.
+  Rng a(83);
+  Rng b(83);
+  std::vector<std::size_t> pool;
+  std::vector<std::size_t> out{1, 2, 3};
+  a.sample_without_replacement_into(17, 0, pool, out);
+  EXPECT_TRUE(out.empty());  // cleared, not left over from the caller
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SampleWithoutReplacementEmptyPool) {
+  // n == 0, k == 0: legal, empty, and draw-free.
+  Rng a(89);
+  Rng b(89);
+  auto s = a.sample_without_replacement(0, 0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SampleWithoutReplacementFullSetIsAPermutation) {
+  // k == n selects every index exactly once, in Fisher-Yates order; the
+  // final step still draws (uniform_index(1)), which is part of the
+  // stream contract the differential oracle mirrors.
+  Rng rng(97);
+  Rng untouched(97);
+  const auto s = rng.sample_without_replacement(9, 9);
+  std::vector<std::size_t> sorted(s.begin(), s.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_NE(rng.next_u64(), untouched.next_u64());  // draws were consumed
+}
+
 TEST(Rng, SampleWithoutReplacementIntoMatchesAllocatingForm) {
   // The buffer-reusing form consumes the same draws and produces the same
   // selection, including when the buffers are reused across differently

@@ -45,6 +45,12 @@
 #                 CSV's deterministic columns to byte-match an undisturbed
 #                 reference run; then ritcs-bench-diff self-diffs the two
 #                 ledgers — see docs/robustness.md
+#  13. fuzz-smoke pinned-seed differential fuzz budget (iteration-keyed,
+#                 never wall-clock) on the clean mechanism, plus the
+#                 harness self-test: each RIT_TESTKIT_INJECT_BUG variant
+#                 (ritcs-fuzz-bug1..3) must catch its planted bug inside
+#                 the same budget, and the committed golden repro must
+#                 replay both ways — see docs/testing.md
 #
 # Build trees live under build-check/ so the gate never disturbs your
 # incremental build/. Exits non-zero on the first failing leg.
@@ -57,7 +63,7 @@ for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --help|-h)
-      sed -n '2,50p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,56p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -241,6 +247,28 @@ if ! cmp "$SUP_TMP/ref.det" "$SUP_TMP/resumed.det"; then
 fi
 "$BENCH_DIFF" --threshold=0.6 --abs-floor-ms=250 \
   "$SUP_TMP/sup_ref.jsonl" "$SUP_TMP/sup_resumed.jsonl"
+
+# --- 13. fuzz smoke: differential fuzzer + planted-bug self-test -------------
+# Already part of leg 3's full run (ctest -L fuzz); repeated by name, with
+# a larger clean budget, so a decayed harness (a planted bug no longer
+# caught, a nondeterministic corpus) is unmissable in the gate output.
+# Budgets are iteration counts at pinned seeds — identical work on any
+# machine, any load.
+step "fuzz smoke (differential oracle + planted-bug self-test)"
+FUZZ_TMP="$PERF_TMP/fuzz"
+mkdir -p "$FUZZ_TMP"
+"$BUILD_ROOT/main/tools/ritcs-fuzz" --seed=42 --iterations=400 \
+  --corpus-dir="$FUZZ_TMP/clean"
+for bug in 1 2 3; do
+  "$BUILD_ROOT/main/tools/ritcs-fuzz-bug$bug" --seed=7 --iterations=400 \
+    --expect-failures=true --corpus-dir="$FUZZ_TMP/bug$bug"
+done
+"$BUILD_ROOT/main/tools/ritcs-fuzz" --determinism-check --seed=9 \
+  --iterations=150 --corpus-dir="$FUZZ_TMP/determinism"
+"$BUILD_ROOT/main/tools/ritcs-fuzz" \
+  --repro="$ROOT/tests/golden/fuzz_repro_bug2.ritcase"
+"$BUILD_ROOT/main/tools/ritcs-fuzz-bug2" --expect-repro=true \
+  --repro="$ROOT/tests/golden/fuzz_repro_bug2.ritcase"
 
 echo
 echo "check.sh: OK"

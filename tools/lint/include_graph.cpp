@@ -22,7 +22,7 @@ const ModuleLayer kLayers[] = {
     {"core", 2},     {"stats", 2},                      //
     {"obs", 3},      {"sim", 3},                        //
     {"attack", 4},   {"baselines", 4},                  //
-    {"extensions", 4}, {"platform", 4},                 //
+    {"extensions", 4}, {"platform", 4}, {"testkit", 4},  //
     {"bench", 5},    {"cli", 5},      {"examples", 5},  //
     {"tests", 5},    {"tools", 5},
 };

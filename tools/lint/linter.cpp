@@ -61,7 +61,7 @@ const std::vector<const char*>& numeric_io_paths() {
   static const std::vector<const char*> kPaths = {
       "result_io",  "config_io",   "checkpoint", "population_io",
       "cli/args",   "obs/history", "format_util", "num_io",
-      "bench_diff", "bench_support"};
+      "bench_diff", "bench_support", "testkit/fuzz_case", "fuzz_runner"};
   return kPaths;
 }
 
@@ -250,6 +250,23 @@ const std::vector<TokenRule>& token_rules() {
        {"long double"},
        {},
        {}},
+      {"testkit-only-injection",
+       "the RIT_TESTKIT_INJECT_BUG / RIT_BUG_ENABLED planted-bug gates "
+       "belong only to the declared injection seam (common/bug_inject.h "
+       "plus the explicitly allow-listed core sites); a gate anywhere else "
+       "could ship a deliberately wrong branch in a production build",
+       "The fuzz harness self-tests by recompiling two core TUs with "
+       "-DRIT_TESTKIT_INJECT_BUG=<id>, which flips a deliberately wrong "
+       "branch. That is safe only because the seam is tiny and auditable: "
+       "the macro definitions live in common/bug_inject.h and the gates in "
+       "the two allow-listed core files, where the default expansion is "
+       "the correct branch. A gate added anywhere else would widen the "
+       "surface where a miswired build flag ships wrong mechanism "
+       "behavior, unreviewed.",
+       FileClass::kCpp,
+       {"RIT_TESTKIT_INJECT_BUG", "RIT_BUG_ENABLED"},
+       {},
+       {"common/bug_inject"}},
   };
   return kRules;
 }
